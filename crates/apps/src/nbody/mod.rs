@@ -1,0 +1,23 @@
+//! Barnes–Hut n-body with Orthogonal Recursive Bisection (paper §6.2).
+//!
+//! The paper's n-body benchmark is a parallel Barnes–Hut implementation
+//! that uses ORB each timestep to equalise work across MPI ranks. ORB's
+//! cost model assumes uniform node speed, so a slow node leaves its ranks
+//! behind (Fig. 6c) — the scenario the transparent balancer then rescues.
+//!
+//! * [`Body`], [`Octree`] — a real Barnes–Hut force kernel (octree with
+//!   centre-of-mass approximation, opening angle θ), plus a direct O(n²)
+//!   reference for accuracy tests and a leapfrog integrator.
+//! * [`orb_partition`] — orthogonal recursive bisection of bodies into
+//!   per-rank groups of (near-)equal size.
+//! * [`NBodyWorkload`] — the cluster-simulation workload: per-rank force
+//!   tasks whose cost follows the Barnes–Hut `n log n` law, repartitioned
+//!   by ORB after every timestep.
+
+mod kernel;
+mod orb;
+mod workload;
+
+pub use kernel::{calibrate_force_cost, direct_accelerations, Body, Octree};
+pub use orb::orb_partition;
+pub use workload::{NBodyConfig, NBodyWorkload};

@@ -1,0 +1,37 @@
+//! Criterion bench: end-to-end simulation throughput — one MicroPP
+//! iteration on 8 nodes (the unit of cost for every figure sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tlb_apps::micropp::{micropp_workload, MicroPpConfig};
+use tlb_cluster::ClusterSim;
+use tlb_core::{BalanceConfig, DromPolicy, Platform};
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_sim");
+    group.sample_size(10);
+    let mut mcfg = MicroPpConfig::new(16);
+    mcfg.iterations = 2;
+    mcfg.subproblems_per_rank = 1000;
+    let wl = micropp_workload(&mcfg);
+    let platform = Platform::mn4(8);
+    group.bench_function("micropp_8n_2iter_global", |b| {
+        let cfg = BalanceConfig::offloading(4, DromPolicy::Global);
+        b.iter(|| {
+            ClusterSim::run_opts(&platform, &cfg, wl.clone(), false)
+                .unwrap()
+                .events
+        })
+    });
+    group.bench_function("micropp_8n_2iter_baseline", |b| {
+        let cfg = BalanceConfig::baseline();
+        b.iter(|| {
+            ClusterSim::run_opts(&platform, &cfg, wl.clone(), false)
+                .unwrap()
+                .events
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

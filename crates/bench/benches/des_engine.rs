@@ -1,0 +1,47 @@
+//! Criterion bench: DES event throughput (events/second drives how fast
+//! 64-node experiments regenerate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tlb_des::{Ctx, SimTime, Simulator, World};
+
+struct Ping {
+    left: u64,
+}
+impl World for Ping {
+    type Event = ();
+    fn handle(&mut self, ctx: &mut Ctx<()>, _: ()) {
+        if self.left > 0 {
+            self.left -= 1;
+            ctx.schedule_in(SimTime::from_nanos(10), ());
+        }
+    }
+}
+
+fn bench_events(c: &mut Criterion) {
+    c.bench_function("des_chain_100k", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new();
+            sim.schedule_at(SimTime::ZERO, ());
+            let mut world = Ping { left: 100_000 };
+            sim.run(&mut world);
+            sim.events_processed()
+        })
+    });
+    c.bench_function("des_queue_churn", |b| {
+        b.iter(|| {
+            let mut q = tlb_des::EventQueue::new();
+            for i in 0..10_000u64 {
+                q.push(SimTime::from_nanos(i * 7919 % 100_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            sum
+        })
+    });
+    criterion::black_box(());
+}
+
+criterion_group!(benches, bench_events);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench: expander graph generation and screening cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tlb_expander::{BipartiteGraph, ExpanderConfig};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expander");
+    for &(appranks, nodes, degree) in &[(16usize, 16usize, 3usize), (64, 32, 4), (128, 64, 4)] {
+        group.bench_with_input(
+            BenchmarkId::new("generate", format!("{appranks}x{nodes}d{degree}")),
+            &(appranks, nodes, degree),
+            |b, &(a, n, d)| {
+                let cfg = ExpanderConfig::new(a, n, d).with_seed(3);
+                b.iter(|| BipartiteGraph::generate(&cfg).unwrap().nodes())
+            },
+        );
+    }
+    group.bench_function("isoperimetric_exact_16", |b| {
+        let cfg = ExpanderConfig::new(16, 16, 3).with_seed(3);
+        let g = BipartiteGraph::generate(&cfg).unwrap();
+        b.iter(|| tlb_expander::isoperimetric_exact(&g))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

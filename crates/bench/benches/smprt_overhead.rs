@@ -1,0 +1,33 @@
+//! Criterion bench: shared-memory runtime task overhead (spawn, steal,
+//! dependency release) with real threads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tlb_smprt::{GraphRun, Pool};
+use tlb_tasking::{DataRegion, TaskDef};
+
+fn bench_pool(c: &mut Criterion) {
+    let pool = Pool::new(4);
+    c.bench_function("smprt_1000_empty_tasks", |b| {
+        b.iter(|| {
+            let mut run = GraphRun::new();
+            for _ in 0..1000 {
+                run.task(TaskDef::new("t"), || {}).unwrap();
+            }
+            pool.run(run).tasks_executed
+        })
+    });
+    c.bench_function("smprt_chain_200", |b| {
+        let r = DataRegion::new(0, 64);
+        b.iter(|| {
+            let mut run = GraphRun::new();
+            for _ in 0..200 {
+                run.task(TaskDef::new("t").reads_writes(r), || {}).unwrap();
+            }
+            pool.run(run).tasks_executed
+        })
+    });
+    criterion::black_box(&pool);
+}
+
+criterion_group!(benches, bench_pool);
+criterion_main!(benches);

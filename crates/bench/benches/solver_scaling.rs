@@ -1,0 +1,36 @@
+//! Criterion bench: the global allocation solvers (simplex vs parametric
+//! max-flow) across machine sizes — the §5.4.2 cost table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use tlb_core::{GlobalPolicy, GlobalSolverKind, Platform};
+use tlb_expander::{BipartiteGraph, ExpanderConfig};
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocation_solver");
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    for &nodes in &[4usize, 8, 16, 32] {
+        let appranks = nodes * 2;
+        let g = BipartiteGraph::generate(
+            &ExpanderConfig::new(appranks, nodes, 4.min(nodes)).with_seed(1),
+        )
+        .unwrap();
+        let platform = Platform::mn4(nodes);
+        let work: Vec<f64> = (0..appranks).map(|_| rng.gen_range(1.0..50.0)).collect();
+        for kind in [GlobalSolverKind::Simplex, GlobalSolverKind::Flow] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind:?}"), nodes),
+                &nodes,
+                |b, _| {
+                    let mut policy = GlobalPolicy::new(&g, &platform);
+                    b.iter(|| policy.allocate(&work, kind).unwrap().objective)
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

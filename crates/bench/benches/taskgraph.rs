@@ -1,0 +1,107 @@
+//! Criterion bench: dependency computation throughput of the task graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tlb_tasking::{DataRegion, TaskDef, TaskGraph};
+
+fn bench_submission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("taskgraph");
+    for &n in &[100usize, 1000] {
+        // Independent tasks: disjoint regions.
+        group.bench_with_input(BenchmarkId::new("independent", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut g = TaskGraph::new();
+                for i in 0..n {
+                    g.submit(TaskDef::new("t").writes(DataRegion::new(i * 64, 64)))
+                        .unwrap();
+                }
+                g.ready_count()
+            })
+        });
+        // A chain through one region (worst-case ordering).
+        group.bench_with_input(BenchmarkId::new("chain", n), &n, |b, &n| {
+            let r = DataRegion::new(0, 64);
+            b.iter(|| {
+                let mut g = TaskGraph::new();
+                for _ in 0..n {
+                    g.submit(TaskDef::new("t").reads_writes(r)).unwrap();
+                }
+                g.len()
+            })
+        });
+    }
+    // Dense overlapping regions: the case the interval index exists for.
+    // A linear active-access scan is O(n²) here; the treap is O(n log n).
+    for &n in &[200usize, 1000] {
+        group.bench_with_input(BenchmarkId::new("overlapping_windows", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut g = TaskGraph::new();
+                for i in 0..n {
+                    // Sliding 3-chunk read + 1-chunk write window.
+                    let read = DataRegion::new(i * 64, 3 * 64);
+                    let write = DataRegion::new((i + 1) * 64, 64);
+                    g.submit(TaskDef::new("w").reads(read).writes(write))
+                        .unwrap();
+                }
+                g.stats().edges
+            })
+        });
+        // Same workload against a naive linear-scan oracle, as the
+        // baseline the index is measured against.
+        group.bench_with_input(
+            BenchmarkId::new("overlapping_linear_oracle", n),
+            &n,
+            |b, &n| {
+                use tlb_tasking::{Access, AccessMode};
+                b.iter(|| {
+                    let mut active: Vec<(usize, Access)> = Vec::new();
+                    let mut edges = 0usize;
+                    for i in 0..n {
+                        let accs = [
+                            Access {
+                                region: DataRegion::new(i * 64, 3 * 64),
+                                mode: AccessMode::In,
+                            },
+                            Access {
+                                region: DataRegion::new((i + 1) * 64, 64),
+                                mode: AccessMode::Out,
+                            },
+                        ];
+                        let mut seen = Vec::new();
+                        for &(t, a) in &active {
+                            if accs.iter().any(|b| b.conflicts_with(&a)) && !seen.contains(&t) {
+                                seen.push(t);
+                            }
+                        }
+                        edges += seen.len();
+                        for a in accs {
+                            active.push((i, a));
+                        }
+                    }
+                    edges
+                })
+            },
+        );
+    }
+
+    // Full execute cycle on a fan-out/fan-in graph.
+    group.bench_function("execute_fan_1000", |b| {
+        b.iter(|| {
+            let src = DataRegion::new(0, 64 * 1000);
+            let mut g = TaskGraph::new();
+            g.submit(TaskDef::new("produce").writes(src)).unwrap();
+            for c in src.chunks(1000) {
+                g.submit(TaskDef::new("consume").reads(c)).unwrap();
+            }
+            let mut done = 0;
+            while let Some(t) = g.pop_ready() {
+                g.complete(t).unwrap();
+                done += 1;
+            }
+            done
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_submission);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Ablations of the design choices DESIGN.md calls out.
+//!
+//! Usage: `ablations [--quick]`
+//!
+//! * scheduler queue depth 1 / 2 / 4 tasks per owned core (paper: 2);
+//! * counting LeWI-borrowed cores in the scheduler (paper: don't);
+//! * steal gate: Owned / Usable / Unbounded;
+//! * solver demand signal: busy-core integral vs created work;
+//! * expander seed sensitivity (is a random graph reliably good?).
+
+use tlb_apps::micropp::{micropp_workload, MicroPpConfig};
+use tlb_bench::{run_mean_iteration, Effort, Experiment, Point};
+use tlb_core::{BalanceConfig, DromPolicy, Platform, StealGate, WorkSignal};
+
+fn main() {
+    let effort = Effort::from_args();
+    let nodes = effort.pick(16, 8);
+    let mut mcfg = MicroPpConfig::new(nodes * 2);
+    mcfg.iterations = effort.pick(10, 5);
+    let wl = micropp_workload(&mcfg);
+    let platform = Platform::mn4(nodes);
+    let skip = effort.pick(3, 1);
+    let base_cfg = BalanceConfig::offloading(4, DromPolicy::Global);
+    let reference = run_mean_iteration(&platform, &base_cfg, wl.clone(), skip);
+
+    let mut exp = Experiment::new(
+        "ablations",
+        &format!("design ablations on MicroPP, {nodes} nodes, degree 4, global policy"),
+        "variant",
+        "s/iteration",
+    );
+    let mut idx = 0.0;
+    let mut push = |exp: &mut Experiment, label: String, value: f64| {
+        println!(
+            "{label}: {value:.4} ({:+.1}% vs reference)",
+            100.0 * (value / reference - 1.0)
+        );
+        exp.push_series(label, vec![Point { x: idx, y: value }]);
+        idx += 1.0;
+    };
+
+    push(&mut exp, "reference (depth 2)".into(), reference);
+
+    for depth in [1usize, 4] {
+        let mut cfg = base_cfg.clone();
+        cfg.queue_depth_per_core = depth;
+        let t = run_mean_iteration(&platform, &cfg, wl.clone(), skip);
+        push(&mut exp, format!("queue depth {depth}"), t);
+    }
+    {
+        let mut cfg = base_cfg.clone();
+        cfg.count_borrowed_cores = true;
+        let t = run_mean_iteration(&platform, &cfg, wl.clone(), skip);
+        push(&mut exp, "count borrowed cores".into(), t);
+    }
+    for gate in [StealGate::Owned, StealGate::Usable] {
+        let mut cfg = base_cfg.clone();
+        cfg.steal_gate = gate;
+        let t = run_mean_iteration(&platform, &cfg, wl.clone(), skip);
+        push(&mut exp, format!("steal gate {gate:?}"), t);
+    }
+    {
+        let mut cfg = base_cfg.clone();
+        cfg.work_signal = WorkSignal::BusyPending;
+        let t = run_mean_iteration(&platform, &cfg, wl.clone(), skip);
+        push(&mut exp, "busy-core work signal".into(), t);
+    }
+    // Seed sensitivity of the random expander.
+    let mut best = f64::INFINITY;
+    let mut worst: f64 = 0.0;
+    for seed in 1..=effort.pick(8u64, 3u64) {
+        let cfg = base_cfg.clone().with_seed(seed);
+        let t = run_mean_iteration(&platform, &cfg, wl.clone(), skip);
+        best = best.min(t);
+        worst = worst.max(t);
+    }
+    push(&mut exp, "expander best seed".into(), best);
+    push(&mut exp, "expander worst seed".into(), worst);
+    exp.note(format!(
+        "expander seed spread: {:.1}% (small spread supports the static-graph design, §7.3)",
+        100.0 * (worst / best - 1.0)
+    ));
+    exp.finish();
+}

@@ -1,0 +1,206 @@
+//! Regression gate: read the JSON results written by the figure binaries
+//! and verify that every reproduced claim still holds. Run after
+//! regenerating figures:
+//!
+//! ```console
+//! for b in fig05_policies fig06_micropp fig06_nbody fig07_local \
+//!          fig08_sweep fig09_lewi_drom fig10_slow_node fig11_convergence; do
+//!     cargo run --release -p tlb-bench --bin $b
+//! done
+//! cargo run --release -p tlb-bench --bin check_experiments
+//! ```
+//!
+//! Exits nonzero listing every violated expectation.
+
+use serde_json::Value;
+use std::path::PathBuf;
+
+struct Checker {
+    dir: PathBuf,
+    failures: Vec<String>,
+    checked: usize,
+}
+
+impl Checker {
+    fn load(&mut self, id: &str) -> Option<Value> {
+        let path = self.dir.join(format!("{id}.json"));
+        match std::fs::read_to_string(&path) {
+            Ok(s) => serde_json::from_str(&s).ok(),
+            Err(_) => {
+                self.failures.push(format!(
+                    "{id}: missing {} (regenerate figures first)",
+                    path.display()
+                ));
+                None
+            }
+        }
+    }
+
+    fn series<'v>(&mut self, v: &'v Value, label: &str) -> Option<&'v Vec<Value>> {
+        let found = v["series"]
+            .as_array()?
+            .iter()
+            .find(|s| s["label"] == label)?;
+        found["points"].as_array()
+    }
+
+    fn value_at(&mut self, v: &Value, label: &str, x: f64) -> Option<f64> {
+        let pts = self.series(v, label)?;
+        pts.iter()
+            .find(|p| (p["x"].as_f64().unwrap_or(f64::NAN) - x).abs() < 1e-9)
+            .and_then(|p| p["y"].as_f64())
+    }
+
+    fn expect(&mut self, ok: bool, what: impl Into<String>) {
+        self.checked += 1;
+        if !ok {
+            self.failures.push(what.into());
+        }
+    }
+}
+
+fn main() {
+    let mut c = Checker {
+        dir: tlb_bench::results_dir(),
+        failures: Vec::new(),
+        checked: 0,
+    };
+
+    // Fig. 6(b): headline reduction at 32 nodes.
+    if let Some(v) = c.load("fig06b") {
+        if let (Some(dlb), Some(d4)) = (
+            c.value_at(&v, "dlb", 32.0),
+            c.value_at(&v, "degree 4", 32.0),
+        ) {
+            let red = 100.0 * (1.0 - d4 / dlb);
+            c.expect(
+                (40.0..55.0).contains(&red),
+                format!(
+                    "fig06b: 32-node reduction vs DLB = {red:.1}% (paper 46-47%, accept 40-55)"
+                ),
+            );
+        }
+        // Baseline monotonically ≥ every offloading configuration.
+        for nodes in [8.0, 32.0] {
+            if let (Some(base), Some(d4)) = (
+                c.value_at(&v, "baseline", nodes),
+                c.value_at(&v, "degree 4", nodes),
+            ) {
+                c.expect(
+                    d4 < base,
+                    format!("fig06b: degree 4 beats baseline at {nodes} nodes"),
+                );
+            }
+        }
+    }
+
+    // Fig. 6(a): baseline == DLB with one apprank per node.
+    if let Some(v) = c.load("fig06a") {
+        for nodes in [8.0, 32.0] {
+            if let (Some(base), Some(dlb)) = (
+                c.value_at(&v, "baseline", nodes),
+                c.value_at(&v, "dlb", nodes),
+            ) {
+                c.expect(
+                    (base - dlb).abs() < 1e-6 * base,
+                    format!("fig06a: baseline == dlb at {nodes} nodes ({base} vs {dlb})"),
+                );
+            }
+        }
+    }
+
+    // Fig. 6(c): DLB then degree-3 improvements on the slow-node n-body.
+    if let Some(v) = c.load("fig06c") {
+        if let (Some(base), Some(dlb), Some(d3)) = (
+            c.value_at(&v, "baseline", 16.0),
+            c.value_at(&v, "dlb", 16.0),
+            c.value_at(&v, "degree 3", 16.0),
+        ) {
+            let dlb_gain = 100.0 * (1.0 - dlb / base);
+            let d3_gain = 100.0 * (dlb - d3) / base;
+            c.expect(
+                (8.0..30.0).contains(&dlb_gain),
+                format!("fig06c: DLB gain {dlb_gain:.1}% (paper 16%)"),
+            );
+            c.expect(
+                (10.0..40.0).contains(&d3_gain),
+                format!("fig06c: degree-3 further gain {d3_gain:.1}% (paper 20%)"),
+            );
+        }
+    }
+
+    // Fig. 8 on 8 nodes: degree 1 tracks the imbalance; degree 4 near
+    // perfect for imbalance ≤ 2.
+    if let Some(v) = c.load("fig08_8n") {
+        if let (Some(d1_1), Some(d1_3)) = (
+            c.value_at(&v, "degree 1", 1.0),
+            c.value_at(&v, "degree 1", 3.0),
+        ) {
+            let ratio = d1_3 / d1_1;
+            c.expect(
+                (2.8..3.2).contains(&ratio),
+                format!("fig08: degree-1 time at imb 3 = {ratio:.2}x imb 1 (expect ~3)"),
+            );
+        }
+        for imb in [1.0, 1.5, 2.0] {
+            if let (Some(d4), Some(perfect)) = (
+                c.value_at(&v, "degree 4", imb),
+                c.value_at(&v, "perfect", imb),
+            ) {
+                let gap = 100.0 * (d4 / perfect - 1.0);
+                c.expect(
+                    gap <= 10.0,
+                    format!("fig08: degree 4 gap {gap:.1}% at imbalance {imb} (paper <=10%)"),
+                );
+            }
+        }
+    }
+
+    // Fig. 11: LeWI-only plateaus above DROM configurations.
+    if let Some(v) = c.load("fig11_4n") {
+        let steady = |c: &mut Checker, label: &str| -> Option<f64> {
+            let pts = c.series(&v, label)?;
+            let n = pts.len();
+            let tail: Vec<f64> = pts[2 * n / 3..]
+                .iter()
+                .filter_map(|p| p["y"].as_f64())
+                .collect();
+            Some(tail.iter().sum::<f64>() / tail.len().max(1) as f64)
+        };
+        if let (Some(lewi), Some(glob)) =
+            (steady(&mut c, "lewi only"), steady(&mut c, "global+lewi"))
+        {
+            c.expect(
+                lewi > 1.15 && glob < 1.1,
+                format!("fig11: lewi-only steady {lewi:.2} (>1.15), global {glob:.2} (<1.1)"),
+            );
+        }
+    }
+
+    // Fig. 9 summary: relative times ordered base > lewi, base > drom >= both.
+    if let Some(v) = c.load("fig09_summary") {
+        if let Some(pts) = c.series(&v, "relative time") {
+            let ys: Vec<f64> = pts.iter().filter_map(|p| p["y"].as_f64()).collect();
+            if ys.len() == 4 {
+                c.expect(
+                    ys[1] < 0.95 && ys[2] < 0.85 && ys[3] <= ys[2] + 0.02,
+                    format!("fig09: relative times {ys:?} (expect ~1.0 / <0.95 / <0.85 / best)"),
+                );
+            }
+        }
+    }
+
+    println!(
+        "checked {} expectations, {} failed",
+        c.checked,
+        c.failures.len()
+    );
+    if c.failures.is_empty() {
+        println!("all reproduced claims hold");
+    } else {
+        for f in &c.failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,85 @@
+//! Extension experiment (paper §5.2 future work): dynamic work spreading.
+//!
+//! Usage: `ext_dynamic [--quick]`
+//!
+//! The paper proposes growing the expander graph at run time instead of
+//! fixing the offloading degree up front, and argues the benefit "would
+//! likely not be sufficient to compensate for the extra implementation
+//! complexity" (§7.3). We implemented it; this binary quantifies the
+//! trade-off on MicroPP: dynamic spawning from degree 1 versus static
+//! degrees, plus the helper count it actually provisions.
+
+use tlb_apps::micropp::{micropp_workload, MicroPpConfig};
+use tlb_bench::{Effort, Experiment, Point};
+use tlb_cluster::ClusterSim;
+use tlb_core::{BalanceConfig, DromPolicy, Platform};
+
+fn main() {
+    let effort = Effort::from_args();
+    let node_counts: &[usize] = effort.pick(&[4, 8, 16, 32][..], &[4, 8][..]);
+    let iterations = effort.pick(12, 6);
+    let skip = effort.pick(4, 2);
+
+    let mut exp = Experiment::new(
+        "ext_dynamic",
+        "dynamic work spreading vs static degrees (MicroPP, 2 appranks/node)",
+        "nodes",
+        "s/iteration",
+    );
+    let mut series: Vec<(String, Vec<Point>)> = vec![
+        ("static d2".into(), vec![]),
+        ("static d4".into(), vec![]),
+        ("dynamic ≤4".into(), vec![]),
+        ("helpers/apprank".into(), vec![]),
+        ("perfect".into(), vec![]),
+    ];
+    for &nodes in node_counts {
+        let appranks = nodes * 2;
+        let mut mcfg = MicroPpConfig::new(appranks);
+        mcfg.iterations = iterations;
+        let wl = micropp_workload(&mcfg);
+        let platform = Platform::mn4(nodes);
+        let perfect = wl.rank_work(0).iter().sum::<f64>() / platform.effective_capacity();
+
+        for (idx, cfg) in [
+            (0usize, BalanceConfig::offloading(2, DromPolicy::Global)),
+            (
+                1,
+                BalanceConfig::offloading(4.min(nodes), DromPolicy::Global),
+            ),
+            (2, BalanceConfig::dynamic_spreading(4.min(nodes))),
+        ] {
+            if cfg.degree > nodes {
+                continue;
+            }
+            let r = ClusterSim::run_opts(&platform, &cfg, wl.clone(), false).unwrap();
+            series[idx].1.push(Point {
+                x: nodes as f64,
+                y: r.mean_iteration_secs(skip),
+            });
+            if idx == 2 {
+                series[3].1.push(Point {
+                    x: nodes as f64,
+                    y: 1.0 + r.spawned_helpers as f64 / appranks as f64,
+                });
+                eprintln!(
+                    "nodes={nodes}: dynamic spawned {} helpers ({} appranks)",
+                    r.spawned_helpers, appranks
+                );
+            }
+        }
+        series[4].1.push(Point {
+            x: nodes as f64,
+            y: perfect,
+        });
+    }
+    for (label, points) in series {
+        exp.push_series(label, points);
+    }
+    exp.note(
+        "dynamic spawning starts at degree 1 and provisions helpers only where the solver \
+finds an apprank capacity-constrained; compare its steady-state time and its average \
+effective degree against the static columns",
+    );
+    exp.finish();
+}

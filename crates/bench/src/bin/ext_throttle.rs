@@ -1,0 +1,87 @@
+//! Extension experiment: reaction to a mid-run DVFS/thermal throttle —
+//! the system-level imbalance sources the paper's introduction motivates
+//! (turbo variation, thermal and power management) beyond its static
+//! slow-node scenario.
+//!
+//! Usage: `ext_throttle [--quick]`
+//!
+//! A perfectly balanced synthetic workload runs on 8 nodes; one third of
+//! the way in, one node throttles to half speed. Without offloading the
+//! throttled node drags every iteration; with degree-4 offloading the
+//! global policy re-divides ownership within one solver period.
+
+use tlb_apps::synthetic::{synthetic_workload, SyntheticConfig};
+use tlb_bench::{Effort, Experiment, Point};
+use tlb_cluster::ClusterSim;
+use tlb_core::{BalanceConfig, DromPolicy, Platform};
+use tlb_des::SimTime;
+
+fn main() {
+    let effort = Effort::from_args();
+    let nodes = 8;
+    let iterations = effort.pick(12, 6);
+    let mut scfg = SyntheticConfig::new(nodes, 1.0); // balanced application
+    scfg.iterations = iterations;
+
+    let calm = Platform::mn4(nodes);
+    let wl = synthetic_workload(&scfg, &calm);
+    let per_iter = wl.rank_work(0).iter().sum::<f64>();
+    // Throttle node 0 to half speed after a third of the nominal runtime.
+    let nominal_iter = per_iter / calm.effective_capacity();
+    let throttle_at = SimTime::from_secs_f64(nominal_iter * iterations as f64 / 3.0);
+    let platform = Platform::mn4(nodes).with_speed_event(throttle_at, 0, 0.5);
+
+    let mut exp = Experiment::new(
+        "ext_throttle",
+        "mid-run thermal throttle (node 0 to half speed), balanced synthetic workload",
+        "iteration",
+        "s/iteration",
+    );
+    for (name, cfg) in [
+        ("baseline", BalanceConfig::baseline()),
+        ("dlb", BalanceConfig::dlb_only()),
+        (
+            "degree 4 global",
+            BalanceConfig::offloading(4, DromPolicy::Global),
+        ),
+    ] {
+        let r = ClusterSim::run_opts(&platform, &cfg, wl.clone(), false).unwrap();
+        let points: Vec<Point> = r
+            .iteration_times
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Point {
+                x: i as f64,
+                y: t.as_secs_f64(),
+            })
+            .collect();
+        eprintln!(
+            "{name}: makespan {:.2}s, last iteration {:.3}s",
+            r.makespan.as_secs_f64(),
+            points.last().map_or(0.0, |p| p.y)
+        );
+        exp.push_series(name, points);
+    }
+    // Reference lines.
+    exp.push_series(
+        "perfect pre-throttle",
+        vec![Point {
+            x: 0.0,
+            y: nominal_iter,
+        }],
+    );
+    let capacity_after = calm.effective_capacity() - 0.5 * calm.cores_per_node as f64;
+    exp.push_series(
+        "perfect post-throttle",
+        vec![Point {
+            x: (iterations - 1) as f64,
+            y: per_iter / capacity_after,
+        }],
+    );
+    exp.note(
+        "after the throttle, degree-1 configurations settle at ~2x the pre-throttle iteration \
+time (the slow node bounds every iteration); degree-4 converges to the post-throttle perfect \
+line within one 2 s solver period",
+    );
+    exp.finish();
+}

@@ -1,0 +1,100 @@
+//! Fig. 6(c): n-body (Barnes–Hut + ORB) on Nord3 with one slow node,
+//! two appranks per node.
+//!
+//! Usage: `fig06_nbody [--quick]`
+//!
+//! One node runs at 1.8 GHz against 3.0 GHz peers (speed 0.6). ORB
+//! equalises body counts, so the slow node lags; single-node DLB recovers
+//! the within-node imbalance (~16% in the paper) and degree-3 offloading
+//! a further ~20%.
+
+use tlb_apps::nbody::{NBodyConfig, NBodyWorkload};
+use tlb_bench::{run_mean_iteration, Effort, Experiment, Point};
+use tlb_core::{BalanceConfig, DromPolicy, Platform};
+
+fn main() {
+    let effort = Effort::from_args();
+    let node_counts: &[usize] = effort.pick(&[2, 4, 8, 16][..], &[2, 4][..]);
+    let iterations = effort.pick(8, 4);
+    let skip = effort.pick(2, 1);
+    let bodies_per_rank = effort.pick(40_000, 10_000);
+
+    let mut exp = Experiment::new(
+        "fig06c",
+        "n-body on Nord3 with one slow node (1.8 vs 3.0 GHz), 2 appranks/node",
+        "nodes",
+        "s/iteration",
+    );
+
+    let mut series: Vec<(String, Vec<Point>)> = vec![
+        ("baseline".into(), vec![]),
+        ("dlb".into(), vec![]),
+        ("degree 2".into(), vec![]),
+        ("degree 3".into(), vec![]),
+        ("perfect".into(), vec![]),
+    ];
+
+    for &nodes in node_counts {
+        let ranks = nodes * 2;
+        let mk = |iters: usize| {
+            let mut cfg = NBodyConfig::new(bodies_per_rank * ranks, ranks);
+            cfg.force_cost = 2e-6;
+            cfg.iterations = iters;
+            NBodyWorkload::new(cfg)
+        };
+        let platform = Platform::nord3(nodes, &[0]);
+        // Perfect bound from the first iteration's generated work.
+        let mut probe = mk(1);
+        let total: f64 = (0..ranks)
+            .map(|r| {
+                tlb_cluster::Workload::tasks(&mut probe, r, 0)
+                    .iter()
+                    .map(|t| t.duration)
+                    .sum::<f64>()
+            })
+            .sum();
+        let perfect = total / platform.effective_capacity();
+
+        let configs: Vec<(usize, BalanceConfig)> = vec![
+            (0, BalanceConfig::baseline()),
+            (1, BalanceConfig::dlb_only()),
+            (2, BalanceConfig::offloading(2, DromPolicy::Global)),
+            (3, BalanceConfig::offloading(3, DromPolicy::Global)),
+        ];
+        for (idx, cfg) in configs {
+            if cfg.degree > nodes {
+                continue;
+            }
+            let t = run_mean_iteration(&platform, &cfg, mk(iterations), skip);
+            series[idx].1.push(Point {
+                x: nodes as f64,
+                y: t,
+            });
+            eprintln!("nodes={nodes} {}: {t:.4}", series[idx].0);
+        }
+        series[4].1.push(Point {
+            x: nodes as f64,
+            y: perfect,
+        });
+    }
+
+    for (label, points) in series {
+        exp.push_series(label, points);
+    }
+    let at16 = |i: usize| {
+        exp.series[i]
+            .points
+            .iter()
+            .find(|p| p.x == *node_counts.last().unwrap() as f64)
+            .map(|p| p.y)
+    };
+    if let (Some(base), Some(dlb), Some(d3)) = (at16(0), at16(1), at16(3)) {
+        exp.note(format!(
+            "{} nodes: DLB improves {:.1}% over baseline (paper: 16%); degree 3 a further {:.1}% (paper: 20%)",
+            node_counts.last().unwrap(),
+            100.0 * (1.0 - dlb / base),
+            100.0 * (dlb - d3) / base,
+        ));
+    }
+    exp.finish();
+}

@@ -1,0 +1,125 @@
+//! Fig. 7: MicroPP and n-body with the **local** allocation policy.
+//!
+//! Usage: `fig07_local [--quick]`
+//!
+//! The local convergence policy balances per node only; the paper finds
+//! it ~10% worse than the global policy at 32 nodes and more sensitive
+//! to the offloading degree.
+
+use tlb_apps::micropp::{micropp_workload, MicroPpConfig};
+use tlb_apps::nbody::{NBodyConfig, NBodyWorkload};
+use tlb_bench::{run_mean_iteration, Effort, Experiment, Point};
+use tlb_core::{BalanceConfig, DromPolicy, Platform};
+
+fn main() {
+    let effort = Effort::from_args();
+
+    // (a) MicroPP, 2 appranks/node, local policy.
+    let node_counts: &[usize] = effort.pick(&[2, 4, 8, 16, 32, 64][..], &[2, 4, 8][..]);
+    let iterations = effort.pick(10, 5);
+    let skip = effort.pick(3, 1);
+
+    let mut exp = Experiment::new(
+        "fig07",
+        "MicroPP weak scaling, 2 appranks/node, LOCAL policy (MareNostrum 4)",
+        "nodes",
+        "s/iteration",
+    );
+    let mut series: Vec<(String, Vec<Point>)> = vec![
+        ("dlb".into(), vec![]),
+        ("degree 2".into(), vec![]),
+        ("degree 4".into(), vec![]),
+        ("degree 8".into(), vec![]),
+        ("global d4".into(), vec![]),
+        ("perfect".into(), vec![]),
+    ];
+    for &nodes in node_counts {
+        let appranks = nodes * 2;
+        let mut mcfg = MicroPpConfig::new(appranks);
+        mcfg.iterations = iterations;
+        let wl = micropp_workload(&mcfg);
+        let platform = Platform::mn4(nodes);
+        let perfect = wl.rank_work(0).iter().sum::<f64>() / platform.effective_capacity();
+        let configs: Vec<(usize, BalanceConfig)> = vec![
+            (0, BalanceConfig::dlb_only()),
+            (1, BalanceConfig::offloading(2, DromPolicy::Local)),
+            (2, BalanceConfig::offloading(4, DromPolicy::Local)),
+            (3, BalanceConfig::offloading(8, DromPolicy::Local)),
+            (4, BalanceConfig::offloading(4, DromPolicy::Global)),
+        ];
+        for (idx, cfg) in configs {
+            if cfg.degree > nodes {
+                continue;
+            }
+            let t = run_mean_iteration(&platform, &cfg, wl.clone(), skip);
+            series[idx].1.push(Point {
+                x: nodes as f64,
+                y: t,
+            });
+            eprintln!("nodes={nodes} {}: {t:.4}", series[idx].0);
+        }
+        series[5].1.push(Point {
+            x: nodes as f64,
+            y: perfect,
+        });
+    }
+    for (label, points) in series {
+        exp.push_series(label, points);
+    }
+    if let (Some(dlb), Some(l4), Some(g4)) = (
+        exp.series[0].points.iter().find(|p| p.x == 32.0),
+        exp.series[2].points.iter().find(|p| p.x == 32.0),
+        exp.series[4].points.iter().find(|p| p.x == 32.0),
+    ) {
+        exp.note(format!(
+            "32 nodes: local d4 reduces {:.1}% vs DLB (paper: 38%); global d4 {:.1}% (paper: 47%)",
+            100.0 * (1.0 - l4.y / dlb.y),
+            100.0 * (1.0 - g4.y / dlb.y)
+        ));
+    }
+    exp.finish();
+
+    // (c) n-body with one slow node under the local policy.
+    let mut exp_n = Experiment::new(
+        "fig07c",
+        "n-body on Nord3 with one slow node, LOCAL policy",
+        "nodes",
+        "s/iteration",
+    );
+    let nb_nodes: &[usize] = effort.pick(&[2, 4, 8, 16][..], &[2, 4][..]);
+    let bodies_per_rank = effort.pick(40_000, 10_000);
+    let mut nb_series: Vec<(String, Vec<Point>)> = vec![
+        ("dlb".into(), vec![]),
+        ("local d3".into(), vec![]),
+        ("global d3".into(), vec![]),
+    ];
+    for &nodes in nb_nodes {
+        let ranks = nodes * 2;
+        let mk = || {
+            let mut cfg = NBodyConfig::new(bodies_per_rank * ranks, ranks);
+            cfg.force_cost = 2e-6;
+            cfg.iterations = effort.pick(8, 4);
+            NBodyWorkload::new(cfg)
+        };
+        let platform = Platform::nord3(nodes, &[0]);
+        let configs: Vec<(usize, BalanceConfig)> = vec![
+            (0, BalanceConfig::dlb_only()),
+            (1, BalanceConfig::offloading(3, DromPolicy::Local)),
+            (2, BalanceConfig::offloading(3, DromPolicy::Global)),
+        ];
+        for (idx, cfg) in configs {
+            if cfg.degree > nodes {
+                continue;
+            }
+            let t = run_mean_iteration(&platform, &cfg, mk(), skip);
+            nb_series[idx].1.push(Point {
+                x: nodes as f64,
+                y: t,
+            });
+        }
+    }
+    for (label, points) in nb_series {
+        exp_n.push_series(label, points);
+    }
+    exp_n.finish();
+}

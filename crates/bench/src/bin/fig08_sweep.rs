@@ -1,0 +1,86 @@
+//! Fig. 8: synthetic benchmark — execution time per iteration as a
+//! function of the application imbalance (Eq. 2), one apprank per node.
+//!
+//! Usage: `fig08_sweep [--quick]`
+//!
+//! Sub-plots (a)/(b)/(c) are 4, 8 and 64 nodes. The paper's findings:
+//! degree 1 tracks the imbalance linearly; a degree ≥ the imbalance is
+//! sufficient on few nodes; degree 4 is consistently good up to 64 nodes
+//! (within 10% of perfect for imbalance ≤ 2.0 on 8 nodes, within 20% on
+//! 64 nodes).
+
+use tlb_apps::synthetic::{synthetic_workload, SyntheticConfig};
+use tlb_bench::{run_mean_iteration, Effort, Experiment, Point};
+use tlb_core::{BalanceConfig, DromPolicy, Platform};
+
+fn main() {
+    let effort = Effort::from_args();
+    let node_counts: &[usize] = effort.pick(&[4, 8, 64][..], &[4, 8][..]);
+    let imbalances: Vec<f64> =
+        effort.pick(vec![1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0], vec![1.0, 2.0, 3.0]);
+    let degrees: &[usize] = &[1, 2, 3, 4, 8];
+    let iterations = effort.pick(5, 3);
+    let skip = effort.pick(2, 1);
+
+    for &nodes in node_counts {
+        let mut exp = Experiment::new(
+            &format!("fig08_{nodes}n"),
+            &format!("synthetic sweep, {nodes} nodes, 1 apprank/node, LeWI+DROM global"),
+            "imbalance",
+            "s/iteration",
+        );
+        let mut series: Vec<(String, Vec<Point>)> = degrees
+            .iter()
+            .map(|d| (format!("degree {d}"), vec![]))
+            .collect();
+        series.push(("perfect".into(), vec![]));
+
+        let platform = Platform::mn4(nodes);
+        for &imb in &imbalances {
+            let mut cfg = SyntheticConfig::new(nodes, imb.min(nodes as f64));
+            cfg.iterations = iterations;
+            let wl = synthetic_workload(&cfg, &platform);
+            let perfect = wl.rank_work(0).iter().sum::<f64>() / platform.effective_capacity();
+            for (i, &deg) in degrees.iter().enumerate() {
+                if deg > nodes {
+                    continue;
+                }
+                let bc = if deg == 1 {
+                    BalanceConfig::dlb_only()
+                } else {
+                    BalanceConfig::offloading(deg, DromPolicy::Global)
+                };
+                let t = run_mean_iteration(&platform, &bc, wl.clone(), skip);
+                series[i].1.push(Point { x: imb, y: t });
+                eprintln!("{nodes}n imb={imb} degree={deg}: {t:.4}");
+            }
+            series
+                .last_mut()
+                .unwrap()
+                .1
+                .push(Point { x: imb, y: perfect });
+        }
+        for (label, points) in series {
+            exp.push_series(label, points);
+        }
+        // Quantify the paper's claims at this node count.
+        let deg4 = exp.series.iter().find(|s| s.label == "degree 4").unwrap();
+        let perfect = exp.series.iter().find(|s| s.label == "perfect").unwrap();
+        let worst_gap = deg4
+            .points
+            .iter()
+            .filter(|p| p.x <= 2.0)
+            .filter_map(|p| {
+                perfect
+                    .points
+                    .iter()
+                    .find(|q| q.x == p.x)
+                    .map(|q| 100.0 * (p.y / q.y - 1.0))
+            })
+            .fold(0.0f64, f64::max);
+        exp.note(format!(
+            "degree 4 within {worst_gap:.1}% of perfect for imbalance <= 2.0 (paper: 10% on 8 nodes, 20% on 64)"
+        ));
+        exp.finish();
+    }
+}

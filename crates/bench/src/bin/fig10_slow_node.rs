@@ -1,0 +1,91 @@
+//! Fig. 10: synthetic benchmark with one slow node (3× slower), sweeping
+//! the application imbalance in both directions.
+//!
+//! Usage: `fig10_slow_node [--quick]`
+//!
+//! The x-axis is signed: positive imbalance puts the *most* work on the
+//! slow node's rank, negative the *least*. The paper's finding: with an
+//! offloading degree a little above the imbalance, execution time is
+//! nearly flat across the whole range, close to the optimal line.
+
+use tlb_apps::synthetic::{synthetic_workload, SyntheticConfig};
+use tlb_bench::{run_mean_iteration, Effort, Experiment, Point};
+use tlb_core::{BalanceConfig, DromPolicy, Platform};
+
+fn main() {
+    let effort = Effort::from_args();
+    let iterations = effort.pick(5, 3);
+    let skip = effort.pick(2, 1);
+
+    for &nodes in effort.pick(&[2usize, 8][..], &[2][..]) {
+        let max_imb = (nodes as f64).min(4.0);
+        let step = 0.5;
+        let mut imbs = vec![];
+        let mut v = 1.0;
+        while v <= max_imb + 1e-9 {
+            imbs.push(v);
+            v += step;
+        }
+        let degrees: &[usize] = if nodes == 2 {
+            &[1, 2]
+        } else {
+            &[1, 2, 3, 4, 8]
+        };
+
+        let mut exp = Experiment::new(
+            &format!("fig10_{nodes}n"),
+            &format!("synthetic, {nodes} nodes, node 0 is 3x slower; signed imbalance sweep"),
+            "imbalance",
+            "s/iteration",
+        );
+        let platform = Platform::mn4(nodes).with_slowdown(0, 3.0);
+        let mut series: Vec<(String, Vec<Point>)> = degrees
+            .iter()
+            .map(|d| (format!("degree {d}"), vec![]))
+            .collect();
+        series.push(("optimal".into(), vec![]));
+
+        for &imb in &imbs {
+            // Two sides: +imb = slow node's rank has the max load;
+            // -imb = slow node's rank has the least load. imb == 1.0 is
+            // the same point from both sides; emit it once at x = +1.
+            let sides: &[f64] = if imb == 1.0 { &[1.0] } else { &[imb, -imb] };
+            for &signed in sides {
+                let mut cfg = SyntheticConfig::new(nodes, imb);
+                cfg.iterations = iterations;
+                if signed >= 0.0 {
+                    cfg.max_rank = 0; // rank on the slow node
+                } else {
+                    cfg.max_rank = 1;
+                    cfg.min_rank = Some(0);
+                }
+                let wl = synthetic_workload(&cfg, &platform);
+                let optimal = wl.rank_work(0).iter().sum::<f64>() / platform.effective_capacity();
+                for (i, &deg) in degrees.iter().enumerate() {
+                    if deg > nodes {
+                        continue;
+                    }
+                    let bc = if deg == 1 {
+                        BalanceConfig::dlb_only()
+                    } else {
+                        BalanceConfig::offloading(deg, DromPolicy::Global)
+                    };
+                    let t = run_mean_iteration(&platform, &bc, wl.clone(), skip);
+                    series[i].1.push(Point { x: signed, y: t });
+                    eprintln!("{nodes}n imb={signed} degree={deg}: {t:.4}");
+                }
+                series.last_mut().unwrap().1.push(Point {
+                    x: signed,
+                    y: optimal,
+                });
+            }
+        }
+        for (label, points) in series {
+            let mut points = points;
+            points.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap());
+            exp.push_series(label, points);
+        }
+        exp.note("positive x: slow node has the most work; negative: the least");
+        exp.finish();
+    }
+}

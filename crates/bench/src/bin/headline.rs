@@ -1,0 +1,135 @@
+//! The paper's headline claims (§1 abstract / §8 conclusions), verified
+//! numerically:
+//!
+//! 1. ~46% reduction in time-to-solution for MicroPP on 32 nodes vs DLB.
+//! 2. n-body on 16 nodes with one slow node: DLB −16% vs baseline, and a
+//!    further −20% from offloading (degree 3).
+//! 3. Synthetic on 8 nodes: within 10% of perfect balance for imbalance
+//!    up to 2.0 (degree 4).
+//!
+//! Usage: `headline [--quick]`
+
+use tlb_apps::micropp::{micropp_workload, MicroPpConfig};
+use tlb_apps::nbody::{NBodyConfig, NBodyWorkload};
+use tlb_apps::synthetic::{synthetic_workload, SyntheticConfig};
+use tlb_bench::{run_mean_iteration, Effort, Experiment, Point};
+use tlb_core::{BalanceConfig, DromPolicy, Platform};
+
+fn main() {
+    let effort = Effort::from_args();
+    let mut exp = Experiment::new(
+        "headline",
+        "headline claims: measured vs paper",
+        "claim",
+        "value",
+    );
+    let mut rows: Vec<(String, f64, f64)> = Vec::new(); // (label, measured, paper)
+
+    // Claim 1: MicroPP, 32 nodes, 2 appranks/node.
+    {
+        let nodes = effort.pick(32, 8);
+        let mut mcfg = MicroPpConfig::new(nodes * 2);
+        mcfg.iterations = effort.pick(10, 5);
+        let wl = micropp_workload(&mcfg);
+        let p = Platform::mn4(nodes);
+        let skip = effort.pick(3, 1);
+        let dlb = run_mean_iteration(&p, &BalanceConfig::dlb_only(), wl.clone(), skip);
+        let d4 = run_mean_iteration(
+            &p,
+            &BalanceConfig::offloading(4, DromPolicy::Global),
+            wl.clone(),
+            skip,
+        );
+        let perfect = wl.rank_work(0).iter().sum::<f64>() / p.effective_capacity();
+        rows.push((
+            format!("micropp {nodes}n reduction vs DLB (%)"),
+            100.0 * (1.0 - d4 / dlb),
+            46.0,
+        ));
+        rows.push((
+            format!("micropp {nodes}n above perfect (%)"),
+            100.0 * (d4 / perfect - 1.0),
+            7.0,
+        ));
+    }
+
+    // Claim 2: n-body, 16 nodes, one slow node.
+    {
+        let nodes = effort.pick(16, 4);
+        let ranks = nodes * 2;
+        let mk = || {
+            let mut cfg = NBodyConfig::new(effort.pick(40_000, 10_000) * ranks, ranks);
+            cfg.force_cost = 2e-6;
+            cfg.iterations = effort.pick(8, 4);
+            NBodyWorkload::new(cfg)
+        };
+        let p = Platform::nord3(nodes, &[0]);
+        let skip = effort.pick(2, 1);
+        let base = run_mean_iteration(&p, &BalanceConfig::baseline(), mk(), skip);
+        let dlb = run_mean_iteration(&p, &BalanceConfig::dlb_only(), mk(), skip);
+        let d3 = run_mean_iteration(
+            &p,
+            &BalanceConfig::offloading(3, DromPolicy::Global),
+            mk(),
+            skip,
+        );
+        rows.push((
+            format!("nbody {nodes}n DLB vs baseline (%)"),
+            100.0 * (1.0 - dlb / base),
+            16.0,
+        ));
+        rows.push((
+            format!("nbody {nodes}n further reduction, degree 3 (%)"),
+            100.0 * (dlb - d3) / base,
+            20.0,
+        ));
+    }
+
+    // Claim 3: synthetic, 8 nodes, imbalance ≤ 2.0, degree 4.
+    {
+        let p = Platform::mn4(8);
+        let mut worst = 0.0f64;
+        for &imb in effort.pick(&[1.0, 1.5, 2.0][..], &[2.0][..]) {
+            let mut cfg = SyntheticConfig::new(8, imb);
+            cfg.iterations = effort.pick(5, 3);
+            let wl = synthetic_workload(&cfg, &p);
+            let perfect = wl.rank_work(0).iter().sum::<f64>() / p.effective_capacity();
+            let t = run_mean_iteration(
+                &p,
+                &BalanceConfig::offloading(4, DromPolicy::Global),
+                wl,
+                effort.pick(2, 1),
+            );
+            worst = worst.max(100.0 * (t / perfect - 1.0));
+        }
+        rows.push((
+            "synthetic 8n worst gap to perfect, imb<=2 (%)".into(),
+            worst,
+            10.0,
+        ));
+    }
+
+    let measured: Vec<Point> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| Point {
+            x: i as f64,
+            y: r.1,
+        })
+        .collect();
+    let paper: Vec<Point> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| Point {
+            x: i as f64,
+            y: r.2,
+        })
+        .collect();
+    for (i, (label, m, p)) in rows.iter().enumerate() {
+        println!("[{i}] {label}: measured {m:.1} / paper {p:.1}");
+        exp.note(format!("[{i}] {label}: measured {m:.1}, paper {p:.1}"));
+    }
+    exp.push_series("measured", measured);
+    exp.push_series("paper", paper);
+    exp.finish();
+}

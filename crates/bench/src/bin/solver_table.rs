@@ -1,0 +1,76 @@
+//! §5.4.2 solver cost: the paper measures ≈57 ms per global solve at 32
+//! nodes (CVXOPT) with roughly quadratic growth in the graph size. This
+//! binary measures our simplex and parametric max-flow solvers on the
+//! same allocation problems.
+//!
+//! Usage: `solver_table [--quick]`
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use tlb_bench::{Effort, Experiment, Point};
+use tlb_core::{GlobalPolicy, GlobalSolverKind, Platform};
+use tlb_expander::{BipartiteGraph, ExpanderConfig};
+
+fn main() {
+    let effort = Effort::from_args();
+    let node_counts: &[usize] = effort.pick(&[4, 8, 16, 32, 64][..], &[4, 8, 16][..]);
+    let reps = effort.pick(20, 5);
+
+    let mut exp = Experiment::new(
+        "solver_table",
+        "global allocation solve time (2 appranks/node, degree 4, 48-core nodes)",
+        "nodes",
+        "ms/solve",
+    );
+    let mut simplex_pts = Vec::new();
+    let mut flow_pts = Vec::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+
+    for &nodes in node_counts {
+        let appranks = nodes * 2;
+        let degree = 4.min(nodes);
+        let g =
+            BipartiteGraph::generate(&ExpanderConfig::new(appranks, nodes, degree).with_seed(1))
+                .expect("graph");
+        let platform = Platform::mn4(nodes);
+        let mut policy = GlobalPolicy::new(&g, &platform);
+        let work: Vec<f64> = (0..appranks).map(|_| rng.gen_range(1.0..50.0)).collect();
+
+        let time_of = |policy: &mut GlobalPolicy, kind: GlobalSolverKind| -> f64 {
+            let start = std::time::Instant::now();
+            for _ in 0..reps {
+                let sol = policy.allocate(&work, kind).expect("solve");
+                std::hint::black_box(sol.objective);
+            }
+            start.elapsed().as_secs_f64() * 1e3 / reps as f64
+        };
+        let simplex_ms = time_of(&mut policy, GlobalSolverKind::Simplex);
+        let flow_ms = time_of(&mut policy, GlobalSolverKind::Flow);
+        println!("{nodes:>3} nodes: simplex {simplex_ms:8.3} ms, flow {flow_ms:8.3} ms");
+        simplex_pts.push(Point {
+            x: nodes as f64,
+            y: simplex_ms,
+        });
+        flow_pts.push(Point {
+            x: nodes as f64,
+            y: flow_ms,
+        });
+    }
+    exp.push_series("simplex", simplex_pts.clone());
+    exp.push_series("maxflow", flow_pts);
+    if let Some(p32) = simplex_pts.iter().find(|p| p.x == 32.0) {
+        exp.note(format!(
+            "simplex at 32 nodes: {:.1} ms (paper, CVXOPT: ~57 ms)",
+            p32.y
+        ));
+    }
+    if simplex_pts.len() >= 2 {
+        let first = &simplex_pts[0];
+        let last = simplex_pts.last().unwrap();
+        let growth = (last.y / first.y).log2() / (last.x / first.x).log2();
+        exp.note(format!(
+            "empirical growth exponent: {growth:.2} (paper: ~2, quadratic)"
+        ));
+    }
+    exp.finish();
+}

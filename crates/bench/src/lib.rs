@@ -1,0 +1,314 @@
+//! Experiment harness shared by the per-figure binaries.
+//!
+//! Every binary regenerates one table or figure of the paper:
+//!
+//! | binary | paper artefact |
+//! |---|---|
+//! | `fig05_policies`   | Fig. 5: local vs global DROM policy traces |
+//! | `fig06_micropp`    | Fig. 6(a)/(b): MicroPP weak scaling, global policy |
+//! | `fig06_nbody`      | Fig. 6(c): n-body with one slow node |
+//! | `fig07_local`      | Fig. 7: the same applications, local policy |
+//! | `fig08_sweep`      | Fig. 8: synthetic imbalance sweep |
+//! | `fig09_lewi_drom`  | Fig. 9: LeWI/DROM trace decomposition |
+//! | `fig10_slow_node`  | Fig. 10: synthetic with an emulated slow node |
+//! | `fig11_convergence`| Fig. 11: node-imbalance convergence series |
+//! | `headline`         | §1/§8 headline claims, checked numerically |
+//! | `solver_table`     | §5.4.2 solver-cost scaling (57 ms @ 32 nodes) |
+//! | `ablations`        | design-choice ablations from DESIGN.md |
+//!
+//! Results print as aligned tables and are also written as JSON under
+//! `results/` so EXPERIMENTS.md can cite exact numbers.
+
+use serde::Serialize;
+use std::path::PathBuf;
+use tlb_cluster::{ClusterSim, SimReport, Workload};
+use tlb_core::{BalanceConfig, Platform};
+
+/// Scale factor for quick runs (`--quick` divides iteration counts and
+/// sweep resolution so a figure regenerates in seconds).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Effort {
+    /// Full paper-scale regeneration.
+    Full,
+    /// Reduced iterations/resolution for smoke runs and CI.
+    Quick,
+}
+
+impl Effort {
+    /// Parse from process args: `--quick` selects [`Effort::Quick`].
+    pub fn from_args() -> Effort {
+        if std::env::args().any(|a| a == "--quick") {
+            Effort::Quick
+        } else {
+            Effort::Full
+        }
+    }
+
+    /// Pick `full` or `quick` depending on the effort.
+    pub fn pick<T>(self, full: T, quick: T) -> T {
+        match self {
+            Effort::Full => full,
+            Effort::Quick => quick,
+        }
+    }
+}
+
+/// One measured point of an experiment series.
+#[derive(Clone, Debug, Serialize)]
+pub struct Point {
+    /// x-coordinate (nodes, imbalance, time, …).
+    pub x: f64,
+    /// Measured value (usually seconds).
+    pub y: f64,
+}
+
+/// One named series of an experiment (a line in the paper's figure).
+#[derive(Clone, Debug, Serialize)]
+pub struct Series {
+    /// Legend label ("baseline", "degree 4", "perfect", …).
+    pub label: String,
+    /// The measured points.
+    pub points: Vec<Point>,
+}
+
+/// A complete regenerated figure/table.
+#[derive(Clone, Debug, Serialize)]
+pub struct Experiment {
+    /// Experiment id ("fig06a", …).
+    pub id: String,
+    /// Human description.
+    pub title: String,
+    /// Axis label for x.
+    pub x_label: String,
+    /// Axis label for y.
+    pub y_label: String,
+    /// All series.
+    pub series: Vec<Series>,
+    /// Free-form notes (observations, paper comparison).
+    pub notes: Vec<String>,
+}
+
+impl Experiment {
+    /// An empty experiment.
+    pub fn new(id: &str, title: &str, x_label: &str, y_label: &str) -> Self {
+        Experiment {
+            id: id.to_string(),
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a series.
+    pub fn push_series(&mut self, label: impl Into<String>, points: Vec<Point>) {
+        self.series.push(Series {
+            label: label.into(),
+            points,
+        });
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Render an aligned text table: one row per x, one column per series.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write;
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.x))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}", self.id, self.title);
+        let _ = write!(out, "{:>12}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, " {:>14}", s.label);
+        }
+        let _ = writeln!(out);
+        for &x in &xs {
+            let _ = write!(out, "{x:>12.3}");
+            for s in &self.series {
+                match s.points.iter().find(|p| (p.x - x).abs() < 1e-12) {
+                    Some(p) => {
+                        let _ = write!(out, " {:>14.4}", p.y);
+                    }
+                    None => {
+                        let _ = write!(out, " {:>14}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "note: {n}");
+        }
+        out
+    }
+
+    /// Write the experiment JSON under `results/<id>.json` (workspace
+    /// root if run via cargo, else the current directory).
+    pub fn save(&self) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(self).expect("serialise"),
+        )?;
+        Ok(path)
+    }
+
+    /// Print the table and save JSON (the standard binary epilogue).
+    pub fn finish(&self) {
+        println!("{}", self.render_table());
+        match self.save() {
+            Ok(path) => println!("saved: {}", path.display()),
+            Err(e) => eprintln!("warning: could not save results: {e}"),
+        }
+    }
+}
+
+/// Directory for JSON results.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(|d| PathBuf::from(d).join("../../results"))
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Run a simulation without tracing and return mean steady-state
+/// iteration seconds (skipping `skip` warm-up iterations).
+pub fn run_mean_iteration<W: Workload>(
+    platform: &Platform,
+    config: &BalanceConfig,
+    workload: W,
+    skip: usize,
+) -> f64 {
+    let report = ClusterSim::run_opts(platform, config, workload, false)
+        .expect("experiment configuration must be valid");
+    report.mean_iteration_secs(skip)
+}
+
+/// Run with tracing enabled (for the trace figures).
+pub fn run_traced<W: Workload>(
+    platform: &Platform,
+    config: &BalanceConfig,
+    workload: W,
+) -> SimReport {
+    ClusterSim::run(platform, config, workload).expect("experiment configuration must be valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut e = Experiment::new("t1", "demo", "nodes", "seconds");
+        e.push_series(
+            "a",
+            vec![Point { x: 2.0, y: 1.5 }, Point { x: 4.0, y: 1.0 }],
+        );
+        e.push_series("b", vec![Point { x: 2.0, y: 2.5 }]);
+        e.note("hello");
+        let t = e.render_table();
+        assert!(t.contains("# t1"));
+        assert!(t.contains("note: hello"));
+        // Missing point renders as '-'.
+        assert!(t.lines().any(|l| l.contains('-') && l.contains("4.000")));
+    }
+
+    #[test]
+    fn effort_pick() {
+        assert_eq!(Effort::Full.pick(10, 2), 10);
+        assert_eq!(Effort::Quick.pick(10, 2), 2);
+    }
+}
+
+/// Render a piecewise-constant timeline as an ASCII bar: one character
+/// per time bucket, eight intensity levels from ' ' to '█' scaled to
+/// `max_value`. The visual counterpart of one Paraver row in the paper's
+/// Figs. 5 and 9.
+pub fn render_timeline(
+    timeline: &tlb_des::Timeline,
+    end: tlb_des::SimTime,
+    width: usize,
+    max_value: f64,
+) -> String {
+    const LEVELS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    assert!(width >= 2, "trace bar needs at least two columns");
+    let mut out = String::with_capacity(width * 3);
+    for i in 0..width {
+        let from = tlb_des::SimTime::from_nanos(end.as_nanos() * i as u64 / width as u64);
+        let to = tlb_des::SimTime::from_nanos(end.as_nanos() * (i as u64 + 1) / width as u64);
+        let mean = if to > from {
+            timeline.mean(from, to)
+        } else {
+            0.0
+        };
+        let level = if max_value <= 0.0 {
+            0
+        } else {
+            ((mean / max_value * 8.0).round() as usize).min(8)
+        };
+        out.push(LEVELS[level]);
+    }
+    out
+}
+
+/// Render every worker's busy-core timeline of a trace as labelled ASCII
+/// rows, grouped by node — a terminal rendition of the paper's trace
+/// figures.
+pub fn render_trace(trace: &tlb_cluster::Trace, end: tlb_des::SimTime, width: usize) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let max = trace
+        .busy
+        .iter()
+        .flatten()
+        .flat_map(|tl| tl.samples().iter().map(|s| s.value))
+        .fold(1.0f64, f64::max);
+    for (node, workers) in trace.busy.iter().enumerate() {
+        let _ = writeln!(out, "node {node}:");
+        for (proc, tl) in workers.iter().enumerate() {
+            let apprank = trace.worker_apprank[node][proc];
+            let _ = writeln!(
+                out,
+                "  a{apprank:<3} |{}|",
+                render_timeline(tl, end, width, max)
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod render_tests {
+    use super::*;
+    use tlb_des::{SimTime, Timeline};
+
+    #[test]
+    fn timeline_bar_scales_levels() {
+        let mut tl = Timeline::new();
+        tl.record(SimTime::ZERO, 0.0);
+        tl.record(SimTime::from_secs(1), 4.0);
+        let bar = render_timeline(&tl, SimTime::from_secs(2), 10, 4.0);
+        assert_eq!(bar.chars().count(), 10);
+        assert!(bar.starts_with(' '), "starts idle: {bar:?}");
+        assert!(bar.ends_with('█'), "ends saturated: {bar:?}");
+    }
+
+    #[test]
+    fn zero_max_renders_blank() {
+        let mut tl = Timeline::new();
+        tl.record(SimTime::ZERO, 1.0);
+        let bar = render_timeline(&tl, SimTime::from_secs(1), 5, 0.0);
+        assert_eq!(bar, "     ");
+    }
+}

@@ -1,0 +1,26 @@
+//! `tlb-run`: run one transparent-load-balancing experiment from the
+//! command line. See `tlb-run --help`.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match tlb_cli::parse_args(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    match tlb_cli::run(&args) {
+        Ok((report, perfect)) => {
+            if args.json {
+                println!("{}", tlb_cli::format_json(&args, &report, perfect));
+            } else {
+                print!("{}", tlb_cli::format_text(&args, &report, perfect));
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

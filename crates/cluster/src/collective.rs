@@ -1,0 +1,145 @@
+//! Cost models for the simulated MPI collectives.
+//!
+//! The runtime itself uses point-to-point messages (offload control and
+//! data transfers, costed inline in the simulator); the *application*
+//! level uses collectives: the iteration barrier of every benchmark and
+//! the allreduce of n-body's ORB repartitioning. We use the standard
+//! logarithmic-tree cost models (latency–bandwidth, Hockney-style).
+
+use tlb_des::SimTime;
+
+fn log2_ceil(n: usize) -> u32 {
+    debug_assert!(n > 0);
+    usize::BITS - (n - 1).leading_zeros()
+}
+
+/// Barrier over `ranks` participants: `ceil(log2 n)` latency steps
+/// (dissemination barrier).
+pub fn barrier_cost(ranks: usize, latency: SimTime) -> SimTime {
+    if ranks <= 1 {
+        return SimTime::ZERO;
+    }
+    latency * log2_ceil(ranks) as u64
+}
+
+/// Allreduce of `bytes` over `ranks`: recursive doubling —
+/// `ceil(log2 n)` rounds, each a latency plus the payload over the wire.
+pub fn allreduce_cost(ranks: usize, bytes: usize, latency: SimTime, bandwidth: f64) -> SimTime {
+    if ranks <= 1 {
+        return SimTime::ZERO;
+    }
+    let rounds = log2_ceil(ranks) as u64;
+    let per_round = latency + SimTime::from_secs_f64(bytes as f64 / bandwidth.max(1.0));
+    per_round * rounds
+}
+
+/// Broadcast of `bytes` from one rank: binomial tree, same round shape.
+pub fn bcast_cost(ranks: usize, bytes: usize, latency: SimTime, bandwidth: f64) -> SimTime {
+    allreduce_cost(ranks, bytes, latency, bandwidth)
+}
+
+/// Gather of `bytes_per_rank` from every rank to the root: binomial tree;
+/// the payload doubles every round, so the wire term is dominated by the
+/// final hop carrying half the total.
+pub fn gather_cost(
+    ranks: usize,
+    bytes_per_rank: usize,
+    latency: SimTime,
+    bandwidth: f64,
+) -> SimTime {
+    if ranks <= 1 {
+        return SimTime::ZERO;
+    }
+    let rounds = log2_ceil(ranks) as u64;
+    let total = (ranks * bytes_per_rank) as f64;
+    // Sum of payloads on the root's critical path ≈ total (geometric sum).
+    latency * rounds + SimTime::from_secs_f64(total / bandwidth.max(1.0))
+}
+
+/// Scatter is gather run backwards: identical cost model.
+pub fn scatter_cost(
+    ranks: usize,
+    bytes_per_rank: usize,
+    latency: SimTime,
+    bandwidth: f64,
+) -> SimTime {
+    gather_cost(ranks, bytes_per_rank, latency, bandwidth)
+}
+
+/// Reduce-scatter of a `bytes`-sized vector: recursive halving — the
+/// payload halves every round (cheaper than allreduce's full-vector
+/// rounds for large payloads).
+pub fn reduce_scatter_cost(
+    ranks: usize,
+    bytes: usize,
+    latency: SimTime,
+    bandwidth: f64,
+) -> SimTime {
+    if ranks <= 1 {
+        return SimTime::ZERO;
+    }
+    let rounds = log2_ceil(ranks) as u64;
+    // Geometric payload sum: bytes/2 + bytes/4 + … ≈ bytes.
+    latency * rounds + SimTime::from_secs_f64(bytes as f64 / bandwidth.max(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_is_free() {
+        assert_eq!(barrier_cost(1, SimTime::from_micros(2)), SimTime::ZERO);
+        assert_eq!(
+            allreduce_cost(1, 1024, SimTime::from_micros(2), 1e9),
+            SimTime::ZERO
+        );
+    }
+
+    #[test]
+    fn barrier_grows_logarithmically() {
+        let lat = SimTime::from_micros(2);
+        assert_eq!(barrier_cost(2, lat), lat);
+        assert_eq!(barrier_cost(4, lat), lat * 2);
+        assert_eq!(barrier_cost(5, lat), lat * 3);
+        assert_eq!(barrier_cost(64, lat), lat * 6);
+    }
+
+    #[test]
+    fn allreduce_includes_payload() {
+        let lat = SimTime::from_micros(1);
+        // 1 MB over 1 GB/s = 1 ms per round, 1 round for 2 ranks.
+        let c = allreduce_cost(2, 1_000_000, lat, 1e9);
+        assert_eq!(c, lat + SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn gather_scales_with_total_payload() {
+        let lat = SimTime::from_micros(1);
+        let small = gather_cost(8, 1_000, lat, 1e9);
+        let big = gather_cost(8, 100_000, lat, 1e9);
+        assert!(big > small);
+        // 8 ranks × 100 KB = 800 KB at 1 GB/s = 0.8 ms + 3 latencies.
+        assert_eq!(big, lat * 3 + SimTime::from_micros(800));
+        assert_eq!(scatter_cost(8, 100_000, lat, 1e9), big);
+        assert_eq!(gather_cost(1, 100_000, lat, 1e9), SimTime::ZERO);
+    }
+
+    #[test]
+    fn reduce_scatter_cheaper_than_allreduce_for_large_payloads() {
+        let lat = SimTime::from_micros(1);
+        let bytes = 10_000_000;
+        let rs = reduce_scatter_cost(16, bytes, lat, 1e9);
+        let ar = allreduce_cost(16, bytes, lat, 1e9);
+        assert!(rs < ar, "reduce-scatter {rs} vs allreduce {ar}");
+    }
+
+    #[test]
+    fn bcast_matches_allreduce_shape() {
+        let lat = SimTime::from_micros(1);
+        assert_eq!(
+            bcast_cost(8, 100, lat, 1e9),
+            allreduce_cost(8, 100, lat, 1e9)
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! Trace export and post-processing: CSV for external plotting, and the
+//! derived statistics (utilisation, offload breakdown) the paper reads
+//! off its Paraver timelines.
+
+use crate::Trace;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+use tlb_des::SimTime;
+
+/// Export every worker timeline as long-format CSV:
+/// `kind,node,proc,apprank,time_s,value` — one row per sample, directly
+/// loadable by pandas/R/gnuplot.
+pub fn trace_to_csv(trace: &Trace) -> String {
+    let mut out = String::from("kind,node,proc,apprank,time_s,value\n");
+    let mut emit =
+        |kind: &str, node: usize, proc: usize, apprank: usize, tl: &tlb_des::Timeline| {
+            for s in tl.samples() {
+                let _ = writeln!(
+                    out,
+                    "{kind},{node},{proc},{apprank},{:.9},{}",
+                    s.at.as_secs_f64(),
+                    s.value
+                );
+            }
+        };
+    for (node, workers) in trace.busy.iter().enumerate() {
+        for (proc, tl) in workers.iter().enumerate() {
+            emit("busy", node, proc, trace.worker_apprank[node][proc], tl);
+        }
+    }
+    for (node, workers) in trace.owned.iter().enumerate() {
+        for (proc, tl) in workers.iter().enumerate() {
+            emit("owned", node, proc, trace.worker_apprank[node][proc], tl);
+        }
+    }
+    for (node, tl) in trace.node_busy.iter().enumerate() {
+        for s in tl.samples() {
+            let _ = writeln!(
+                out,
+                "node_busy,{node},,,{:.9},{}",
+                s.at.as_secs_f64(),
+                s.value
+            );
+        }
+    }
+    for (i, t) in trace.iteration_ends.iter().enumerate() {
+        let _ = writeln!(out, "iteration_end,,,,{:.9},{i}", t.as_secs_f64());
+    }
+    out
+}
+
+/// Write [`trace_to_csv`] to a file.
+pub fn save_trace_csv(trace: &Trace, path: &Path) -> io::Result<()> {
+    std::fs::write(path, trace_to_csv(trace))
+}
+
+/// Per-node utilisation summary over a window.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeUtilisation {
+    /// Node index.
+    pub node: usize,
+    /// Mean busy cores over the window.
+    pub mean_busy: f64,
+    /// Mean busy cores divided by the node's core count.
+    pub utilisation: f64,
+}
+
+/// Compute per-node utilisation over `[from, to)` for a machine with
+/// `cores_per_node` cores.
+pub fn node_utilisation(
+    trace: &Trace,
+    from: SimTime,
+    to: SimTime,
+    cores_per_node: usize,
+) -> Vec<NodeUtilisation> {
+    trace
+        .node_busy
+        .iter()
+        .enumerate()
+        .map(|(node, tl)| {
+            let mean_busy = tl.mean(from, to);
+            NodeUtilisation {
+                node,
+                mean_busy,
+                utilisation: mean_busy / cores_per_node as f64,
+            }
+        })
+        .collect()
+}
+
+/// How much work (core·seconds) each apprank executed on each node over a
+/// window — the quantitative version of the paper's coloured trace bands,
+/// and the source of the "executed away from home" numbers.
+pub fn work_matrix(trace: &Trace, from: SimTime, to: SimTime, appranks: usize) -> Vec<Vec<f64>> {
+    let nodes = trace.busy.len();
+    let mut matrix = vec![vec![0.0; nodes]; appranks];
+    for (node, workers) in trace.busy.iter().enumerate() {
+        for (proc, tl) in workers.iter().enumerate() {
+            let apprank = trace.worker_apprank[node][proc];
+            if apprank < appranks {
+                matrix[apprank][node] += tl.integral(from, to);
+            }
+        }
+    }
+    matrix
+}
+
+/// Fraction of total executed work that ran away from each apprank's home
+/// node, given the home mapping (`home[a]` = apprank a's home node).
+pub fn away_fraction(matrix: &[Vec<f64>], home: &[usize]) -> f64 {
+    let mut total = 0.0;
+    let mut away = 0.0;
+    for (a, row) in matrix.iter().enumerate() {
+        for (n, w) in row.iter().enumerate() {
+            total += w;
+            if n != home[a] {
+                away += w;
+            }
+        }
+    }
+    if total <= 0.0 {
+        0.0
+    } else {
+        away / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlb_core::ProcessLayout;
+    use tlb_expander::{generate_circulant, ExpanderConfig};
+
+    fn sample_trace() -> Trace {
+        let g = generate_circulant(&ExpanderConfig::new(2, 2, 2), &[1]).unwrap();
+        let layout = ProcessLayout::new(&g, 4);
+        let mut t = Trace::new(&layout, true);
+        // Node 0: apprank 0 busy on 3 cores for 2 s, apprank 1's helper 1
+        // core for 1 s.
+        t.record_busy(SimTime::ZERO, 0, 0, 3);
+        t.record_busy(SimTime::ZERO, 0, 1, 1);
+        t.record_busy(SimTime::from_secs(1), 0, 1, 0);
+        t.record_busy(SimTime::from_secs(2), 0, 0, 0);
+        t.record_node_busy(SimTime::ZERO, 0, 4);
+        t.record_node_busy(SimTime::from_secs(1), 0, 3);
+        t.record_node_busy(SimTime::from_secs(2), 0, 0);
+        t.record_node_busy(SimTime::ZERO, 1, 0);
+        t.record_owned(SimTime::ZERO, 0, 0, 3);
+        t.record_owned(SimTime::ZERO, 0, 1, 1);
+        t.mark_iteration_end(SimTime::from_secs(2));
+        t
+    }
+
+    #[test]
+    fn csv_has_all_kinds_and_parses() {
+        let t = sample_trace();
+        let csv = trace_to_csv(&t);
+        assert!(csv.starts_with("kind,node,proc,apprank,time_s,value"));
+        for kind in ["busy,", "owned,", "node_busy,", "iteration_end,"] {
+            assert!(csv.contains(kind), "missing {kind} rows");
+        }
+        // Every data row has 6 comma-separated fields.
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), 6, "bad row: {line}");
+        }
+    }
+
+    #[test]
+    fn utilisation_summary() {
+        let t = sample_trace();
+        let u = node_utilisation(&t, SimTime::ZERO, SimTime::from_secs(2), 4);
+        assert_eq!(u.len(), 2);
+        // Node 0: 4 cores for 1s + 3 cores for 1s = 3.5 mean.
+        assert!((u[0].mean_busy - 3.5).abs() < 1e-9);
+        assert!((u[0].utilisation - 0.875).abs() < 1e-9);
+        assert_eq!(u[1].mean_busy, 0.0);
+    }
+
+    #[test]
+    fn work_matrix_and_away_fraction() {
+        let t = sample_trace();
+        let m = work_matrix(&t, SimTime::ZERO, SimTime::from_secs(2), 2);
+        // Apprank 0 did 6 core·s on node 0 (home); apprank 1 did 1 core·s
+        // on node 0 (away from its home node 1).
+        assert!((m[0][0] - 6.0).abs() < 1e-9);
+        assert!((m[1][0] - 1.0).abs() < 1e-9);
+        let away = away_fraction(&m, &[0, 1]);
+        assert!((away - 1.0 / 7.0).abs() < 1e-9, "away {away}");
+    }
+
+    #[test]
+    fn away_fraction_empty_is_zero() {
+        assert_eq!(away_fraction(&[vec![0.0, 0.0]], &[0]), 0.0);
+    }
+
+    #[test]
+    fn csv_roundtrip_to_disk() {
+        let t = sample_trace();
+        let dir = std::env::temp_dir().join("tlb_export_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.csv");
+        save_trace_csv(&t, &path).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(back, trace_to_csv(&t));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,56 @@
+//! OmpSs-2@Cluster simulated distributed runtime (paper §3.2, §5).
+//!
+//! This crate executes MPI+OmpSs-2 style workloads on a discrete-event
+//! model of a cluster: every node runs worker processes laid out by the
+//! expander graph (`tlb-core`), cores are shared through DLB (`tlb-dlb`),
+//! tasks order through their data accesses (`tlb-tasking`), and the
+//! offload scheduler plus the local/global DROM policies of the paper
+//! decide where work executes. All timing is virtual ([`tlb_des::SimTime`]),
+//! which is what lets the repository reproduce 64-node MareNostrum
+//! experiments on one machine: the *decision code* is the real runtime
+//! logic; only task execution and message transfer are replaced by timed
+//! events.
+//!
+//! Main entry point: [`ClusterSim::run`], which executes a [`Workload`]
+//! under a [`tlb_core::BalanceConfig`] on a [`tlb_core::Platform`] and
+//! returns a [`SimReport`] with makespan, per-iteration times, and
+//! Paraver-style timelines (busy cores and owned cores per worker) — the
+//! raw material for every figure in the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use tlb_cluster::{ClusterSim, SpecWorkload, TaskSpec};
+//! use tlb_core::{BalanceConfig, DromPolicy, Platform};
+//!
+//! // Two appranks on two 4-core nodes; apprank 0 has 3x the work.
+//! let mk = |n: usize| (0..n).map(|_| TaskSpec::compute(0.050)).collect();
+//! let wl = SpecWorkload::iterated(vec![mk(120), mk(40)], 3);
+//! let platform = Platform::homogeneous(2, 4);
+//!
+//! let baseline = ClusterSim::run(&platform, &BalanceConfig::baseline(), wl.clone()).unwrap();
+//! let balanced = ClusterSim::run(
+//!     &platform,
+//!     &BalanceConfig::offloading(2, DromPolicy::Global),
+//!     wl,
+//! ).unwrap();
+//! assert!(balanced.makespan < baseline.makespan);
+//! ```
+
+mod collective;
+mod export;
+mod report;
+mod sim;
+mod trace;
+mod workload;
+
+pub use collective::{
+    allreduce_cost, barrier_cost, bcast_cost, gather_cost, reduce_scatter_cost, scatter_cost,
+};
+pub use export::{
+    away_fraction, node_utilisation, save_trace_csv, trace_to_csv, work_matrix, NodeUtilisation,
+};
+pub use report::SimReport;
+pub use sim::{ClusterSim, SimError};
+pub use trace::Trace;
+pub use workload::{MpiOp, SpecWorkload, TaskSpec, Workload};

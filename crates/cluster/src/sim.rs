@@ -1,0 +1,1493 @@
+//! The discrete-event OmpSs-2@Cluster runtime.
+#![allow(clippy::needless_range_loop)] // index loops touch several arrays at once
+#![allow(clippy::while_let_loop)]
+
+use crate::collective::barrier_cost;
+use crate::{SimReport, TaskSpec, Trace, Workload};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use tlb_core::{
+    choose_node, BalanceConfig, CandidateState, DromPolicy, GlobalPolicy, LocalPolicy, Placement,
+    Platform, ProcessLayout, StealGate, WorkSignal,
+};
+use tlb_des::{Ctx, SimTime, Simulator, World};
+use tlb_dlb::{NodeDlb, ProcId, Talp};
+use tlb_expander::{BipartiteGraph, ExpanderConfig, ExpanderError};
+use tlb_linprog::LpError;
+use tlb_tasking::{TaskDef, TaskGraph, TaskId};
+
+/// Errors from setting up or running a simulation.
+#[derive(Debug)]
+pub enum SimError {
+    /// Invalid machine/workload shape.
+    Shape(String),
+    /// Expander graph generation failed.
+    Expander(ExpanderError),
+    /// The global allocation program failed (infeasible shapes are caught
+    /// earlier, so this indicates a solver bug).
+    Solver(LpError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Shape(s) => write!(f, "invalid configuration: {s}"),
+            SimError::Expander(e) => write!(f, "expander generation: {e}"),
+            SimError::Solver(e) => write!(f, "global solver: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<ExpanderError> for SimError {
+    fn from(e: ExpanderError) -> Self {
+        SimError::Expander(e)
+    }
+}
+
+/// Progress of a point-to-point message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MsgState {
+    /// Send completed; payload on the wire.
+    InFlight,
+    /// Payload arrived; a matching recv may run.
+    Arrived,
+}
+
+/// A task instance in flight through the runtime.
+#[derive(Clone, Debug)]
+struct Inst {
+    tid: TaskId,
+    duration: f64,
+    bytes: usize,
+}
+
+/// One worker process (an apprank's presence on one node).
+#[derive(Debug, Default)]
+struct WorkerState {
+    /// Tasks whose data has arrived, waiting for a core.
+    queued: VecDeque<Inst>,
+    /// Tasks executing right now.
+    running: usize,
+    /// Tasks dispatched to this worker whose transfer is still in flight.
+    in_flight: usize,
+}
+
+impl WorkerState {
+    fn load(&self) -> usize {
+        self.queued.len() + self.running + self.in_flight
+    }
+}
+
+/// Per-apprank runtime state for the current iteration.
+struct ApprankState {
+    graph: TaskGraph,
+    specs: Vec<TaskSpec>,
+    /// Ready tasks held back by the scheduler, awaiting stealing.
+    hold: VecDeque<Inst>,
+    done: usize,
+    total: usize,
+    iteration_done: bool,
+    workers: Vec<WorkerState>,
+}
+
+enum Ev {
+    StartIteration,
+    /// A point-to-point message has crossed the wire.
+    MsgDeliver {
+        from: usize,
+        to: usize,
+        tag: u64,
+    },
+    /// DVFS/thermal event: node speed changes (already noise-scaled).
+    SpeedChange {
+        node: usize,
+        speed: f64,
+    },
+    Arrive {
+        apprank: usize,
+        slot: usize,
+        inst: Inst,
+    },
+    End {
+        apprank: usize,
+        slot: usize,
+        core: usize,
+        tid: TaskId,
+    },
+    LocalTick,
+    GlobalTick,
+    ApplyOwnership {
+        per_node: Vec<Vec<usize>>,
+    },
+}
+
+struct State<W: Workload> {
+    platform: Platform,
+    config: BalanceConfig,
+    /// `adjacency[a]` = nodes where apprank `a` has a worker (slot order,
+    /// home first). Grows when dynamic spreading spawns helpers.
+    adjacency: Vec<Vec<usize>>,
+    layout: ProcessLayout,
+    dlbs: Vec<NodeDlb>,
+    talps: Vec<Talp>,
+    /// TALP totals at the last global tick, per (node, proc).
+    last_total: Vec<Vec<f64>>,
+    /// Cumulative created work (task cost hints) per apprank, and its
+    /// value at the last global tick — the `CreatedWork` demand signal.
+    created_work: Vec<f64>,
+    last_created: Vec<f64>,
+    /// Per-node round-robin start offset for core handout fairness.
+    rr_offset: Vec<usize>,
+    /// In-flight / arrived point-to-point messages of the current
+    /// iteration, keyed by (from, to, tag).
+    messages: HashMap<(usize, usize, u64), MsgState>,
+    /// Receive tasks whose message has not arrived yet.
+    waiting_recvs: HashMap<(usize, usize, u64), Inst>,
+    appranks: Vec<ApprankState>,
+    workload: W,
+    global_policy: Option<GlobalPolicy>,
+    iteration: usize,
+    iteration_start: SimTime,
+    remaining_appranks: usize,
+    rank_finish: Vec<SimTime>,
+    finished: bool,
+    /// Virtual time at which the application completed (the makespan; the
+    /// DES may process residual policy-tick events after this).
+    completion_time: SimTime,
+    // Accounting.
+    trace: Trace,
+    iteration_times: Vec<SimTime>,
+    offloaded_tasks: usize,
+    total_tasks: usize,
+    solver_runs: usize,
+    solver_time: SimTime,
+    spawned_helpers: usize,
+}
+
+/// The public simulation driver.
+pub struct ClusterSim;
+
+impl ClusterSim {
+    /// Run `workload` on `platform` under `config` and return the report.
+    /// Tracing is enabled; for large sweeps use [`ClusterSim::run_opts`].
+    pub fn run<W: Workload>(
+        platform: &Platform,
+        config: &BalanceConfig,
+        workload: W,
+    ) -> Result<SimReport, SimError> {
+        ClusterSim::run_opts(platform, config, workload, true)
+    }
+
+    /// Run with explicit trace control.
+    pub fn run_opts<W: Workload>(
+        platform: &Platform,
+        config: &BalanceConfig,
+        workload: W,
+        trace: bool,
+    ) -> Result<SimReport, SimError> {
+        let appranks = workload.appranks();
+        if appranks == 0 {
+            return Err(SimError::Shape("workload has no appranks".into()));
+        }
+        if platform.nodes == 0 || !appranks.is_multiple_of(platform.nodes) {
+            return Err(SimError::Shape(format!(
+                "{appranks} appranks do not divide over {} nodes",
+                platform.nodes
+            )));
+        }
+        let per_node = appranks / platform.nodes;
+        let max_degree = config
+            .dynamic
+            .map_or(config.degree, |d| d.max_degree.max(config.degree));
+        if config.dynamic.is_some() && config.drom != DromPolicy::Global {
+            return Err(SimError::Shape(
+                "dynamic spreading requires the global DROM policy".into(),
+            ));
+        }
+        let workers_per_node = max_degree * per_node;
+        if workers_per_node > platform.cores_per_node {
+            return Err(SimError::Shape(format!(
+                "degree {max_degree} with {per_node} appranks/node needs {workers_per_node} cores, node has {}",
+                platform.cores_per_node
+            )));
+        }
+        if platform.node_speed.len() != platform.nodes {
+            return Err(SimError::Shape("node_speed length mismatch".into()));
+        }
+
+        let ecfg =
+            ExpanderConfig::new(appranks, platform.nodes, config.degree).with_seed(config.seed);
+        let graph = BipartiteGraph::generate(&ecfg)?;
+        let layout = ProcessLayout::new(&graph, platform.cores_per_node);
+
+        // Runtime noise: every worker process steals a sliver of CPU for
+        // polling and dependency state. Modelled as a uniform slowdown of
+        // the node proportional to its worker count.
+        let mut platform = platform.clone();
+        let mut noise_scale = vec![1.0f64; platform.nodes];
+        for n in 0..platform.nodes {
+            let workers = layout.workers_on(n).len() as f64;
+            let noise = (platform.worker_noise * workers / platform.cores_per_node as f64).min(0.5);
+            noise_scale[n] = 1.0 - noise;
+            platform.node_speed[n] *= noise_scale[n];
+        }
+        let platform = &platform;
+
+        let dlbs: Vec<NodeDlb> = (0..platform.nodes)
+            .map(|n| {
+                let counts = layout.initial_ownership(n);
+                NodeDlb::with_counts(counts, config.lewi)
+            })
+            .collect();
+        let talps: Vec<Talp> = (0..platform.nodes)
+            .map(|n| Talp::new(layout.workers_on(n).len()))
+            .collect();
+        let last_total = (0..platform.nodes)
+            .map(|n| vec![0.0; layout.workers_on(n).len()])
+            .collect();
+
+        let global_policy =
+            (config.drom == DromPolicy::Global).then(|| GlobalPolicy::new(&graph, platform));
+
+        let trace_rec = Trace::new(&layout, trace);
+        let apprank_states = (0..appranks)
+            .map(|a| ApprankState {
+                graph: TaskGraph::new(),
+                specs: Vec::new(),
+                hold: VecDeque::new(),
+                done: 0,
+                total: 0,
+                iteration_done: false,
+                workers: (0..graph.nodes_of(a).len())
+                    .map(|_| WorkerState::default())
+                    .collect(),
+            })
+            .collect();
+        let adjacency: Vec<Vec<usize>> =
+            (0..appranks).map(|a| graph.nodes_of(a).to_vec()).collect();
+
+        let mut state = State {
+            platform: platform.clone(),
+            config: config.clone(),
+            adjacency,
+            layout,
+            dlbs,
+            talps,
+            last_total,
+            created_work: vec![0.0; appranks],
+            last_created: vec![0.0; appranks],
+            rr_offset: vec![0; platform.nodes],
+            messages: HashMap::new(),
+            waiting_recvs: HashMap::new(),
+            appranks: apprank_states,
+            workload,
+            global_policy,
+            iteration: 0,
+            iteration_start: SimTime::ZERO,
+            remaining_appranks: 0,
+            rank_finish: vec![SimTime::ZERO; appranks],
+            finished: false,
+            completion_time: SimTime::ZERO,
+            trace: trace_rec,
+            iteration_times: Vec::new(),
+            offloaded_tasks: 0,
+            total_tasks: 0,
+            solver_runs: 0,
+            solver_time: SimTime::ZERO,
+            spawned_helpers: 0,
+        };
+        // Record the initial ownership.
+        for n in 0..state.platform.nodes {
+            state.record_node(SimTime::ZERO, n);
+        }
+
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::ZERO, Ev::StartIteration);
+        for ev in &platform.speed_events {
+            if ev.node >= platform.nodes {
+                return Err(SimError::Shape(format!(
+                    "speed event node {} out of range",
+                    ev.node
+                )));
+            }
+            sim.schedule_at(
+                ev.at,
+                Ev::SpeedChange {
+                    node: ev.node,
+                    speed: ev.speed * noise_scale[ev.node],
+                },
+            );
+        }
+        if state.config.drom == DromPolicy::Local {
+            sim.schedule_at(state.config.local_period, Ev::LocalTick);
+        }
+        if state.config.drom == DromPolicy::Global {
+            sim.schedule_at(state.config.global_period, Ev::GlobalTick);
+        }
+        sim.run(&mut state);
+        if !state.finished {
+            return Err(SimError::Shape(
+                "simulation deadlocked: unmatched MPI send/recv pairs or an unsatisfiable dependency"
+                    .into(),
+            ));
+        }
+
+        // TALP end-of-run report: useful busy time over machine time.
+        let end = state.completion_time;
+        let useful: f64 = (0..state.platform.nodes)
+            .map(|n| {
+                (0..state.talps[n].procs())
+                    .map(|p| state.talps[n].total(p, end))
+                    .sum::<f64>()
+            })
+            .sum();
+        let machine = end.as_secs_f64() * state.platform.total_cores() as f64;
+        let parallel_efficiency = if machine > 0.0 { useful / machine } else { 0.0 };
+
+        Ok(SimReport {
+            makespan: state.completion_time,
+            parallel_efficiency,
+            iteration_times: state.iteration_times,
+            offloaded_tasks: state.offloaded_tasks,
+            total_tasks: state.total_tasks,
+            events: sim.events_processed(),
+            solver_runs: state.solver_runs,
+            solver_time: state.solver_time,
+            spawned_helpers: state.spawned_helpers,
+            trace: state.trace,
+        })
+    }
+}
+
+impl<W: Workload> State<W> {
+    fn node_of(&self, apprank: usize, slot: usize) -> usize {
+        self.adjacency[apprank][slot]
+    }
+
+    /// Control-message latency plus payload transfer time for sending a
+    /// task's inputs to a remote worker.
+    fn transfer_time(&self, bytes: usize) -> SimTime {
+        self.platform.net_latency
+            + SimTime::from_secs_f64(bytes as f64 / self.platform.net_bandwidth.max(1.0))
+    }
+
+    /// Record busy/owned/node-busy timelines for every worker of `node`.
+    fn record_node(&mut self, now: SimTime, node: usize) {
+        if !self.trace.enabled {
+            return;
+        }
+        let procs = self.layout.workers_on(node).len();
+        for p in 0..procs {
+            let used = self.dlbs[node].used_count(ProcId(p));
+            let owned = self.dlbs[node].owned_count(ProcId(p));
+            self.trace.record_busy(now, node, p, used);
+            self.trace.record_owned(now, node, p, owned);
+        }
+        let busy = self.dlbs[node].busy_count();
+        self.trace.record_node_busy(now, node, busy);
+    }
+
+    /// The tentative scheduling decision for a ready task (§5.5).
+    /// Returns the chosen slot, or `None` to hold the task.
+    fn decide(&self, apprank: usize, offloadable: bool) -> Option<usize> {
+        if !offloadable || self.adjacency[apprank].len() == 1 {
+            return Some(0);
+        }
+        let ranks = &self.appranks[apprank];
+        let candidates: Vec<CandidateState> = self.adjacency[apprank]
+            .iter()
+            .enumerate()
+            .map(|(k, &node)| {
+                let proc = ProcId(self.layout.proc_of(apprank, k));
+                let owned = self.dlbs[node].owned_count(proc);
+                let used = self.dlbs[node].used_count(proc);
+                CandidateState {
+                    node,
+                    queued_tasks: ranks.workers[k].load(),
+                    owned_cores: owned,
+                    usable_cores: used.max(owned),
+                }
+            })
+            .collect();
+        match choose_node(
+            &candidates,
+            0,
+            self.config.queue_depth_per_core,
+            self.config.count_borrowed_cores,
+        ) {
+            Placement::Worker(k) => Some(k),
+            Placement::Hold => None,
+        }
+    }
+
+    /// Dispatch a ready task: either send it (scheduling its arrival after
+    /// the transfer) or push it onto the apprank's hold queue. MPI receive
+    /// tasks whose message has not arrived park in `waiting_recvs` first.
+    fn dispatch(&mut self, ctx: &mut Ctx<Ev>, apprank: usize, inst: Inst) {
+        let spec = &self.appranks[apprank].specs[inst.tid.raw() as usize];
+        if let Some(crate::MpiOp::Recv { from, tag }) = spec.mpi {
+            let key = (from, apprank, tag);
+            match self.messages.get(&key) {
+                Some(MsgState::Arrived) => {
+                    self.messages.remove(&key);
+                }
+                _ => {
+                    let prev = self.waiting_recvs.insert(key, inst);
+                    assert!(prev.is_none(), "duplicate recv for message {key:?}");
+                    return;
+                }
+            }
+        }
+        let offloadable = self.appranks[apprank].specs[inst.tid.raw() as usize].offloadable;
+        match self.decide(apprank, offloadable) {
+            Some(slot) => {
+                self.appranks[apprank].workers[slot].in_flight += 1;
+                let delay = if slot == 0 {
+                    SimTime::ZERO
+                } else {
+                    self.transfer_time(inst.bytes)
+                };
+                ctx.schedule_in(
+                    delay,
+                    Ev::Arrive {
+                        apprank,
+                        slot,
+                        inst,
+                    },
+                );
+            }
+            None => self.appranks[apprank].hold.push_back(inst),
+        }
+    }
+
+    /// Re-run the scheduling decision for held tasks (after capacity
+    /// changes from a DROM update).
+    fn drain_holds(&mut self, ctx: &mut Ctx<Ev>) {
+        for a in 0..self.appranks.len() {
+            loop {
+                let Some(inst) = self.appranks[a].hold.pop_front() else {
+                    break;
+                };
+                let offloadable = self.appranks[a].specs[inst.tid.raw() as usize].offloadable;
+                match self.decide(a, offloadable) {
+                    Some(slot) => {
+                        self.appranks[a].workers[slot].in_flight += 1;
+                        let delay = if slot == 0 {
+                            SimTime::ZERO
+                        } else {
+                            self.transfer_time(inst.bytes)
+                        };
+                        ctx.schedule_in(
+                            delay,
+                            Ev::Arrive {
+                                apprank: a,
+                                slot,
+                                inst,
+                            },
+                        );
+                    }
+                    None => {
+                        self.appranks[a].hold.push_front(inst);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Start as many tasks as the worker can obtain cores for: first its
+    /// queued (already transferred) tasks, then steal from the apprank's
+    /// hold queue (paying the transfer inline for remote workers).
+    fn try_start_worker(&mut self, ctx: &mut Ctx<Ev>, apprank: usize, slot: usize) {
+        let node = self.node_of(apprank, slot);
+        let proc = ProcId(self.layout.proc_of(apprank, slot));
+        let speed = self.platform.node_speed[node];
+        loop {
+            let has_queued = !self.appranks[apprank].workers[slot].queued.is_empty();
+            // Stealing from the apprank's hold queue is gated (§5.5): a
+            // worker's appetite for held tasks depends on the configured
+            // rule, never on a task-less acquire.
+            let may_steal = !self.appranks[apprank].hold.is_empty() && {
+                let w = &self.appranks[apprank].workers[slot];
+                let owned = self.dlbs[node].owned_count(proc);
+                let depth = self.config.queue_depth_per_core;
+                match self.config.steal_gate {
+                    StealGate::Owned => w.load() < depth * owned,
+                    StealGate::Usable => {
+                        let idle = self.dlbs[node].num_cores() - self.dlbs[node].busy_count();
+                        w.load() < depth * owned + idle
+                    }
+                    StealGate::Unbounded => true,
+                }
+            };
+            if !has_queued && !may_steal {
+                break;
+            }
+            let Some(core) = self.dlbs[node].acquire(proc) else {
+                break;
+            };
+            let (inst, stolen) = if has_queued {
+                (
+                    self.appranks[apprank].workers[slot]
+                        .queued
+                        .pop_front()
+                        .expect("queued checked"),
+                    false,
+                )
+            } else {
+                (
+                    self.appranks[apprank]
+                        .hold
+                        .pop_front()
+                        .expect("held checked"),
+                    true,
+                )
+            };
+            // Execution time: compute scaled by node speed, plus the data
+            // transfer for stolen tasks landing on a remote worker (eagerly
+            // dispatched tasks already paid it on arrival).
+            let mut dur = SimTime::from_secs_f64(inst.duration / speed);
+            if slot != 0 {
+                // Runtime cost of executing away from home: distributed
+                // dependency bookkeeping plus (for stolen tasks) the data
+                // transfer that eager dispatch would have overlapped.
+                dur += self.platform.offload_cpu_overhead;
+                if stolen {
+                    dur += self.transfer_time(inst.bytes);
+                }
+            }
+            self.appranks[apprank].workers[slot].running += 1;
+            self.appranks[apprank]
+                .graph
+                .start(inst.tid)
+                .expect("dispatched task must be ready");
+            if slot != 0 {
+                self.offloaded_tasks += 1;
+            }
+            let now = ctx.now();
+            self.talps[node].set_busy(proc.0, now, self.dlbs[node].used_count(proc));
+            ctx.schedule_in(
+                dur,
+                Ev::End {
+                    apprank,
+                    slot,
+                    core,
+                    tid: inst.tid,
+                },
+            );
+        }
+    }
+
+    /// Give every worker on `node` a chance to start tasks (a core was
+    /// released or ownership changed). The scan starts at a rotating
+    /// offset: a fixed order would hand every freed core to the
+    /// lowest-indexed hungry worker, systematically starving later
+    /// appranks of borrowed capacity.
+    fn try_start_node(&mut self, ctx: &mut Ctx<Ev>, node: usize) {
+        let workers: Vec<(usize, usize)> = self
+            .layout
+            .workers_on(node)
+            .iter()
+            .map(|w| (w.apprank, w.slot))
+            .collect();
+        let n = workers.len();
+        let offset = self.rr_offset[node];
+        self.rr_offset[node] = (offset + 1) % n.max(1);
+        for i in 0..n {
+            let (a, k) = workers[(offset + i) % n];
+            self.try_start_worker(ctx, a, k);
+        }
+        self.record_node(ctx.now(), node);
+    }
+
+    fn start_iteration(&mut self, ctx: &mut Ctx<Ev>) {
+        self.iteration_start = ctx.now();
+        self.remaining_appranks = self.appranks.len();
+        let iteration = self.iteration;
+        for a in 0..self.appranks.len() {
+            let specs = self.workload.tasks(a, iteration);
+            let st = &mut self.appranks[a];
+            st.graph = TaskGraph::new();
+            st.hold.clear();
+            st.done = 0;
+            st.total = specs.len();
+            st.iteration_done = false;
+            st.specs = specs;
+            self.created_work[a] += self.appranks[a]
+                .specs
+                .iter()
+                .map(|t| t.duration)
+                .sum::<f64>();
+            self.total_tasks += self.appranks[a].total;
+            let mut ready = Vec::new();
+            for spec in &self.appranks[a].specs.clone() {
+                assert!(
+                    spec.mpi.is_none() || !spec.offloadable,
+                    "MPI tasks must be non-offloadable (paper §4)"
+                );
+                let mut def = TaskDef::new("task").cost(spec.duration);
+                if !spec.offloadable {
+                    def = def.not_offloadable();
+                }
+                def.accesses.extend(spec.accesses.iter().copied());
+                let was_ready = self.appranks[a].graph.ready_count();
+                let tid = self.appranks[a]
+                    .graph
+                    .submit(def)
+                    .expect("top-level submit cannot fail");
+                let now_ready = self.appranks[a].graph.ready_count();
+                if now_ready == was_ready {
+                    // Blocked on an earlier task's accesses: dispatched
+                    // when its predecessors complete.
+                    continue;
+                }
+                ready.push(Inst {
+                    tid,
+                    duration: spec.duration,
+                    bytes: spec.bytes,
+                });
+            }
+            if self.appranks[a].total == 0 {
+                self.appranks[a].iteration_done = true;
+                self.rank_finish[a] = ctx.now();
+                self.remaining_appranks -= 1;
+            }
+            for inst in ready {
+                self.dispatch(ctx, a, inst);
+            }
+        }
+        if self.remaining_appranks == 0 {
+            // Degenerate all-empty iteration.
+            self.finish_iteration(ctx);
+        }
+    }
+
+    fn finish_iteration(&mut self, ctx: &mut Ctx<Ev>) {
+        assert!(
+            self.waiting_recvs.is_empty(),
+            "iteration ended with unmatched MPI receives: {:?}",
+            self.waiting_recvs.keys().collect::<Vec<_>>()
+        );
+        // Unconsumed arrived messages would leak across iterations.
+        self.messages.retain(|_, st| *st == MsgState::InFlight);
+        let barrier = barrier_cost(self.appranks.len(), self.platform.net_latency);
+        let end = ctx.now() + barrier;
+        self.iteration_times
+            .push(end.saturating_sub(self.iteration_start));
+        self.trace.mark_iteration_end(end);
+        let rank_seconds: Vec<f64> = self
+            .rank_finish
+            .iter()
+            .map(|t| t.saturating_sub(self.iteration_start).as_secs_f64())
+            .collect();
+        self.workload.end_iteration(self.iteration, &rank_seconds);
+        self.iteration += 1;
+        if self.iteration < self.workload.iterations() {
+            ctx.schedule_at(end, Ev::StartIteration);
+        } else {
+            self.finished = true;
+            self.completion_time = end;
+        }
+    }
+
+    fn handle_end(
+        &mut self,
+        ctx: &mut Ctx<Ev>,
+        apprank: usize,
+        slot: usize,
+        core: usize,
+        tid: TaskId,
+    ) {
+        let node = self.node_of(apprank, slot);
+        let proc = ProcId(self.layout.proc_of(apprank, slot));
+        self.appranks[apprank].workers[slot].running -= 1;
+        self.dlbs[node]
+            .release(proc, core)
+            .expect("running task's core must be held");
+        let now = ctx.now();
+        self.talps[node].set_busy(proc.0, now, self.dlbs[node].used_count(proc));
+        if let Some(crate::MpiOp::Send { to, tag, bytes }) =
+            self.appranks[apprank].specs[tid.raw() as usize].mpi
+        {
+            let key = (apprank, to, tag);
+            let prev = self.messages.insert(key, MsgState::InFlight);
+            assert!(prev.is_none(), "duplicate send for message {key:?}");
+            let delay = self.transfer_time(bytes);
+            ctx.schedule_in(
+                delay,
+                Ev::MsgDeliver {
+                    from: apprank,
+                    to,
+                    tag,
+                },
+            );
+        }
+        let newly_ready = self.appranks[apprank]
+            .graph
+            .complete(tid)
+            .expect("running task completes");
+        for succ in newly_ready {
+            let spec = &self.appranks[apprank].specs[succ.raw() as usize];
+            let inst = Inst {
+                tid: succ,
+                duration: spec.duration,
+                bytes: spec.bytes,
+            };
+            self.dispatch(ctx, apprank, inst);
+        }
+        self.appranks[apprank].done += 1;
+        if self.appranks[apprank].done == self.appranks[apprank].total
+            && !self.appranks[apprank].iteration_done
+        {
+            self.appranks[apprank].iteration_done = true;
+            self.rank_finish[apprank] = now;
+            self.remaining_appranks -= 1;
+            if self.remaining_appranks == 0 {
+                self.finish_iteration(ctx);
+            }
+        }
+        // The freed core may serve this worker's next task, another
+        // worker (LeWI), or a reclaiming owner.
+        self.try_start_node(ctx, node);
+    }
+
+    fn local_tick(&mut self, ctx: &mut Ctx<Ev>) {
+        if self.finished {
+            return;
+        }
+        let now = ctx.now();
+        for node in 0..self.platform.nodes {
+            let busy = self.talps[node].take_all_windows(now);
+            let current: Vec<usize> = (0..busy.len())
+                .map(|p| self.dlbs[node].owned_count(ProcId(p)))
+                .collect();
+            let counts = LocalPolicy::ownership(self.platform.cores_per_node, &busy, &current);
+            self.dlbs[node]
+                .set_ownership(&counts)
+                .expect("local policy produces valid counts");
+        }
+        self.drain_holds(ctx);
+        for node in 0..self.platform.nodes {
+            self.try_start_node(ctx, node);
+        }
+        ctx.schedule_in(self.config.local_period, Ev::LocalTick);
+    }
+
+    /// Deterministic model of the global solve cost: the paper measures
+    /// ≈57 ms at 32 nodes and quadratic growth with graph size.
+    fn solver_cost(&self) -> SimTime {
+        if let Some(t) = self.config.solver_cost_override {
+            return t;
+        }
+        let scale = self.platform.nodes as f64 / 32.0;
+        SimTime::from_secs_f64((0.057 * scale * scale).max(0.001))
+    }
+
+    fn global_tick(&mut self, ctx: &mut Ctx<Ev>) {
+        if self.finished {
+            return;
+        }
+        let now = ctx.now();
+        // Demand per apprank since the last tick. The paper's signal is the
+        // TALP busy-core integral; we add still-pending work so the solver
+        // sees demand, not just history. The `CreatedWork` signal instead
+        // uses the cost hints of tasks created since the last tick, which
+        // is free of window-phase error (all appranks share iteration
+        // boundaries); it falls back to the busy signal in windows where
+        // nothing was created.
+        let mut work = vec![0.0f64; self.appranks.len()];
+        for (a, w) in work.iter_mut().enumerate() {
+            for (k, &node) in self.adjacency[a].iter().enumerate() {
+                let p = self.layout.proc_of(a, k);
+                let total = self.talps[node].total(p, now);
+                *w += total - self.last_total[node][p];
+            }
+        }
+        for node in 0..self.platform.nodes {
+            for p in 0..self.last_total[node].len() {
+                self.last_total[node][p] = self.talps[node].total(p, now);
+            }
+        }
+        for (a, w) in work.iter_mut().enumerate() {
+            let held: f64 = self.appranks[a].hold.iter().map(|i| i.duration).sum();
+            let queued: f64 = self.appranks[a]
+                .workers
+                .iter()
+                .flat_map(|ws| ws.queued.iter())
+                .map(|i| i.duration)
+                .sum();
+            *w += held + queued;
+        }
+        if self.config.work_signal == WorkSignal::CreatedWork {
+            let created: Vec<f64> = self
+                .created_work
+                .iter()
+                .zip(&self.last_created)
+                .map(|(c, l)| c - l)
+                .collect();
+            self.last_created.copy_from_slice(&self.created_work);
+            if created.iter().sum::<f64>() > 1e-9 {
+                work = created;
+            }
+        }
+        let mut solution = self
+            .global_policy
+            .as_mut()
+            .expect("global tick without policy")
+            .allocate(&work, self.config.solver)
+            .expect("allocation program is feasible by construction");
+        // Dynamic work spreading (paper §5.2 future work): the solved bound
+        // identifies capacity-constrained appranks; spawn helpers for them
+        // and re-solve so the new capacity is used immediately.
+        if let Some(dynamic) = self.config.dynamic {
+            if self.maybe_spawn_helpers(ctx, &work, &solution, dynamic) {
+                solution = self
+                    .global_policy
+                    .as_mut()
+                    .expect("policy exists")
+                    .allocate(&work, self.config.solver)
+                    .expect("allocation remains feasible after spawning");
+            }
+        }
+        let policy = self
+            .global_policy
+            .as_mut()
+            .expect("global tick without policy");
+        let per_node = policy.ownership_by_node(&self.layout, &solution);
+        let cost = self.solver_cost();
+        self.solver_runs += 1;
+        self.solver_time += cost;
+        ctx.schedule_in(cost, Ev::ApplyOwnership { per_node });
+        ctx.schedule_in(self.config.global_period, Ev::GlobalTick);
+    }
+
+    /// Spawn helper ranks for capacity-constrained appranks (the paper's
+    /// dynamic work spreading, §5.2). The LP solution tells exactly which
+    /// appranks the bound binds on: those executing at ≈ the objective
+    /// ratio while the machine mean is lower. At most one new helper per
+    /// apprank per solver period; bounded by the configured maximum
+    /// degree and the nodes' worker headroom. Returns whether anything
+    /// was spawned.
+    fn maybe_spawn_helpers(
+        &mut self,
+        ctx: &mut Ctx<Ev>,
+        work: &[f64],
+        solution: &tlb_linprog::AllocationSolution,
+        dynamic: tlb_core::DynamicSpreading,
+    ) -> bool {
+        let total_work: f64 = work.iter().sum();
+        if total_work <= 1e-12 {
+            return false;
+        }
+        let mean_load = total_work / self.platform.effective_capacity();
+        if solution.objective <= dynamic.overload_threshold * mean_load {
+            return false; // the static graph already balances well enough
+        }
+        // Node load under the solved split (pressure to avoid).
+        let mut node_pressure = vec![0.0f64; self.platform.nodes];
+        for (a, shares) in solution.work_share.iter().enumerate() {
+            for (k, &w) in shares.iter().enumerate() {
+                node_pressure[self.adjacency[a][k]] += w;
+            }
+        }
+        let mut spawned = false;
+        for (a, w) in work.iter().enumerate() {
+            if self.adjacency[a].len() >= dynamic.max_degree {
+                continue;
+            }
+            let cores: usize = solution.cores[a].iter().sum();
+            // Binding apprank: its solved ratio sits at the objective.
+            if *w / (cores as f64) < 0.98 * solution.objective {
+                continue;
+            }
+            // Least-pressured node this apprank cannot reach yet, with
+            // worker headroom.
+            let candidate = (0..self.platform.nodes)
+                .filter(|&n| !self.adjacency[a].contains(&n))
+                .filter(|&n| self.layout.workers_on(n).len() < self.platform.cores_per_node)
+                .min_by(|&x, &y| {
+                    let px = node_pressure[x] / self.platform.node_speed[x];
+                    let py = node_pressure[y] / self.platform.node_speed[y];
+                    px.partial_cmp(&py).unwrap().then(x.cmp(&y))
+                });
+            if let Some(n) = candidate {
+                node_pressure[n] += *w / self.adjacency[a].len() as f64;
+                self.spawn_helper(ctx, a, n);
+                spawned = true;
+            }
+        }
+        spawned
+    }
+
+    /// Materialise one helper rank: extend the layout, DLB, TALP, trace,
+    /// worker queues, and the solver's adjacency.
+    fn spawn_helper(&mut self, ctx: &mut Ctx<Ev>, apprank: usize, node: usize) {
+        let (slot, proc) = self.layout.push_worker(apprank, node);
+        let dlb_proc = self.dlbs[node].add_process();
+        debug_assert_eq!(dlb_proc.0, proc, "layout and DLB proc ids must agree");
+        let talp_proc = self.talps[node].add_proc(ctx.now());
+        debug_assert_eq!(talp_proc, proc);
+        self.last_total[node].push(self.talps[node].total(proc, ctx.now()));
+        self.trace.add_worker(node, apprank);
+        self.adjacency[apprank].push(node);
+        debug_assert_eq!(self.adjacency[apprank].len() - 1, slot);
+        self.appranks[apprank].workers.push(WorkerState::default());
+        if let Some(policy) = self.global_policy.as_mut() {
+            policy.add_edge(apprank, node);
+        }
+        self.spawned_helpers += 1;
+        self.record_node(ctx.now(), node);
+    }
+
+    fn apply_ownership(&mut self, ctx: &mut Ctx<Ev>, per_node: Vec<Vec<usize>>) {
+        if self.finished {
+            return;
+        }
+        for (node, counts) in per_node.iter().enumerate() {
+            self.dlbs[node]
+                .set_ownership(counts)
+                .expect("solver produces valid counts");
+        }
+        self.drain_holds(ctx);
+        for node in 0..self.platform.nodes {
+            self.try_start_node(ctx, node);
+        }
+    }
+}
+
+impl<W: Workload> World for State<W> {
+    type Event = Ev;
+
+    fn handle(&mut self, ctx: &mut Ctx<Ev>, ev: Ev) {
+        match ev {
+            Ev::StartIteration => self.start_iteration(ctx),
+            Ev::Arrive {
+                apprank,
+                slot,
+                inst,
+            } => {
+                self.appranks[apprank].workers[slot].in_flight -= 1;
+                self.appranks[apprank].workers[slot].queued.push_back(inst);
+                self.try_start_worker(ctx, apprank, slot);
+                let node = self.node_of(apprank, slot);
+                self.record_node(ctx.now(), node);
+            }
+            Ev::End {
+                apprank,
+                slot,
+                core,
+                tid,
+            } => self.handle_end(ctx, apprank, slot, core, tid),
+            Ev::MsgDeliver { from, to, tag } => {
+                let key = (from, to, tag);
+                let prev = self.messages.insert(key, MsgState::Arrived);
+                assert!(
+                    prev.is_none() || prev == Some(MsgState::InFlight),
+                    "message {key:?} delivered twice"
+                );
+                if let Some(inst) = self.waiting_recvs.remove(&key) {
+                    // The receiver had already posted the recv: run it
+                    // (dispatch consumes the Arrived entry).
+                    self.dispatch(ctx, to, inst);
+                }
+            }
+            Ev::SpeedChange { node, speed } => {
+                // Tasks already running keep their start-time duration;
+                // everything dispatched afterwards sees the new speed, and
+                // the global solver reasons with it from the next tick.
+                self.platform.node_speed[node] = speed;
+                if let Some(policy) = self.global_policy.as_mut() {
+                    policy.set_node_speed(node, speed);
+                }
+                self.drain_holds(ctx);
+                self.try_start_node(ctx, node);
+            }
+            Ev::LocalTick => self.local_tick(ctx),
+            Ev::GlobalTick => self.global_tick(ctx),
+            Ev::ApplyOwnership { per_node } => self.apply_ownership(ctx, per_node),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpecWorkload;
+
+    fn uniform(ranks: usize, tasks: usize, dur: f64, iters: usize) -> SpecWorkload {
+        SpecWorkload::iterated(
+            (0..ranks)
+                .map(|_| (0..tasks).map(|_| TaskSpec::compute(dur)).collect())
+                .collect(),
+            iters,
+        )
+    }
+
+    #[test]
+    fn single_node_packs_cores() {
+        // 1 apprank, 1 node, 4 cores, 40 tasks of 0.1 s: 10 waves = 1 s.
+        let wl = uniform(1, 40, 0.1, 1);
+        let p = Platform::homogeneous(1, 4);
+        let r = ClusterSim::run(&p, &BalanceConfig::baseline(), wl).unwrap();
+        let secs = r.makespan.as_secs_f64();
+        assert!((secs - 1.0).abs() < 1e-6, "makespan {secs}");
+        assert_eq!(r.total_tasks, 40);
+        assert_eq!(r.offloaded_tasks, 0);
+    }
+
+    #[test]
+    fn baseline_never_offloads() {
+        let wl = uniform(2, 30, 0.05, 2);
+        let p = Platform::homogeneous(2, 4);
+        let r = ClusterSim::run(&p, &BalanceConfig::baseline(), wl).unwrap();
+        assert_eq!(r.offloaded_tasks, 0);
+        assert_eq!(r.iteration_times.len(), 2);
+    }
+
+    #[test]
+    fn imbalance_is_confined_without_offloading() {
+        // Apprank 0 has 4x the work; without offloading its node is the
+        // bottleneck: makespan ~= 4*20*0.05/4 = 1.0 s per iteration.
+        let heavy: Vec<TaskSpec> = (0..80).map(|_| TaskSpec::compute(0.05)).collect();
+        let light: Vec<TaskSpec> = (0..20).map(|_| TaskSpec::compute(0.05)).collect();
+        let wl = SpecWorkload::iterated(vec![heavy, light], 1);
+        let p = Platform::homogeneous(2, 4);
+        let r = ClusterSim::run(&p, &BalanceConfig::baseline(), wl).unwrap();
+        let secs = r.makespan.as_secs_f64();
+        assert!((secs - 1.0).abs() < 0.01, "makespan {secs}");
+    }
+
+    #[test]
+    fn offloading_spreads_imbalance() {
+        let heavy: Vec<TaskSpec> = (0..80).map(|_| TaskSpec::compute(0.05)).collect();
+        let light: Vec<TaskSpec> = (0..20).map(|_| TaskSpec::compute(0.05)).collect();
+        let wl = SpecWorkload::iterated(vec![heavy, light], 4);
+        let p = Platform::homogeneous(2, 4);
+        let base = ClusterSim::run(&p, &BalanceConfig::baseline(), wl.clone()).unwrap();
+        let cfg = BalanceConfig::offloading(2, DromPolicy::Global);
+        let bal = ClusterSim::run(&p, &cfg, wl).unwrap();
+        assert!(
+            bal.makespan.as_secs_f64() < 0.8 * base.makespan.as_secs_f64(),
+            "balanced {} vs baseline {}",
+            bal.makespan,
+            base.makespan
+        );
+        assert!(bal.offloaded_tasks > 0);
+    }
+
+    #[test]
+    fn lewi_only_helps_but_less_than_drom() {
+        let heavy: Vec<TaskSpec> = (0..120).map(|_| TaskSpec::compute(0.05)).collect();
+        let light: Vec<TaskSpec> = (0..40).map(|_| TaskSpec::compute(0.05)).collect();
+        let wl = SpecWorkload::iterated(vec![heavy, light], 4);
+        let p = Platform::homogeneous(2, 4);
+        let base = ClusterSim::run(&p, &BalanceConfig::baseline(), wl.clone()).unwrap();
+        let mut lewi_cfg = BalanceConfig::offloading(2, DromPolicy::Off);
+        lewi_cfg.lewi = true;
+        let lewi = ClusterSim::run(&p, &lewi_cfg, wl.clone()).unwrap();
+        let drom =
+            ClusterSim::run(&p, &BalanceConfig::offloading(2, DromPolicy::Global), wl).unwrap();
+        assert!(
+            lewi.makespan < base.makespan,
+            "LeWI {} vs baseline {}",
+            lewi.makespan,
+            base.makespan
+        );
+        assert!(
+            drom.makespan <= lewi.makespan,
+            "DROM {} vs LeWI {}",
+            drom.makespan,
+            lewi.makespan
+        );
+    }
+
+    #[test]
+    fn pinned_tasks_never_offload() {
+        let tasks: Vec<TaskSpec> = (0..40).map(|_| TaskSpec::pinned(0.05)).collect();
+        let wl = SpecWorkload::iterated(vec![tasks.clone(), tasks], 2);
+        let p = Platform::homogeneous(2, 4);
+        let cfg = BalanceConfig::offloading(2, DromPolicy::Global);
+        let r = ClusterSim::run(&p, &cfg, wl).unwrap();
+        assert_eq!(r.offloaded_tasks, 0);
+    }
+
+    #[test]
+    fn slow_node_stretches_baseline() {
+        let wl = uniform(2, 40, 0.05, 1);
+        let fast = Platform::homogeneous(2, 4);
+        let slow = Platform::homogeneous(2, 4).with_slowdown(1, 2.0);
+        let rf = ClusterSim::run(&fast, &BalanceConfig::baseline(), wl.clone()).unwrap();
+        let rs = ClusterSim::run(&slow, &BalanceConfig::baseline(), wl).unwrap();
+        let ratio = rs.makespan.as_secs_f64() / rf.makespan.as_secs_f64();
+        assert!((ratio - 2.0).abs() < 0.05, "slowdown ratio {ratio}");
+    }
+
+    #[test]
+    fn offloading_rescues_slow_node() {
+        let wl = uniform(2, 80, 0.05, 4);
+        let p = Platform::homogeneous(2, 4).with_slowdown(1, 3.0);
+        let base = ClusterSim::run(&p, &BalanceConfig::baseline(), wl.clone()).unwrap();
+        let bal =
+            ClusterSim::run(&p, &BalanceConfig::offloading(2, DromPolicy::Global), wl).unwrap();
+        assert!(
+            bal.makespan.as_secs_f64() < 0.85 * base.makespan.as_secs_f64(),
+            "balanced {} vs baseline {}",
+            bal.makespan,
+            base.makespan
+        );
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let heavy: Vec<TaskSpec> = (0..60).map(|_| TaskSpec::compute(0.02)).collect();
+        let light: Vec<TaskSpec> = (0..10).map(|_| TaskSpec::compute(0.02)).collect();
+        let wl = SpecWorkload::iterated(vec![heavy, light], 3);
+        let p = Platform::homogeneous(2, 4);
+        let cfg = BalanceConfig::offloading(2, DromPolicy::Global);
+        let a = ClusterSim::run(&p, &cfg, wl.clone()).unwrap();
+        let b = ClusterSim::run(&p, &cfg, wl).unwrap();
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.offloaded_tasks, b.offloaded_tasks);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn local_policy_runs_and_balances() {
+        let heavy: Vec<TaskSpec> = (0..120).map(|_| TaskSpec::compute(0.05)).collect();
+        let light: Vec<TaskSpec> = (0..20).map(|_| TaskSpec::compute(0.05)).collect();
+        let wl = SpecWorkload::iterated(vec![heavy, light], 4);
+        let p = Platform::homogeneous(2, 4);
+        let base = ClusterSim::run(&p, &BalanceConfig::baseline(), wl.clone()).unwrap();
+        let local =
+            ClusterSim::run(&p, &BalanceConfig::offloading(2, DromPolicy::Local), wl).unwrap();
+        assert!(
+            local.makespan.as_secs_f64() < 0.85 * base.makespan.as_secs_f64(),
+            "local {} vs baseline {}",
+            local.makespan,
+            base.makespan
+        );
+    }
+
+    #[test]
+    fn report_bookkeeping() {
+        let wl = uniform(2, 10, 0.01, 3);
+        let p = Platform::homogeneous(2, 4);
+        let cfg = BalanceConfig::offloading(2, DromPolicy::Global);
+        let r = ClusterSim::run(&p, &cfg, wl).unwrap();
+        assert_eq!(r.total_tasks, 60);
+        assert_eq!(r.iteration_times.len(), 3);
+        assert_eq!(r.trace.iteration_ends.len(), 3);
+        assert!(r.events > 0);
+        assert!(r.mean_iteration_secs(0) > 0.0);
+    }
+
+    #[test]
+    fn region_dependencies_serialize_within_iteration() {
+        use tlb_tasking::DataRegion;
+        // 10 tasks chained through one region: even with 4 cores they
+        // must run one after another → iteration = sum of durations.
+        let r = DataRegion::new(0x1000, 64);
+        let chain: Vec<TaskSpec> = (0..10)
+            .map(|_| TaskSpec::compute(0.05).reads_writes(r))
+            .collect();
+        let wl = SpecWorkload::iterated(vec![chain], 1);
+        let p = Platform::homogeneous(1, 4);
+        let rep = ClusterSim::run(&p, &BalanceConfig::baseline(), wl).unwrap();
+        let secs = rep.makespan.as_secs_f64();
+        assert!((secs - 0.5).abs() < 1e-6, "chained makespan {secs}");
+    }
+
+    #[test]
+    fn producer_consumer_dependencies_respected() {
+        use tlb_tasking::DataRegion;
+        // One producer writes a buffer; 8 consumers read chunks. The
+        // consumers can only start after the producer: makespan =
+        // producer + ceil(8/4)*consumer.
+        let buf = DataRegion::new(0x2000, 800);
+        let mut tasks = vec![TaskSpec::compute(0.1).writes(buf)];
+        for c in buf.chunks(8) {
+            tasks.push(TaskSpec::compute(0.05).reads(c));
+        }
+        let wl = SpecWorkload::iterated(vec![tasks], 1);
+        let p = Platform::homogeneous(1, 4);
+        let rep = ClusterSim::run(&p, &BalanceConfig::baseline(), wl).unwrap();
+        let secs = rep.makespan.as_secs_f64();
+        assert!((secs - 0.2).abs() < 1e-6, "fan-out makespan {secs}");
+    }
+
+    #[test]
+    fn dependent_tasks_offload_too() {
+        use tlb_tasking::DataRegion;
+        // Independent chains (one per region) can spread across nodes
+        // even though each chain is serial.
+        let chains: Vec<TaskSpec> = (0..8)
+            .flat_map(|k| {
+                let r = DataRegion::new(0x1000 * (k + 1), 64);
+                (0..6).map(move |_| TaskSpec::compute(0.05).reads_writes(r))
+            })
+            .collect();
+        let wl = SpecWorkload::iterated(vec![chains, Vec::new()], 2);
+        let p = Platform::homogeneous(2, 4);
+        let base = ClusterSim::run(&p, &BalanceConfig::baseline(), wl.clone()).unwrap();
+        let bal =
+            ClusterSim::run(&p, &BalanceConfig::offloading(2, DromPolicy::Global), wl).unwrap();
+        assert!(
+            bal.makespan < base.makespan,
+            "offloading chains: {} vs {}",
+            bal.makespan,
+            base.makespan
+        );
+        assert!(bal.offloaded_tasks > 0);
+    }
+
+    #[test]
+    fn mpi_recv_waits_for_send_and_transfer() {
+        use tlb_tasking::DataRegion;
+        // Rank 0: compute 100 ms, then send 10 MB. Rank 1: recv, then a
+        // compute that reads the received buffer.
+        let buf = DataRegion::new(0x9000, 64);
+        let r0 = vec![
+            TaskSpec::compute(0.1).writes(DataRegion::new(0x100, 8)),
+            TaskSpec::mpi_send(0.001, 1, 7, 10_000_000).reads(DataRegion::new(0x100, 8)),
+        ];
+        let r1 = vec![
+            TaskSpec::mpi_recv(0.001, 0, 7).writes(buf),
+            TaskSpec::compute(0.05).reads(buf),
+        ];
+        let wl = SpecWorkload::iterated(vec![r0, r1], 1);
+        let mut p = Platform::homogeneous(2, 2);
+        p.net_bandwidth = 1e9; // 10 MB at 1 GB/s = 10 ms on the wire
+        let rep = ClusterSim::run(&p, &BalanceConfig::baseline(), wl).unwrap();
+        // Critical path: 0.1 (compute) + 0.001 (pack) + 0.010 (wire)
+        // + 0.001 (unpack) + 0.05 (consume) ≈ 0.162.
+        let secs = rep.makespan.as_secs_f64();
+        assert!((secs - 0.162).abs() < 0.002, "makespan {secs}");
+    }
+
+    #[test]
+    fn mpi_ping_pong_round_trip() {
+        // Rank 0 sends to 1; rank 1 receives and replies; rank 0 receives.
+        let r0 = vec![
+            TaskSpec::mpi_send(0.001, 1, 1, 0),
+            TaskSpec::mpi_recv(0.001, 1, 2),
+        ];
+        let r1 = vec![
+            TaskSpec::mpi_recv(0.001, 0, 1).writes(tlb_tasking::DataRegion::new(0x10, 8)),
+            TaskSpec::mpi_send(0.001, 0, 2, 0).reads(tlb_tasking::DataRegion::new(0x10, 8)),
+        ];
+        let wl = SpecWorkload::iterated(vec![r0, r1], 2);
+        let p = Platform::homogeneous(2, 2);
+        let rep = ClusterSim::run(&p, &BalanceConfig::baseline(), wl).unwrap();
+        assert_eq!(rep.total_tasks, 8);
+        // Two latencies + four task bodies per iteration, two iterations.
+        assert!(rep.makespan.as_secs_f64() > 2.0 * 0.004);
+    }
+
+    #[test]
+    fn unmatched_recv_is_reported_not_hung() {
+        let r0 = vec![TaskSpec::compute(0.01)];
+        let r1 = vec![TaskSpec::mpi_recv(0.001, 0, 99)];
+        let wl = SpecWorkload::iterated(vec![r0, r1], 1);
+        let p = Platform::homogeneous(2, 2);
+        match ClusterSim::run(&p, &BalanceConfig::baseline(), wl) {
+            Err(SimError::Shape(msg)) => assert!(msg.contains("deadlock"), "{msg}"),
+            other => panic!("expected deadlock error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-offloadable")]
+    fn offloadable_mpi_task_rejected() {
+        let mut bad = TaskSpec::mpi_send(0.001, 1, 1, 0);
+        bad.offloadable = true;
+        let wl = SpecWorkload::iterated(vec![vec![bad], vec![TaskSpec::mpi_recv(0.001, 0, 1)]], 1);
+        let p = Platform::homogeneous(2, 2);
+        let _ = ClusterSim::run(&p, &BalanceConfig::baseline(), wl);
+    }
+
+    #[test]
+    fn speed_event_throttles_and_offloading_recovers() {
+        use tlb_des::SimTime;
+        // Balanced workload; node 1 throttles to one third speed midway.
+        let wl = uniform(2, 120, 0.05, 8);
+        let p = Platform::homogeneous(2, 4).with_speed_event(SimTime::from_secs(3), 1, 1.0 / 3.0);
+        let base = ClusterSim::run_opts(&p, &BalanceConfig::baseline(), wl.clone(), false).unwrap();
+        let mut cfg = BalanceConfig::offloading(2, DromPolicy::Global);
+        cfg.global_period = SimTime::from_millis(500);
+        let bal = ClusterSim::run_opts(&p, &cfg, wl.clone(), false).unwrap();
+        // Without throttling both would take ~6s; with it the baseline's
+        // later iterations stretch ~3x on node 1 while the balanced run
+        // re-spreads the work.
+        assert!(
+            bal.makespan.as_secs_f64() < 0.8 * base.makespan.as_secs_f64(),
+            "throttled: balanced {} vs baseline {}",
+            bal.makespan,
+            base.makespan
+        );
+        // And a no-event control shows the event really was the cause.
+        let calm = Platform::homogeneous(2, 4);
+        let calm_base = ClusterSim::run_opts(&calm, &BalanceConfig::baseline(), wl, false).unwrap();
+        assert!(base.makespan.as_secs_f64() > 1.5 * calm_base.makespan.as_secs_f64());
+    }
+
+    #[test]
+    fn speed_events_are_deterministic() {
+        use tlb_des::SimTime;
+        let wl = uniform(2, 40, 0.02, 3);
+        let p = Platform::homogeneous(2, 4)
+            .with_speed_event(SimTime::from_millis(200), 0, 0.5)
+            .with_speed_event(SimTime::from_millis(500), 0, 1.0);
+        let cfg = BalanceConfig::offloading(2, DromPolicy::Global);
+        let a = ClusterSim::run_opts(&p, &cfg, wl.clone(), false).unwrap();
+        let b = ClusterSim::run_opts(&p, &cfg, wl, false).unwrap();
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn dynamic_spreading_spawns_helpers_and_balances() {
+        // Start at degree 1 (no helpers). One hot apprank must trigger
+        // helper spawning and approach the static degree-3 result.
+        let heavy: Vec<TaskSpec> = (0..160).map(|_| TaskSpec::compute(0.05)).collect();
+        let light: Vec<TaskSpec> = (0..20).map(|_| TaskSpec::compute(0.05)).collect();
+        let wl = SpecWorkload::iterated(vec![heavy, light.clone(), light.clone(), light], 8);
+        let p = Platform::homogeneous(4, 4);
+        let mut dyn_cfg = BalanceConfig::dynamic_spreading(3);
+        dyn_cfg.global_period = SimTime::from_millis(300);
+        let mut static_cfg = BalanceConfig::offloading(3, DromPolicy::Global);
+        static_cfg.global_period = SimTime::from_millis(300);
+
+        let base = ClusterSim::run_opts(&p, &BalanceConfig::baseline(), wl.clone(), false).unwrap();
+        let dynamic = ClusterSim::run_opts(&p, &dyn_cfg, wl.clone(), false).unwrap();
+        let statically = ClusterSim::run_opts(&p, &static_cfg, wl, false).unwrap();
+
+        assert!(dynamic.spawned_helpers >= 1, "no helpers spawned");
+        assert!(
+            dynamic.spawned_helpers <= 4 * 2,
+            "spawning unbounded: {}",
+            dynamic.spawned_helpers
+        );
+        assert_eq!(statically.spawned_helpers, 0);
+        assert!(
+            dynamic.makespan.as_secs_f64() < 0.75 * base.makespan.as_secs_f64(),
+            "dynamic {} vs baseline {}",
+            dynamic.makespan,
+            base.makespan
+        );
+        // Within 30% of the static pre-provisioned configuration.
+        assert!(
+            dynamic.makespan.as_secs_f64() <= 1.3 * statically.makespan.as_secs_f64(),
+            "dynamic {} vs static {}",
+            dynamic.makespan,
+            statically.makespan
+        );
+    }
+
+    #[test]
+    fn dynamic_spreading_spawns_nothing_when_balanced() {
+        let wl = uniform(4, 40, 0.05, 4);
+        let p = Platform::homogeneous(4, 4);
+        let cfg = BalanceConfig::dynamic_spreading(3);
+        let r = ClusterSim::run_opts(&p, &cfg, wl, false).unwrap();
+        assert_eq!(r.spawned_helpers, 0, "balanced load spawned helpers");
+        assert_eq!(r.offloaded_tasks, 0);
+    }
+
+    #[test]
+    fn dynamic_requires_global_policy() {
+        let wl = uniform(2, 10, 0.01, 1);
+        let p = Platform::homogeneous(2, 4);
+        let mut cfg = BalanceConfig::dynamic_spreading(2);
+        cfg.drom = DromPolicy::Local;
+        assert!(matches!(
+            ClusterSim::run_opts(&p, &cfg, wl, false),
+            Err(SimError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn parallel_efficiency_reported() {
+        // Perfectly parallel single-rank fill: efficiency near 1.
+        let wl = uniform(1, 40, 0.1, 2);
+        let p = Platform::homogeneous(1, 4);
+        let r = ClusterSim::run(&p, &BalanceConfig::baseline(), wl).unwrap();
+        assert!(
+            r.parallel_efficiency > 0.95,
+            "efficiency {}",
+            r.parallel_efficiency
+        );
+        // Imbalanced baseline wastes the light node: efficiency well
+        // below 1 and roughly total-work / (makespan * cores).
+        let heavy: Vec<TaskSpec> = (0..80).map(|_| TaskSpec::compute(0.05)).collect();
+        let light: Vec<TaskSpec> = (0..20).map(|_| TaskSpec::compute(0.05)).collect();
+        let wl = SpecWorkload::iterated(vec![heavy, light], 1);
+        let p = Platform::homogeneous(2, 4);
+        let r = ClusterSim::run(&p, &BalanceConfig::baseline(), wl).unwrap();
+        let expected = 5.0 / (r.makespan.as_secs_f64() * 8.0);
+        assert!(
+            (r.parallel_efficiency - expected).abs() < 0.02,
+            "efficiency {} vs expected {expected}",
+            r.parallel_efficiency
+        );
+    }
+
+    #[test]
+    fn shape_errors_rejected() {
+        let wl = uniform(3, 5, 0.01, 1);
+        let p = Platform::homogeneous(2, 4);
+        assert!(matches!(
+            ClusterSim::run(&p, &BalanceConfig::baseline(), wl),
+            Err(SimError::Shape(_))
+        ));
+        // Degree too large for the cores.
+        let wl = uniform(4, 5, 0.01, 1);
+        let p = Platform::homogeneous(2, 4);
+        let mut cfg = BalanceConfig::offloading(2, DromPolicy::Off);
+        cfg.degree = 2; // 2 appranks/node * degree 2 = 4 workers on 4 cores: ok
+        assert!(ClusterSim::run(&p, &cfg, wl.clone()).is_ok());
+        cfg.degree = 3; // would need 6 workers > 4 cores... but degree 3 > nodes(2) anyway
+        assert!(ClusterSim::run(&p, &cfg, wl).is_err());
+    }
+
+    #[test]
+    fn perfect_balance_bound_respected() {
+        // Makespan can never beat total_work / capacity.
+        let heavy: Vec<TaskSpec> = (0..64).map(|_| TaskSpec::compute(0.05)).collect();
+        let light: Vec<TaskSpec> = (0..16).map(|_| TaskSpec::compute(0.05)).collect();
+        let wl = SpecWorkload::iterated(vec![heavy, light], 2);
+        let total = wl.total_work();
+        let p = Platform::homogeneous(2, 4);
+        let cfg = BalanceConfig::offloading(2, DromPolicy::Global);
+        let r = ClusterSim::run(&p, &cfg, wl).unwrap();
+        let bound = total / 8.0;
+        assert!(
+            r.makespan.as_secs_f64() >= bound - 1e-9,
+            "makespan {} below physical bound {bound}",
+            r.makespan
+        );
+    }
+
+    #[test]
+    fn transfer_costs_are_charged() {
+        // Huge payloads make offloading unattractive in time even though
+        // the scheduler still sends tasks: makespan grows vs zero-byte.
+        let mk = |bytes: usize| -> SpecWorkload {
+            let heavy: Vec<TaskSpec> = (0..60).map(|_| TaskSpec::with_bytes(0.02, bytes)).collect();
+            let light: Vec<TaskSpec> = (0..10).map(|_| TaskSpec::compute(0.02)).collect();
+            SpecWorkload::iterated(vec![heavy, light], 2)
+        };
+        let mut p = Platform::homogeneous(2, 4);
+        p.net_bandwidth = 1e8; // slow network to make the effect visible
+        let cfg = BalanceConfig::offloading(2, DromPolicy::Global);
+        let small = ClusterSim::run(&p, &cfg, mk(0)).unwrap();
+        let big = ClusterSim::run(&p, &cfg, mk(4_000_000)).unwrap();
+        assert!(
+            big.makespan > small.makespan,
+            "transfer cost not charged: {} vs {}",
+            big.makespan,
+            small.makespan
+        );
+    }
+}

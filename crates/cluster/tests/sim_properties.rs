@@ -1,0 +1,183 @@
+//! Property tests of the cluster runtime: for random workloads and
+//! configurations, the simulation must terminate, complete every task,
+//! respect physical bounds, and be deterministic.
+
+use proptest::prelude::*;
+use tlb_cluster::{ClusterSim, SpecWorkload, TaskSpec};
+use tlb_core::{BalanceConfig, DromPolicy, Platform, StealGate, WorkSignal};
+
+#[derive(Clone, Debug)]
+struct Shape {
+    nodes: usize,
+    per_node: usize,
+    cores: usize,
+    degree: usize,
+    lewi: bool,
+    drom: DromPolicy,
+    gate: StealGate,
+    signal: WorkSignal,
+}
+
+fn gen_shape() -> impl Strategy<Value = Shape> {
+    (
+        1usize..5, // nodes
+        1usize..3, // appranks per node
+        prop_oneof![
+            Just(DromPolicy::Off),
+            Just(DromPolicy::Local),
+            Just(DromPolicy::Global)
+        ],
+        any::<bool>(),
+        prop_oneof![
+            Just(StealGate::Owned),
+            Just(StealGate::Usable),
+            Just(StealGate::Unbounded)
+        ],
+        prop_oneof![Just(WorkSignal::BusyPending), Just(WorkSignal::CreatedWork)],
+        1usize..4, // degree cap
+    )
+        .prop_map(|(nodes, per_node, drom, lewi, gate, signal, degree)| {
+            let degree = degree.min(nodes);
+            // Enough cores for the one-core-per-worker floor.
+            let cores = (degree * per_node).max(2) + 2;
+            Shape {
+                nodes,
+                per_node,
+                cores,
+                degree,
+                lewi,
+                drom,
+                gate,
+                signal,
+            }
+        })
+}
+
+fn gen_workload(ranks: usize) -> impl Strategy<Value = Vec<Vec<Vec<(u32, bool)>>>> {
+    // iterations × ranks × tasks(duration ms, offloadable)
+    prop::collection::vec(
+        prop::collection::vec(
+            prop::collection::vec((1u32..60, any::<bool>()), 0..20),
+            ranks..=ranks,
+        ),
+        1..4,
+    )
+}
+
+fn build(specs: &[Vec<Vec<(u32, bool)>>]) -> SpecWorkload {
+    SpecWorkload::new(
+        specs
+            .iter()
+            .map(|it| {
+                it.iter()
+                    .map(|tasks| {
+                        tasks
+                            .iter()
+                            .map(|&(ms, off)| {
+                                let d = ms as f64 / 1000.0;
+                                if off {
+                                    TaskSpec::compute(d)
+                                } else {
+                                    TaskSpec::pinned(d)
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn simulation_always_completes_and_respects_bounds(
+        shape in gen_shape(),
+        raw in gen_shape().prop_flat_map(|s| gen_workload(s.nodes * s.per_node)),
+    ) {
+        // Pair the workload rank count to this shape by truncating/padding.
+        let ranks = shape.nodes * shape.per_node;
+        let mut specs = raw;
+        for it in specs.iter_mut() {
+            it.resize(ranks, Vec::new());
+        }
+        let wl = build(&specs);
+        let platform = Platform::homogeneous(shape.nodes, shape.cores);
+        let mut cfg = BalanceConfig {
+            degree: shape.degree,
+            lewi: shape.lewi,
+            drom: shape.drom,
+            steal_gate: shape.gate,
+            work_signal: shape.signal,
+            ..BalanceConfig::default()
+        };
+        cfg.global_period = tlb_des::SimTime::from_millis(200);
+        cfg.local_period = tlb_des::SimTime::from_millis(50);
+
+        let total_work: f64 = specs
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|&(ms, _)| ms as f64 / 1000.0)
+            .sum();
+        let report = ClusterSim::run_opts(&platform, &cfg, wl.clone(), false).unwrap();
+
+        // All tasks executed.
+        let n_tasks: usize = specs.iter().flatten().map(|t| t.len()).sum();
+        prop_assert_eq!(report.total_tasks, n_tasks);
+        prop_assert_eq!(report.iteration_times.len(), specs.len());
+
+        // Physical lower bound: cannot beat work/capacity.
+        let bound = total_work / platform.effective_capacity();
+        prop_assert!(
+            report.makespan.as_secs_f64() >= bound - 1e-9,
+            "makespan {} below bound {bound}", report.makespan
+        );
+        // Sanity upper bound: serial execution on one core (plus barriers).
+        prop_assert!(
+            report.makespan.as_secs_f64() <= total_work + 1.0,
+            "makespan {} above serial bound {total_work}", report.makespan
+        );
+
+        // Degree 1 or pinned-only tasks never offload.
+        if shape.degree == 1 {
+            prop_assert_eq!(report.offloaded_tasks, 0);
+        }
+
+        // Determinism.
+        let again = ClusterSim::run_opts(&platform, &cfg, wl, false).unwrap();
+        prop_assert_eq!(report.makespan, again.makespan);
+        prop_assert_eq!(report.events, again.events);
+        prop_assert_eq!(report.offloaded_tasks, again.offloaded_tasks);
+    }
+
+    /// More balancing never catastrophically hurts: the global policy's
+    /// makespan stays within 2x of the baseline for any workload (it is
+    /// usually far better; pathological graphs/overheads must not explode).
+    #[test]
+    fn balancing_is_never_catastrophic(
+        raw in gen_workload(4),
+    ) {
+        let platform = Platform::homogeneous(2, 6);
+        let wl = build(&raw);
+        let base = ClusterSim::run_opts(&platform, &BalanceConfig::baseline(), wl.clone(), false)
+            .unwrap()
+            .makespan
+            .as_secs_f64();
+        let glob = ClusterSim::run_opts(
+            &platform,
+            &BalanceConfig::offloading(2, DromPolicy::Global),
+            wl,
+            false,
+        )
+        .unwrap()
+        .makespan
+        .as_secs_f64();
+        prop_assert!(
+            glob <= base * 2.0 + 0.2,
+            "global {glob} vs baseline {base}"
+        );
+    }
+}

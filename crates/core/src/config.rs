@@ -1,0 +1,350 @@
+//! Experiment configuration: platform description and balancing knobs.
+
+use serde::{Deserialize, Serialize};
+use tlb_des::SimTime;
+
+/// A scheduled change of one node's speed (DVFS step, thermal throttle,
+/// turbo variation — the system-level imbalance sources of the paper's
+/// introduction).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpeedEvent {
+    /// When the change takes effect.
+    pub at: SimTime,
+    /// Which node.
+    pub node: usize,
+    /// New relative speed (1.0 = nominal). Tasks already executing keep
+    /// their start-time duration; tasks started afterwards use the new
+    /// speed.
+    pub speed: f64,
+}
+
+/// Description of the (virtual) machine an experiment runs on.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Platform {
+    /// Number of compute nodes.
+    pub nodes: usize,
+    /// Cores per node.
+    pub cores_per_node: usize,
+    /// Relative speed per node (1.0 nominal). Task durations divide by
+    /// this, so 0.6 models Nord3's 1.8 GHz nodes among 3.0 GHz peers.
+    pub node_speed: Vec<f64>,
+    /// One-way network latency for control messages and transfers.
+    pub net_latency: SimTime,
+    /// Network bandwidth in bytes per second (per link).
+    pub net_bandwidth: f64,
+    /// Core time consumed per *offloaded* task by the runtime itself
+    /// (control messages, eager data copies, distributed dependency
+    /// bookkeeping — §5.1).
+    pub offload_cpu_overhead: SimTime,
+    /// Scheduled mid-run speed changes (DVFS/thermal events).
+    pub speed_events: Vec<SpeedEvent>,
+    /// Background CPU consumed by each worker *process* on a node
+    /// (message polling, distributed dependency state), as a fraction of
+    /// one core. More helper ranks per node mean more such noise — the
+    /// paper's reason to keep the offloading degree low ("each helper
+    /// rank implies point-to-point communication and state", §5.1), and
+    /// what makes degree 8 slightly worse than degree 4 in Fig. 6.
+    pub worker_noise: f64,
+}
+
+impl Platform {
+    /// Homogeneous *ideal* platform at speed 1.0: no runtime noise, no
+    /// offload overhead. Unit tests and algorithm studies use this; the
+    /// machine presets ([`Platform::mn4`], [`Platform::nord3`]) add the
+    /// realistic overheads.
+    pub fn homogeneous(nodes: usize, cores_per_node: usize) -> Self {
+        Platform {
+            nodes,
+            cores_per_node,
+            node_speed: vec![1.0; nodes],
+            net_latency: SimTime::from_micros(2),
+            net_bandwidth: 12.5e9, // 100 Gb/s Omni-Path
+            offload_cpu_overhead: SimTime::ZERO,
+            speed_events: Vec::new(),
+            worker_noise: 0.0,
+        }
+    }
+
+    /// MareNostrum 4 general-purpose block: 48-core nodes (2×24 Platinum),
+    /// 100 Gb/s Omni-Path (paper §6.3), with realistic runtime overheads.
+    pub fn mn4(nodes: usize) -> Self {
+        let mut p = Platform::homogeneous(nodes, 48);
+        p.offload_cpu_overhead = SimTime::from_micros(250);
+        p.worker_noise = 0.2;
+        p
+    }
+
+    /// Nord3: 16-core nodes (2×8 SandyBridge). `slow_nodes` run at
+    /// 1.8 GHz against 3.0 GHz for the rest (speed factor 0.6).
+    pub fn nord3(nodes: usize, slow_nodes: &[usize]) -> Self {
+        let mut p = Platform::homogeneous(nodes, 16);
+        p.net_bandwidth = 5e9; // older InfiniBand FDR10
+        p.offload_cpu_overhead = SimTime::from_micros(250);
+        p.worker_noise = 0.2;
+        for &n in slow_nodes {
+            p.node_speed[n] = 1.8 / 3.0;
+        }
+        p
+    }
+
+    /// Mark `node` as slower by `factor` (>1 = that much slower), as the
+    /// synthetic slow-node sweep does (Fig. 10, 3× slower).
+    pub fn with_slowdown(mut self, node: usize, factor: f64) -> Self {
+        assert!(factor > 0.0, "slowdown factor must be positive");
+        self.node_speed[node] = 1.0 / factor;
+        self
+    }
+
+    /// Schedule a mid-run speed change (DVFS step / thermal throttle).
+    pub fn with_speed_event(mut self, at: SimTime, node: usize, speed: f64) -> Self {
+        assert!(speed > 0.0, "speed must be positive");
+        assert!(node < self.nodes, "node out of range");
+        self.speed_events.push(SpeedEvent { at, node, speed });
+        self
+    }
+
+    /// Total cores across the machine.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    /// Sum of `cores × speed` — the machine's effective core count.
+    pub fn effective_capacity(&self) -> f64 {
+        self.node_speed
+            .iter()
+            .map(|s| s * self.cores_per_node as f64)
+            .sum()
+    }
+}
+
+/// Which DROM core-allocation policy runs (paper §5.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DromPolicy {
+    /// DROM disabled: ownership stays at the initial split.
+    Off,
+    /// Local convergence (§5.4.1): per-node, proportional to busy cores.
+    Local,
+    /// Global solver (§5.4.2): min-max program over the expander graph.
+    Global,
+}
+
+/// Solver backing the global policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GlobalSolverKind {
+    /// Two-phase simplex on the work-split LP (the paper's CVXOPT role).
+    Simplex,
+    /// Parametric bisection with a max-flow feasibility oracle (ablation).
+    Flow,
+}
+
+/// Demand signal fed to the global solver (§5.4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkSignal {
+    /// The paper's signal: time-integrated busy cores per worker over the
+    /// window, plus currently pending work. Subject to phase error when
+    /// the window cuts iterations at different points per rank.
+    BusyPending,
+    /// Work *created* per apprank since the last solve, taken from the
+    /// tasks' cost hints. All appranks share iteration boundaries, so the
+    /// signal is exactly proportional to demand; falls back to
+    /// `BusyPending` in windows where no tasks were created. (Nanos6 has
+    /// no duration oracle, hence the paper uses busy cores; our runtime
+    /// has the cost hints anyway. `ablation_signal` quantifies the gap.)
+    CreatedWork,
+}
+
+/// How aggressively a worker may steal held tasks onto cores beyond its
+/// eager queue (paper §5.5: "will be stolen as tasks complete").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StealGate {
+    /// Steal only while below `depth × owned` tasks — the strict reading
+    /// of §5.5 (borrowed cores never increase steal appetite).
+    Owned,
+    /// Steal while below `depth × (owned + idle cores on the node)`:
+    /// borrowed capacity counts only while it is actually idle, which
+    /// floods an idle neighbour node (Fig. 9c) yet stays
+    /// ownership-proportional when the machine is saturated.
+    Usable,
+    /// No gate: steal whenever a core is acquirable (most work-conserving,
+    /// most placement-myopic).
+    Unbounded,
+}
+
+/// Dynamic work spreading (the paper's §5.2 future-work extension):
+/// instead of a fixed offloading degree, helper ranks are spawned at run
+/// time when the global solver finds an apprank capacity-constrained.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DynamicSpreading {
+    /// Hard cap on nodes per apprank (home included).
+    pub max_degree: usize,
+    /// Spawn when the solved bound exceeds the machine-wide mean load by
+    /// this factor (e.g. 1.1 = 10% above perfect balance).
+    pub overload_threshold: f64,
+}
+
+impl Default for DynamicSpreading {
+    fn default() -> Self {
+        DynamicSpreading {
+            max_degree: 4,
+            overload_threshold: 1.1,
+        }
+    }
+}
+
+/// All balancing knobs for one execution.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BalanceConfig {
+    /// Offloading degree: nodes per apprank including home (1 = no
+    /// offloading, the baseline).
+    pub degree: usize,
+    /// LeWI fine-grained lending on/off.
+    pub lewi: bool,
+    /// DROM coarse-grained policy.
+    pub drom: DromPolicy,
+    /// Solver used when `drom == Global`.
+    pub solver: GlobalSolverKind,
+    /// Local policy adjustment period (continuous in the paper; we tick it
+    /// at this period — 100 ms by default).
+    pub local_period: SimTime,
+    /// Global policy period (paper: every two seconds).
+    pub global_period: SimTime,
+    /// Cost charged to the node hosting the global solver per invocation
+    /// (the paper measures ≈57 ms at 32 nodes; we measure our own solver
+    /// and charge that, but the knob allows reproducing theirs).
+    pub solver_cost_override: Option<SimTime>,
+    /// Expander graph seed.
+    pub seed: u64,
+    /// Ablation: scheduler threshold of queued tasks per owned core
+    /// (paper uses two, §5.5).
+    pub queue_depth_per_core: usize,
+    /// Ablation: let the scheduler count LeWI-borrowed cores as capacity
+    /// (the paper deliberately does not, §5.5).
+    pub count_borrowed_cores: bool,
+    /// Demand signal for the global solver.
+    pub work_signal: WorkSignal,
+    /// Steal aggressiveness (see [`StealGate`]).
+    pub steal_gate: StealGate,
+    /// Dynamic helper spawning (requires `drom == Global`); `degree` is
+    /// then the *initial* degree, usually 1.
+    pub dynamic: Option<DynamicSpreading>,
+}
+
+impl Default for BalanceConfig {
+    fn default() -> Self {
+        BalanceConfig {
+            degree: 4,
+            lewi: true,
+            drom: DromPolicy::Global,
+            solver: GlobalSolverKind::Simplex,
+            local_period: SimTime::from_millis(100),
+            global_period: SimTime::from_secs(2),
+            solver_cost_override: None,
+            seed: 1,
+            queue_depth_per_core: 2,
+            count_borrowed_cores: false,
+            work_signal: WorkSignal::CreatedWork,
+            steal_gate: StealGate::Usable,
+            dynamic: None,
+        }
+    }
+}
+
+impl BalanceConfig {
+    /// The no-balancing baseline: degree 1, no LeWI, no DROM.
+    pub fn baseline() -> Self {
+        BalanceConfig {
+            degree: 1,
+            lewi: false,
+            drom: DromPolicy::Off,
+            ..BalanceConfig::default()
+        }
+    }
+
+    /// Single-node DLB only (the paper's "DLB" series): degree 1 with
+    /// LeWI and DROM active *within* each node.
+    pub fn dlb_only() -> Self {
+        BalanceConfig {
+            degree: 1,
+            lewi: true,
+            drom: DromPolicy::Local,
+            ..BalanceConfig::default()
+        }
+    }
+
+    /// Offloading at `degree` with the given policy, LeWI on.
+    pub fn offloading(degree: usize, drom: DromPolicy) -> Self {
+        BalanceConfig {
+            degree,
+            lewi: true,
+            drom,
+            ..BalanceConfig::default()
+        }
+    }
+
+    /// Builder: set the expander seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: toggle LeWI.
+    pub fn with_lewi(mut self, on: bool) -> Self {
+        self.lewi = on;
+        self
+    }
+
+    /// Dynamic work spreading from degree 1 (paper §5.2 future work).
+    pub fn dynamic_spreading(max_degree: usize) -> Self {
+        BalanceConfig {
+            degree: 1,
+            lewi: true,
+            drom: DromPolicy::Global,
+            dynamic: Some(DynamicSpreading {
+                max_degree,
+                ..DynamicSpreading::default()
+            }),
+            ..BalanceConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mn4_shape() {
+        let p = Platform::mn4(32);
+        assert_eq!(p.total_cores(), 32 * 48);
+        assert!((p.effective_capacity() - 1536.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nord3_slow_nodes() {
+        let p = Platform::nord3(16, &[0]);
+        assert_eq!(p.cores_per_node, 16);
+        assert!((p.node_speed[0] - 0.6).abs() < 1e-12);
+        assert_eq!(p.node_speed[1], 1.0);
+        assert!(p.effective_capacity() < 16.0 * 16.0);
+    }
+
+    #[test]
+    fn slowdown_builder() {
+        let p = Platform::homogeneous(4, 8).with_slowdown(2, 3.0);
+        assert!((p.node_speed[2] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn config_presets() {
+        let b = BalanceConfig::baseline();
+        assert_eq!(b.degree, 1);
+        assert!(!b.lewi);
+        assert_eq!(b.drom, DromPolicy::Off);
+        let d = BalanceConfig::dlb_only();
+        assert_eq!(d.degree, 1);
+        assert!(d.lewi);
+        let o = BalanceConfig::offloading(4, DromPolicy::Global);
+        assert_eq!(o.degree, 4);
+        assert_eq!(o.queue_depth_per_core, 2);
+    }
+}

@@ -1,0 +1,255 @@
+//! Process layout: which worker processes live on which node, and the
+//! initial DROM core ownership.
+
+use serde::{Deserialize, Serialize};
+use tlb_expander::BipartiteGraph;
+
+/// One worker process: the representative of `apprank` on a node. `slot`
+/// is the index of the node in the apprank's adjacency list (0 = the main
+/// process on the home node; ≥1 = helper ranks).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerRef {
+    /// The apprank this worker executes tasks for.
+    pub apprank: usize,
+    /// Index into the apprank's adjacency list (0 = home).
+    pub slot: usize,
+}
+
+impl WorkerRef {
+    /// Whether this is the apprank's main process (on its home node).
+    pub fn is_main(&self) -> bool {
+        self.slot == 0
+    }
+}
+
+/// The mapping of worker processes to nodes plus initial core ownership,
+/// derived from the expander graph (paper Fig. 2): each apprank has its
+/// main process on its home node and one helper rank on every other
+/// adjacent node. Helper ranks initially own one core (the DLB minimum);
+/// the remaining cores are divided equally among the node's main
+/// processes (§5.4).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ProcessLayout {
+    /// `workers[n]` = the worker processes hosted on node `n`, mains
+    /// first (by apprank), then helpers (by apprank).
+    workers: Vec<Vec<WorkerRef>>,
+    /// `proc_index[a][k]` = index of apprank `a`'s slot-`k` worker within
+    /// `workers[adjacency[a][k]]` — the per-node DLB process id.
+    proc_index: Vec<Vec<usize>>,
+    /// Initial ownership counts, aligned with `workers[n]`.
+    initial_ownership: Vec<Vec<usize>>,
+    cores_per_node: usize,
+}
+
+impl ProcessLayout {
+    /// Build the layout for `graph` on nodes with `cores_per_node` cores.
+    ///
+    /// # Panics
+    /// Panics if some node hosts more worker processes than cores (the
+    /// DLB one-core minimum would be violated) — the caller should reject
+    /// such configurations (degree too high for the machine shape).
+    pub fn new(graph: &BipartiteGraph, cores_per_node: usize) -> Self {
+        let nodes = graph.nodes();
+        let mut workers: Vec<Vec<WorkerRef>> = vec![Vec::new(); nodes];
+        // Mains first…
+        for a in 0..graph.appranks() {
+            workers[graph.home_node(a)].push(WorkerRef {
+                apprank: a,
+                slot: 0,
+            });
+        }
+        // …then helpers, ordered by apprank for determinism.
+        for a in 0..graph.appranks() {
+            for (k, &n) in graph.nodes_of(a).iter().enumerate().skip(1) {
+                workers[n].push(WorkerRef {
+                    apprank: a,
+                    slot: k,
+                });
+            }
+        }
+        // Reverse index.
+        let mut proc_index: Vec<Vec<usize>> = (0..graph.appranks())
+            .map(|a| vec![usize::MAX; graph.nodes_of(a).len()])
+            .collect();
+        for (n, ws) in workers.iter().enumerate() {
+            for (i, w) in ws.iter().enumerate() {
+                debug_assert_eq!(graph.nodes_of(w.apprank)[w.slot], n);
+                proc_index[w.apprank][w.slot] = i;
+            }
+        }
+        // Initial ownership.
+        let mut initial_ownership = Vec::with_capacity(nodes);
+        for ws in &workers {
+            assert!(
+                ws.len() <= cores_per_node,
+                "{} workers exceed {cores_per_node} cores on a node",
+                ws.len()
+            );
+            let mains = ws.iter().filter(|w| w.is_main()).count();
+            let helpers = ws.len() - mains;
+            let for_mains = cores_per_node - helpers;
+            let per_main = for_mains.checked_div(mains).unwrap_or(0);
+            let mut extra = for_mains.checked_rem(mains).unwrap_or(0);
+            let counts = ws
+                .iter()
+                .map(|w| {
+                    if w.is_main() {
+                        let c = per_main + usize::from(extra > 0);
+                        extra = extra.saturating_sub(1);
+                        c
+                    } else {
+                        1
+                    }
+                })
+                .collect();
+            initial_ownership.push(counts);
+        }
+        ProcessLayout {
+            workers,
+            proc_index,
+            initial_ownership,
+            cores_per_node,
+        }
+    }
+
+    /// Worker processes on `node`, mains first.
+    pub fn workers_on(&self, node: usize) -> &[WorkerRef] {
+        &self.workers[node]
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Cores per node the layout was built for.
+    pub fn cores_per_node(&self) -> usize {
+        self.cores_per_node
+    }
+
+    /// The per-node DLB process index of apprank `a`'s slot-`k` worker.
+    pub fn proc_of(&self, apprank: usize, slot: usize) -> usize {
+        self.proc_index[apprank][slot]
+    }
+
+    /// Initial ownership counts aligned with [`ProcessLayout::workers_on`].
+    pub fn initial_ownership(&self, node: usize) -> &[usize] {
+        &self.initial_ownership[node]
+    }
+
+    /// Total worker processes in the system.
+    pub fn total_workers(&self) -> usize {
+        self.workers.iter().map(|w| w.len()).sum()
+    }
+
+    /// Register a dynamically spawned helper of `apprank` on `node`
+    /// (paper §5.2 future work). Returns `(slot, per-node proc index)`.
+    ///
+    /// # Panics
+    /// Panics if the node has no core headroom for another worker.
+    pub fn push_worker(&mut self, apprank: usize, node: usize) -> (usize, usize) {
+        assert!(
+            self.workers[node].len() < self.cores_per_node,
+            "node {node} cannot host another worker"
+        );
+        let slot = self.proc_index[apprank].len();
+        assert!(slot >= 1, "dynamic workers are always helpers");
+        let proc = self.workers[node].len();
+        self.workers[node].push(WorkerRef { apprank, slot });
+        self.proc_index[apprank].push(proc);
+        self.initial_ownership[node].push(1);
+        (slot, proc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlb_expander::{generate_circulant, ExpanderConfig};
+
+    fn ring(appranks: usize, nodes: usize, degree: usize) -> BipartiteGraph {
+        let strides: Vec<usize> = (1..degree).collect();
+        generate_circulant(&ExpanderConfig::new(appranks, nodes, degree), &strides).unwrap()
+    }
+
+    #[test]
+    fn mains_precede_helpers() {
+        let g = ring(4, 4, 2);
+        let l = ProcessLayout::new(&g, 8);
+        for n in 0..4 {
+            let ws = l.workers_on(n);
+            assert_eq!(ws.len(), 2);
+            assert!(ws[0].is_main());
+            assert!(!ws[1].is_main());
+        }
+    }
+
+    #[test]
+    fn paper_marenostrum_ownership() {
+        // Fig. 4(c) shape: 2 appranks/node, degree 3 → 6 workers/node on a
+        // 48-core node: helpers own 1, each main owns 22 (paper §5.4).
+        let g = ring(32, 16, 3);
+        let l = ProcessLayout::new(&g, 48);
+        for n in 0..16 {
+            let own = l.initial_ownership(n);
+            let ws = l.workers_on(n);
+            assert_eq!(ws.len(), 6);
+            assert_eq!(own.iter().sum::<usize>(), 48);
+            for (w, &c) in ws.iter().zip(own) {
+                if w.is_main() {
+                    assert_eq!(c, 22);
+                } else {
+                    assert_eq!(c, 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_main_split_distributes_remainder() {
+        // 3 appranks on 1 node (degree 1), 10 cores: 4 + 3 + 3.
+        let g = ring(3, 1, 1);
+        let l = ProcessLayout::new(&g, 10);
+        assert_eq!(l.initial_ownership(0), &[4, 3, 3]);
+    }
+
+    #[test]
+    fn proc_index_roundtrips() {
+        let g = ring(8, 8, 3);
+        let l = ProcessLayout::new(&g, 4);
+        for a in 0..8 {
+            for (k, &n) in g.nodes_of(a).iter().enumerate() {
+                let p = l.proc_of(a, k);
+                let w = l.workers_on(n)[p];
+                assert_eq!(w.apprank, a);
+                assert_eq!(w.slot, k);
+            }
+        }
+        assert_eq!(l.total_workers(), 24);
+    }
+
+    #[test]
+    fn push_worker_extends_layout() {
+        let g = ring(4, 4, 1);
+        let mut l = ProcessLayout::new(&g, 4);
+        let (slot, proc) = l.push_worker(0, 2);
+        assert_eq!(slot, 1);
+        assert_eq!(proc, 1); // node 2 already hosts apprank 2's main
+        assert_eq!(
+            l.workers_on(2)[proc],
+            WorkerRef {
+                apprank: 0,
+                slot: 1
+            }
+        );
+        assert_eq!(l.proc_of(0, 1), proc);
+        assert_eq!(l.total_workers(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn too_many_workers_panics() {
+        let g = ring(4, 2, 2); // 4 workers per node
+        ProcessLayout::new(&g, 3);
+    }
+}

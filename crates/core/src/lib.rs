@@ -1,0 +1,41 @@
+//! The paper's primary contribution: transparent load balancing of MPI
+//! programs by combining OmpSs-2@Cluster task offloading with DLB.
+//!
+//! This crate holds the *decision logic* — everything that is independent
+//! of whether tasks run in virtual time (`tlb-cluster`) or on real threads
+//! (`tlb-smprt`):
+//!
+//! * [`ProcessLayout`] — how appranks and helper ranks map onto nodes,
+//!   derived from the expander graph (paper Fig. 2 / Fig. 4), including
+//!   the initial DROM core ownership (helpers own one core; appranks
+//!   split the rest, §5.4).
+//! * [`choose_node`] — the offload scheduler rule (§5.5): locality-best
+//!   node if it holds fewer than two tasks per *owned* core, else another
+//!   adjacent node under the threshold, else hold the task for stealing.
+//! * [`LocalPolicy`] — the local-convergence DROM policy (§5.4.1):
+//!   per-node core ownership proportional to each worker's average busy
+//!   cores.
+//! * [`GlobalPolicy`] — the global solver policy (§5.4.2): the min-max
+//!   linear program over the whole expander graph, solved every two
+//!   seconds via `tlb-linprog` (simplex or parametric max-flow).
+//! * [`imbalance`] and friends — the paper's dimensionless imbalance
+//!   metric (Eq. 2) and the perfect-balance execution-time bound used for
+//!   the "perfect" reference lines in Figs. 6–8.
+//! * [`BalanceConfig`] / [`Platform`] — experiment configuration,
+//!   including presets for the paper's two machines (MareNostrum 4 and
+//!   Nord3).
+
+mod config;
+mod layout;
+mod metrics;
+mod policy;
+mod sched;
+
+pub use config::{
+    BalanceConfig, DromPolicy, DynamicSpreading, GlobalSolverKind, Platform, SpeedEvent, StealGate,
+    WorkSignal,
+};
+pub use layout::{ProcessLayout, WorkerRef};
+pub use metrics::{imbalance, node_imbalance, perfect_time, Loads};
+pub use policy::{GlobalPolicy, LocalPolicy};
+pub use sched::{choose_node, CandidateState, Placement, QUEUE_DEPTH_PER_CORE};

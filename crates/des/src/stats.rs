@@ -1,0 +1,227 @@
+//! Small statistics helpers used by the load-measurement machinery.
+
+use crate::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Accumulates core·seconds of busy time, the quantity both DROM policies in
+/// the paper use as their load estimate ("average number of busy cores").
+///
+/// The integral is maintained incrementally: call [`BusyIntegral::set`] each
+/// time the number of busy cores changes, then query the windowed average.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BusyIntegral {
+    /// Accumulated core·seconds up to `last_change`.
+    integral: f64,
+    /// Busy-core count holding since `last_change`.
+    current: f64,
+    last_change: SimTime,
+    /// Window start used by `take_window`.
+    window_start: SimTime,
+    window_base: f64,
+}
+
+impl Default for BusyIntegral {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BusyIntegral {
+    /// A fresh accumulator at time zero with zero busy cores.
+    pub fn new() -> Self {
+        BusyIntegral {
+            integral: 0.0,
+            current: 0.0,
+            last_change: SimTime::ZERO,
+            window_start: SimTime::ZERO,
+            window_base: 0.0,
+        }
+    }
+
+    /// Record that from time `at` onward, `busy` cores are busy.
+    ///
+    /// # Panics
+    /// Panics if `at` precedes the previous update.
+    pub fn set(&mut self, at: SimTime, busy: f64) {
+        assert!(at >= self.last_change, "busy integral updated out of order");
+        self.integral += self.current * (at - self.last_change).as_secs_f64();
+        self.current = busy;
+        self.last_change = at;
+    }
+
+    /// The busy-core count currently holding.
+    pub fn current(&self) -> f64 {
+        self.current
+    }
+
+    /// Total core·seconds accumulated from time zero to `now`.
+    pub fn total(&self, now: SimTime) -> f64 {
+        assert!(now >= self.last_change);
+        self.integral + self.current * (now - self.last_change).as_secs_f64()
+    }
+
+    /// Average busy cores over the current measurement window, then restart
+    /// the window at `now`. This is the quantity the local-convergence
+    /// policy samples each period.
+    pub fn take_window(&mut self, now: SimTime) -> f64 {
+        let span = (now - self.window_start).as_secs_f64();
+        let total = self.total(now);
+        let avg = if span > 0.0 {
+            (total - self.window_base) / span
+        } else {
+            self.current
+        };
+        self.window_start = now;
+        self.window_base = total;
+        avg
+    }
+
+    /// Average busy cores over the current window without restarting it.
+    pub fn peek_window(&self, now: SimTime) -> f64 {
+        let span = (now - self.window_start).as_secs_f64();
+        if span > 0.0 {
+            (self.total(now) - self.window_base) / span
+        } else {
+            self.current
+        }
+    }
+}
+
+/// Streaming mean/variance (Welford) for wall-clock style measurements in
+/// the benchmark harness.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample standard deviation (0 with fewer than two observations).
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (NaN if empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (NaN if empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_integral_accumulates() {
+        let mut b = BusyIntegral::new();
+        b.set(SimTime::ZERO, 4.0);
+        b.set(SimTime::from_secs(1), 2.0);
+        // 4 cores for 1s + 2 cores for 1s = 6 core·s
+        assert!((b.total(SimTime::from_secs(2)) - 6.0).abs() < 1e-12);
+        assert_eq!(b.current(), 2.0);
+    }
+
+    #[test]
+    fn window_average_resets() {
+        let mut b = BusyIntegral::new();
+        b.set(SimTime::ZERO, 4.0);
+        let avg = b.take_window(SimTime::from_secs(2));
+        assert!((avg - 4.0).abs() < 1e-12);
+        b.set(SimTime::from_secs(3), 0.0);
+        // Window [2s,4s): 1s at 4.0 + 1s at 0.0 → avg 2.0
+        let avg = b.take_window(SimTime::from_secs(4));
+        assert!((avg - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peek_window_does_not_reset() {
+        let mut b = BusyIntegral::new();
+        b.set(SimTime::ZERO, 2.0);
+        assert!((b.peek_window(SimTime::from_secs(1)) - 2.0).abs() < 1e-12);
+        assert!((b.peek_window(SimTime::from_secs(2)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_span_window_returns_current() {
+        let mut b = BusyIntegral::new();
+        b.set(SimTime::ZERO, 3.0);
+        assert_eq!(b.take_window(SimTime::ZERO), 3.0);
+    }
+
+    #[test]
+    fn running_stats_basics() {
+        let mut s = RunningStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample stddev of this classic dataset is sqrt(32/7)
+        assert!((s.stddev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert!(s.min().is_nan());
+    }
+}

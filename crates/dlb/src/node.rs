@@ -1,0 +1,600 @@
+//! Per-node core ownership/lending state machine (LeWI + DROM).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A worker process on the node (apprank main process or helper rank).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ProcId(pub usize);
+
+impl fmt::Debug for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Errors from DLB operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DlbError {
+    /// Ownership counts do not sum to the node's core count.
+    BadOwnershipSum { got: usize, cores: usize },
+    /// A process would own zero cores (below the DLB minimum).
+    BelowMinimum(ProcId),
+    /// Release of a core the process is not using.
+    NotUser { proc: ProcId, core: usize },
+}
+
+impl fmt::Display for DlbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DlbError::BadOwnershipSum { got, cores } => {
+                write!(f, "ownership counts sum to {got}, node has {cores} cores")
+            }
+            DlbError::BelowMinimum(p) => write!(f, "process {p:?} would own zero cores"),
+            DlbError::NotUser { proc, core } => {
+                write!(f, "process {proc:?} does not hold core {core}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DlbError {}
+
+/// Externally visible state of one core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoreState {
+    /// Current owner.
+    pub owner: ProcId,
+    /// Process running a task on the core, if any.
+    pub user: Option<ProcId>,
+    /// Owner has requested the core back from a borrower.
+    pub reclaim: bool,
+    /// DROM ownership transfer deferred until the core is released.
+    pub transfer_to: Option<ProcId>,
+}
+
+#[derive(Clone, Debug)]
+struct Core {
+    owner: ProcId,
+    user: Option<ProcId>,
+    reclaim: bool,
+    transfer_to: Option<ProcId>,
+}
+
+/// DLB state for the cores of one node.
+///
+/// All methods are O(cores); nodes have at most a few dozen cores so no
+/// index structures are warranted.
+#[derive(Clone, Debug)]
+pub struct NodeDlb {
+    cores: Vec<Core>,
+    lewi: bool,
+    num_procs: usize,
+}
+
+impl NodeDlb {
+    /// A node whose `i`-th core is initially owned by `initial_owner[i]`.
+    /// `lewi` enables lending of idle cores between processes.
+    pub fn new(cores: usize, initial_owner: &[ProcId], lewi: bool) -> Self {
+        assert_eq!(cores, initial_owner.len(), "owner per core required");
+        assert!(cores > 0, "node must have cores");
+        let num_procs = initial_owner.iter().map(|p| p.0).max().unwrap_or(0) + 1;
+        NodeDlb {
+            cores: initial_owner
+                .iter()
+                .map(|&owner| Core {
+                    owner,
+                    user: None,
+                    reclaim: false,
+                    transfer_to: None,
+                })
+                .collect(),
+            lewi,
+            num_procs,
+        }
+    }
+
+    /// Convenience: build the paper's initial layout — each process owns
+    /// `counts[p]` cores, contiguously.
+    pub fn with_counts(counts: &[usize], lewi: bool) -> Self {
+        let total: usize = counts.iter().sum();
+        let mut owner = Vec::with_capacity(total);
+        for (p, &c) in counts.iter().enumerate() {
+            owner.extend(std::iter::repeat_n(ProcId(p), c));
+        }
+        NodeDlb::new(total, &owner, lewi)
+    }
+
+    /// Number of cores on the node.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Whether LeWI lending is enabled.
+    pub fn lewi_enabled(&self) -> bool {
+        self.lewi
+    }
+
+    /// Enable/disable LeWI.
+    pub fn set_lewi(&mut self, on: bool) {
+        self.lewi = on;
+    }
+
+    /// Snapshot of one core's state.
+    pub fn core_state(&self, core: usize) -> CoreState {
+        let c = &self.cores[core];
+        CoreState {
+            owner: c.owner,
+            user: c.user,
+            reclaim: c.reclaim,
+            transfer_to: c.transfer_to,
+        }
+    }
+
+    /// Cores owned by `proc` (DROM ownership, regardless of current user).
+    pub fn owned_count(&self, proc: ProcId) -> usize {
+        self.cores.iter().filter(|c| c.owner == proc).count()
+    }
+
+    /// Cores currently being used by `proc` (own or borrowed).
+    pub fn used_count(&self, proc: ProcId) -> usize {
+        self.cores.iter().filter(|c| c.user == Some(proc)).count()
+    }
+
+    /// Cores in use by any process.
+    pub fn busy_count(&self) -> usize {
+        self.cores.iter().filter(|c| c.user.is_some()).count()
+    }
+
+    /// Whether `core` is in use by a process other than its owner.
+    pub fn is_borrowed(&self, core: usize) -> bool {
+        let c = &self.cores[core];
+        c.user.is_some_and(|u| u != c.owner)
+    }
+
+    /// Whether the owner has posted a reclaim for `core`.
+    pub fn reclaim_pending(&self, core: usize) -> bool {
+        self.cores[core].reclaim
+    }
+
+    /// Try to obtain a core for `proc` to run a task on.
+    ///
+    /// Search order: (1) an idle core owned by `proc`; (2) with LeWI, an
+    /// idle core owned by someone else (a *borrow*). If nothing is free,
+    /// posts a reclaim on every core `proc` owns that is currently
+    /// borrowed, so they come home as soon as their tasks finish, and
+    /// returns `None`.
+    pub fn acquire(&mut self, proc: ProcId) -> Option<usize> {
+        // (1) idle own core.
+        if let Some(i) = self
+            .cores
+            .iter()
+            .position(|c| c.owner == proc && c.user.is_none())
+        {
+            self.cores[i].user = Some(proc);
+            self.cores[i].reclaim = false;
+            return Some(i);
+        }
+        // (2) borrow an idle foreign core, but never one whose owner has
+        // posted a reclaim (it is on its way home).
+        if self.lewi {
+            if let Some(i) = self
+                .cores
+                .iter()
+                .position(|c| c.user.is_none() && !c.reclaim && c.transfer_to.is_none())
+            {
+                self.cores[i].user = Some(proc);
+                return Some(i);
+            }
+        }
+        // Nothing free: reclaim our lent-out cores.
+        for c in self.cores.iter_mut() {
+            if c.owner == proc && c.user.is_some_and(|u| u != proc) {
+                c.reclaim = true;
+            }
+        }
+        None
+    }
+
+    /// Release a core after a task finishes. Applies any deferred DROM
+    /// ownership transfer; clears reclaim if the core returned home.
+    pub fn release(&mut self, proc: ProcId, core: usize) -> Result<(), DlbError> {
+        let c = &mut self.cores[core];
+        if c.user != Some(proc) {
+            return Err(DlbError::NotUser { proc, core });
+        }
+        c.user = None;
+        if let Some(to) = c.transfer_to.take() {
+            c.owner = to;
+            c.reclaim = false;
+        } else if c.reclaim {
+            // The borrower returned it; it is now an idle owned core.
+            c.reclaim = false;
+        }
+        Ok(())
+    }
+
+    /// DROM: reassign ownership so that process `p` owns `counts[p]` cores.
+    ///
+    /// Counts must sum to the core total and be ≥ 1 for every process that
+    /// appears on the node (the DLB minimum). Transfers prefer idle cores
+    /// (ownership moves immediately); busy cores transfer when released;
+    /// a busy core already used by its future owner transfers immediately.
+    pub fn set_ownership(&mut self, counts: &[usize]) -> Result<(), DlbError> {
+        let total: usize = counts.iter().sum();
+        if total != self.cores.len() {
+            return Err(DlbError::BadOwnershipSum {
+                got: total,
+                cores: self.cores.len(),
+            });
+        }
+        if let Some(p) = counts.iter().position(|&c| c == 0) {
+            return Err(DlbError::BelowMinimum(ProcId(p)));
+        }
+        self.num_procs = self.num_procs.max(counts.len());
+
+        // Effective current ownership counting pending transfers as done.
+        let eff_owner = |c: &Core| c.transfer_to.unwrap_or(c.owner);
+        let mut have = vec![0usize; counts.len()];
+        for c in &self.cores {
+            let p = eff_owner(c).0;
+            if p < have.len() {
+                have[p] += 1;
+            }
+        }
+        // Donors give, receivers take, one core at a time (deterministic:
+        // lowest core index first, idle cores preferred).
+        let mut need: Vec<isize> = counts
+            .iter()
+            .zip(&have)
+            .map(|(&want, &h)| want as isize - h as isize)
+            .collect();
+
+        for recv in 0..counts.len() {
+            while need[recv] > 0 {
+                // Find a donor with surplus.
+                let Some(donor) = need.iter().position(|&n| n < 0) else {
+                    break;
+                };
+                // Pick a core effectively owned by the donor: idle first.
+                let pick = self
+                    .cores
+                    .iter()
+                    .position(|c| eff_owner(c).0 == donor && c.user.is_none())
+                    .or_else(|| self.cores.iter().position(|c| eff_owner(c).0 == donor));
+                let Some(i) = pick else { break };
+                let c = &mut self.cores[i];
+                match c.user {
+                    None => {
+                        c.owner = ProcId(recv);
+                        c.transfer_to = None;
+                        c.reclaim = false;
+                    }
+                    Some(u) if u == ProcId(recv) => {
+                        // Future owner already runs here: immediate.
+                        c.owner = ProcId(recv);
+                        c.transfer_to = None;
+                        c.reclaim = false;
+                    }
+                    Some(_) => {
+                        // A second DROM pass may route a still-pending
+                        // transfer back to the core's original owner; that
+                        // cancels the transfer rather than recording a
+                        // self-transfer.
+                        c.transfer_to = (ProcId(recv) != c.owner).then_some(ProcId(recv));
+                    }
+                }
+                need[donor] -= -1; // donor gave one (need moves toward 0)
+                need[recv] -= 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Register a new worker process on the node (dynamic helper-rank
+    /// spawning, the paper's §5.2 future-work extension). The process
+    /// immediately owns one core — the DLB minimum — taken from the
+    /// current largest owner (an idle core if possible, otherwise a
+    /// deferred transfer). Returns the new process id.
+    ///
+    /// # Panics
+    /// Panics if every core already belongs to a distinct process (no
+    /// donor can spare a core without dropping below its own floor).
+    pub fn add_process(&mut self) -> ProcId {
+        let new = ProcId(self.num_procs);
+        self.num_procs += 1;
+        // Donor: the process owning the most cores (ties → lowest id).
+        let mut counts = vec![0usize; self.num_procs];
+        for c in &self.cores {
+            let p = c.transfer_to.unwrap_or(c.owner).0;
+            counts[p] += 1;
+        }
+        let donor = ProcId(
+            (0..self.num_procs)
+                .max_by_key(|&p| counts[p])
+                .expect("at least one process"),
+        );
+        assert!(
+            counts[donor.0] >= 2,
+            "no process can spare a core for a new worker"
+        );
+        let eff_owner = |c: &Core| c.transfer_to.unwrap_or(c.owner);
+        let pick = self
+            .cores
+            .iter()
+            .position(|c| eff_owner(c) == donor && c.user.is_none())
+            .or_else(|| self.cores.iter().position(|c| eff_owner(c) == donor))
+            .expect("donor owns a core");
+        let c = &mut self.cores[pick];
+        match c.user {
+            None => {
+                c.owner = new;
+                c.transfer_to = None;
+                c.reclaim = false;
+            }
+            Some(u) if u == new => unreachable!("new process cannot be running"),
+            Some(_) => {
+                c.transfer_to = Some(new);
+            }
+        }
+        new
+    }
+
+    /// Ownership per process, counting deferred transfers as complete
+    /// (i.e. the DROM target state).
+    pub fn target_ownership(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_procs];
+        for c in &self.cores {
+            let p = c.transfer_to.unwrap_or(c.owner).0;
+            if p >= counts.len() {
+                counts.resize(p + 1, 0);
+            }
+            counts[p] += 1;
+        }
+        counts
+    }
+
+    /// Check internal invariants; used by property tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, c) in self.cores.iter().enumerate() {
+            if c.reclaim && c.user.is_none() {
+                return Err(format!("core {i}: reclaim pending on idle core"));
+            }
+            if c.reclaim && c.user == Some(c.owner) {
+                return Err(format!("core {i}: reclaim pending while owner runs"));
+            }
+            if let Some(to) = c.transfer_to {
+                if to == c.owner {
+                    return Err(format!("core {i}: self-transfer"));
+                }
+                if c.user.is_none() {
+                    return Err(format!("core {i}: deferred transfer on idle core"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_proc_node(lewi: bool) -> NodeDlb {
+        NodeDlb::with_counts(&[2, 2], lewi)
+    }
+
+    #[test]
+    fn acquire_own_cores_first() {
+        let mut n = two_proc_node(true);
+        let a = n.acquire(ProcId(0)).unwrap();
+        let b = n.acquire(ProcId(0)).unwrap();
+        assert_eq!(n.core_state(a).owner, ProcId(0));
+        assert_eq!(n.core_state(b).owner, ProcId(0));
+        assert_eq!(n.used_count(ProcId(0)), 2);
+    }
+
+    #[test]
+    fn lewi_borrows_idle_foreign_cores() {
+        let mut n = two_proc_node(true);
+        n.acquire(ProcId(0)).unwrap();
+        n.acquire(ProcId(0)).unwrap();
+        let c = n.acquire(ProcId(0)).unwrap();
+        assert!(n.is_borrowed(c));
+        assert_eq!(n.used_count(ProcId(0)), 3);
+    }
+
+    #[test]
+    fn without_lewi_no_borrowing() {
+        let mut n = two_proc_node(false);
+        n.acquire(ProcId(0)).unwrap();
+        n.acquire(ProcId(0)).unwrap();
+        assert_eq!(n.acquire(ProcId(0)), None);
+    }
+
+    #[test]
+    fn reclaim_cycle_returns_core_to_owner() {
+        let mut n = two_proc_node(true);
+        n.acquire(ProcId(0)).unwrap();
+        n.acquire(ProcId(0)).unwrap();
+        let borrowed = n.acquire(ProcId(0)).unwrap();
+        let borrowed2 = n.acquire(ProcId(0)).unwrap();
+        assert_eq!(n.used_count(ProcId(0)), 4);
+        // Owner wants cores: nothing idle, so reclaims are posted.
+        assert_eq!(n.acquire(ProcId(1)), None);
+        assert!(n.reclaim_pending(borrowed));
+        assert!(n.reclaim_pending(borrowed2));
+        // Borrower finishes one task; the core goes home idle.
+        n.release(ProcId(0), borrowed).unwrap();
+        assert!(!n.reclaim_pending(borrowed));
+        let got = n.acquire(ProcId(1)).unwrap();
+        assert_eq!(got, borrowed);
+        assert!(!n.is_borrowed(got));
+    }
+
+    #[test]
+    fn reclaimed_core_not_reborrowed() {
+        let mut n = two_proc_node(true);
+        n.acquire(ProcId(0)).unwrap();
+        n.acquire(ProcId(0)).unwrap();
+        let b = n.acquire(ProcId(0)).unwrap();
+        let _b2 = n.acquire(ProcId(0)).unwrap();
+        assert_eq!(n.acquire(ProcId(1)), None); // posts reclaim
+        n.release(ProcId(0), b).unwrap();
+        // Even though the core is idle, it belongs to P1; P0 may borrow
+        // it again only because P1 has not taken it yet — LeWI would
+        // allow that, but then P1's acquire must still eventually win.
+        let again = n.acquire(ProcId(0)).unwrap();
+        assert_eq!(again, b); // borrowed once more (idle, no reclaim flag)
+        assert_eq!(n.acquire(ProcId(1)), None); // reclaim posted again
+        n.release(ProcId(0), again).unwrap();
+        assert_eq!(n.acquire(ProcId(1)), Some(b));
+    }
+
+    #[test]
+    fn release_requires_user() {
+        let mut n = two_proc_node(true);
+        let a = n.acquire(ProcId(0)).unwrap();
+        assert!(matches!(
+            n.release(ProcId(1), a),
+            Err(DlbError::NotUser { .. })
+        ));
+        n.release(ProcId(0), a).unwrap();
+        assert!(n.release(ProcId(0), a).is_err()); // double release
+    }
+
+    #[test]
+    fn drom_moves_idle_cores_immediately() {
+        let mut n = two_proc_node(true);
+        n.set_ownership(&[3, 1]).unwrap();
+        assert_eq!(n.owned_count(ProcId(0)), 3);
+        assert_eq!(n.owned_count(ProcId(1)), 1);
+    }
+
+    #[test]
+    fn drom_defers_busy_core_transfer() {
+        let mut n = two_proc_node(true);
+        let c0 = n.acquire(ProcId(1)).unwrap();
+        let c1 = n.acquire(ProcId(1)).unwrap();
+        // Give both of P1's cores to P0 — but P1 is running on them.
+        n.set_ownership(&[3, 1]).unwrap();
+        // One busy core is marked for transfer; ownership unchanged yet.
+        let deferred = [c0, c1]
+            .iter()
+            .filter(|&&c| n.core_state(c).transfer_to == Some(ProcId(0)))
+            .count();
+        assert_eq!(deferred, 1);
+        assert_eq!(n.owned_count(ProcId(0)), 2);
+        assert_eq!(n.target_ownership(), vec![3, 1]);
+        // Release applies the transfer.
+        let moving = if n.core_state(c0).transfer_to.is_some() {
+            c0
+        } else {
+            c1
+        };
+        n.release(ProcId(1), moving).unwrap();
+        assert_eq!(n.owned_count(ProcId(0)), 3);
+        n.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn drom_prefers_moving_idle_cores() {
+        let mut n = two_proc_node(true);
+        n.acquire(ProcId(0)).unwrap();
+        n.acquire(ProcId(0)).unwrap();
+        let borrowed = n.acquire(ProcId(0)).unwrap(); // P0 borrows one P1 core
+        assert!(n.is_borrowed(borrowed));
+        // P1 still has one idle core; DROM should move that one, leaving
+        // the borrowed core alone (no needless deferred transfer).
+        n.set_ownership(&[3, 1]).unwrap();
+        assert_eq!(n.owned_count(ProcId(0)), 3);
+        assert!(n.is_borrowed(borrowed)); // still P1's core, lent out
+        assert!(n.core_state(borrowed).transfer_to.is_none());
+        n.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn drom_transfer_to_current_user_is_immediate() {
+        let mut n = two_proc_node(true);
+        n.acquire(ProcId(0)).unwrap();
+        n.acquire(ProcId(0)).unwrap();
+        // P0 borrows *both* of P1's cores: no idle donor core remains.
+        let b1 = n.acquire(ProcId(0)).unwrap();
+        let b2 = n.acquire(ProcId(0)).unwrap();
+        assert!(n.is_borrowed(b1) && n.is_borrowed(b2));
+        // DROM gives one P1 core to P0: the chosen core is already being
+        // used by its future owner, so the transfer applies immediately.
+        n.set_ownership(&[3, 1]).unwrap();
+        assert_eq!(n.owned_count(ProcId(0)), 3);
+        assert_eq!([b1, b2].iter().filter(|&&c| n.is_borrowed(c)).count(), 1);
+        n.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn drom_rejects_bad_counts() {
+        let mut n = two_proc_node(true);
+        assert!(matches!(
+            n.set_ownership(&[4, 1]),
+            Err(DlbError::BadOwnershipSum { .. })
+        ));
+        assert_eq!(
+            n.set_ownership(&[4, 0]),
+            Err(DlbError::BelowMinimum(ProcId(1)))
+        );
+    }
+
+    #[test]
+    fn ownership_total_is_conserved() {
+        let mut n = NodeDlb::with_counts(&[10, 1, 1], true);
+        n.set_ownership(&[4, 4, 4]).unwrap();
+        assert_eq!(n.target_ownership().iter().sum::<usize>(), 12);
+        n.set_ownership(&[1, 1, 10]).unwrap();
+        assert_eq!(n.target_ownership(), vec![1, 1, 10]);
+    }
+
+    #[test]
+    fn add_process_takes_a_core_from_the_largest_owner() {
+        let mut n = NodeDlb::with_counts(&[5, 3], true);
+        let p = n.add_process();
+        assert_eq!(p, ProcId(2));
+        assert_eq!(n.owned_count(ProcId(0)), 4);
+        assert_eq!(n.owned_count(ProcId(1)), 3);
+        assert_eq!(n.owned_count(p), 1);
+        // The new process can acquire its core.
+        assert!(n.acquire(p).is_some());
+        n.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn add_process_defers_when_donor_is_busy() {
+        let mut n = NodeDlb::with_counts(&[2, 1], true);
+        let c0 = n.acquire(ProcId(0)).unwrap();
+        let c1 = n.acquire(ProcId(0)).unwrap();
+        let p = n.add_process();
+        // Both of P0's cores are busy: the transfer waits for a release.
+        assert_eq!(n.owned_count(p), 0);
+        assert_eq!(n.target_ownership(), vec![1, 1, 1]);
+        n.release(ProcId(0), c0).unwrap();
+        n.release(ProcId(0), c1).unwrap();
+        assert_eq!(n.owned_count(p), 1, "exactly one core moved");
+        assert_eq!(n.owned_count(ProcId(0)), 1);
+        n.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "spare")]
+    fn add_process_panics_when_full() {
+        let mut n = NodeDlb::with_counts(&[1, 1], true);
+        n.add_process();
+    }
+
+    #[test]
+    fn helper_rank_minimum_one_core() {
+        // Paper: each helper rank starts with one owned core; appranks
+        // split the rest. MareNostrum node: 48 cores, 2 appranks + 4
+        // helpers → 22 cores per apprank.
+        let n = NodeDlb::with_counts(&[22, 22, 1, 1, 1, 1], true);
+        assert_eq!(n.num_cores(), 48);
+        assert_eq!(n.owned_count(ProcId(2)), 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! TALP: Tracking Application Live Performance (paper §3.3).
+//!
+//! TALP measures each process's useful compute time; the quantity the
+//! paper's allocation policies consume is the *time-averaged number of
+//! busy cores* per worker process (§5.4.1: "each worker measures its
+//! average number of busy cores, i.e., the average number of cores
+//! executing tasks or runtime code except the idle loop").
+
+use tlb_des::{BusyIntegral, SimTime};
+
+/// Per-process busy-core accounting for the workers of one node.
+#[derive(Clone, Debug)]
+pub struct Talp {
+    per_proc: Vec<BusyIntegral>,
+}
+
+impl Talp {
+    /// Accounting for `procs` worker processes, all idle at time zero.
+    pub fn new(procs: usize) -> Self {
+        Talp {
+            per_proc: (0..procs).map(|_| BusyIntegral::new()).collect(),
+        }
+    }
+
+    /// Number of tracked processes.
+    pub fn procs(&self) -> usize {
+        self.per_proc.len()
+    }
+
+    /// Track one more process (spawned helper rank), idle from `now`.
+    pub fn add_proc(&mut self, now: SimTime) -> usize {
+        let mut b = BusyIntegral::new();
+        b.set(now, 0.0);
+        self.per_proc.push(b);
+        self.per_proc.len() - 1
+    }
+
+    /// Record that process `proc` is busy on `cores` cores from `at`.
+    pub fn set_busy(&mut self, proc: usize, at: SimTime, cores: usize) {
+        self.per_proc[proc].set(at, cores as f64);
+    }
+
+    /// Current busy-core count of `proc`.
+    pub fn current(&self, proc: usize) -> f64 {
+        self.per_proc[proc].current()
+    }
+
+    /// Average busy cores of `proc` over its window, restarting the window.
+    pub fn take_window(&mut self, proc: usize, now: SimTime) -> f64 {
+        self.per_proc[proc].take_window(now)
+    }
+
+    /// Average busy cores of every process, restarting all windows.
+    pub fn take_all_windows(&mut self, now: SimTime) -> Vec<f64> {
+        self.per_proc
+            .iter_mut()
+            .map(|b| b.take_window(now))
+            .collect()
+    }
+
+    /// Average busy cores without restarting the window.
+    pub fn peek_window(&self, proc: usize, now: SimTime) -> f64 {
+        self.per_proc[proc].peek_window(now)
+    }
+
+    /// Total busy core·seconds of `proc` since the start.
+    pub fn total(&self, proc: usize, now: SimTime) -> f64 {
+        self.per_proc[proc].total(now)
+    }
+
+    /// Parallel efficiency over `[0, now)` given `cores` available:
+    /// the TALP end-of-run report.
+    pub fn parallel_efficiency(&self, now: SimTime, cores: usize) -> f64 {
+        let span = now.as_secs_f64();
+        if span <= 0.0 || cores == 0 {
+            return 0.0;
+        }
+        let useful: f64 = (0..self.per_proc.len()).map(|p| self.total(p, now)).sum();
+        useful / (span * cores as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_average_busy_cores() {
+        let mut t = Talp::new(2);
+        t.set_busy(0, SimTime::ZERO, 4);
+        t.set_busy(1, SimTime::ZERO, 0);
+        t.set_busy(0, SimTime::from_secs(1), 2);
+        let w = t.take_all_windows(SimTime::from_secs(2));
+        assert!((w[0] - 3.0).abs() < 1e-12);
+        assert_eq!(w[1], 0.0);
+        // Next window starts fresh.
+        t.set_busy(0, SimTime::from_secs(3), 0);
+        let w0 = t.take_window(0, SimTime::from_secs(4));
+        assert!((w0 - 1.0).abs() < 1e-12); // 1s at 2 cores, 1s at 0
+    }
+
+    #[test]
+    fn efficiency_full_and_half() {
+        let mut t = Talp::new(1);
+        t.set_busy(0, SimTime::ZERO, 4);
+        assert!((t.parallel_efficiency(SimTime::from_secs(2), 4) - 1.0).abs() < 1e-12);
+        t.set_busy(0, SimTime::from_secs(2), 0);
+        assert!((t.parallel_efficiency(SimTime::from_secs(4), 4) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_degenerate_inputs() {
+        let t = Talp::new(1);
+        assert_eq!(t.parallel_efficiency(SimTime::ZERO, 4), 0.0);
+        assert_eq!(t.parallel_efficiency(SimTime::from_secs(1), 0), 0.0);
+    }
+
+    #[test]
+    fn added_proc_accounts_from_its_spawn_time() {
+        let mut t = Talp::new(1);
+        t.set_busy(0, SimTime::ZERO, 2);
+        let p = t.add_proc(SimTime::from_secs(1));
+        assert_eq!(p, 1);
+        t.set_busy(p, SimTime::from_secs(1), 3);
+        assert!((t.total(p, SimTime::from_secs(2)) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peek_does_not_reset() {
+        let mut t = Talp::new(1);
+        t.set_busy(0, SimTime::ZERO, 2);
+        assert!((t.peek_window(0, SimTime::from_secs(1)) - 2.0).abs() < 1e-12);
+        assert!((t.peek_window(0, SimTime::from_secs(2)) - 2.0).abs() < 1e-12);
+        assert!((t.take_window(0, SimTime::from_secs(2)) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests: under arbitrary interleavings of acquire / release /
+//! set_ownership, the node never loses or duplicates a core, never lets
+//! two processes use one core, and always converges when drained.
+
+use proptest::prelude::*;
+use tlb_dlb::{NodeDlb, ProcId};
+
+fn check_global_invariants(node: &NodeDlb, procs: usize, holding: &[Vec<usize>]) {
+    node.check_invariants().unwrap();
+    // Each core owned by exactly one process; totals conserved.
+    let total_owned: usize = (0..procs).map(|p| node.owned_count(ProcId(p))).sum();
+    assert_eq!(total_owned, node.num_cores(), "ownership not conserved");
+    // Users match our book-keeping.
+    for (p, held) in holding.iter().enumerate() {
+        assert_eq!(
+            node.used_count(ProcId(p)),
+            held.len(),
+            "used_count mismatch for P{p}"
+        );
+        for &c in held {
+            assert_eq!(node.core_state(c).user, Some(ProcId(p)));
+        }
+    }
+    // No core used by two processes (holding lists are disjoint).
+    let mut seen = vec![false; node.num_cores()];
+    for held in holding {
+        for &c in held {
+            assert!(!seen[c], "core {c} held twice");
+            seen[c] = true;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_ops_preserve_invariants(
+        procs in 2usize..5,
+        ops_seed in any::<u64>(),
+    ) {
+        let cores = 8usize;
+        // Derive an op sequence deterministically from the seed via the
+        // strategy's own value tree is awkward; instead generate ops inline.
+        let mut rng_state = ops_seed;
+        let mut next = || {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (rng_state >> 33) as usize
+        };
+        let mut counts = vec![1usize; procs];
+        let mut left = cores - procs;
+        let mut i = 0;
+        while left > 0 {
+            counts[i % procs] += 1;
+            left -= 1;
+            i += 1;
+        }
+        let mut node = NodeDlb::with_counts(&counts, true);
+        let mut holding: Vec<Vec<usize>> = vec![Vec::new(); procs];
+
+        for _ in 0..200 {
+            match next() % 4 {
+                0 => {
+                    let p = next() % procs;
+                    if let Some(c) = node.acquire(ProcId(p)) {
+                        holding[p].push(c);
+                    }
+                }
+                1 => {
+                    let p = next() % procs;
+                    if !holding[p].is_empty() {
+                        let idx = next() % holding[p].len();
+                        let c = holding[p].swap_remove(idx);
+                        node.release(ProcId(p), c).unwrap();
+                    }
+                }
+                2 => {
+                    // Random valid ownership vector.
+                    let mut v = vec![1usize; procs];
+                    let mut left = cores - procs;
+                    while left > 0 {
+                        v[next() % procs] += 1;
+                        left -= 1;
+                    }
+                    node.set_ownership(&v).unwrap();
+                    prop_assert_eq!(node.target_ownership()[..procs].iter().sum::<usize>(), cores);
+                }
+                _ => {
+                    let on = node.lewi_enabled();
+                    node.set_lewi(!on);
+                }
+            }
+            check_global_invariants(&node, procs, &holding);
+        }
+
+        // Drain: release everything, then the last ownership target must be
+        // reachable (all transfers applied) and every core idle.
+        for p in 0..procs {
+            for c in std::mem::take(&mut holding[p]) {
+                node.release(ProcId(p), c).unwrap();
+            }
+        }
+        check_global_invariants(&node, procs, &holding);
+        let target = node.target_ownership();
+        let actual: Vec<usize> = (0..procs).map(|p| node.owned_count(ProcId(p))).collect();
+        prop_assert_eq!(&actual[..], &target[..procs], "deferred transfers not applied after drain");
+        prop_assert_eq!(node.busy_count(), 0);
+    }
+
+    /// With LeWI on and a single active process, it can always use every
+    /// core of the node (full-node utilisation of an imbalanced load).
+    #[test]
+    fn single_active_process_gets_whole_node(procs in 2usize..5) {
+        let cores = 8usize;
+        let mut counts = vec![1usize; procs];
+        counts[0] = cores - (procs - 1);
+        let mut node = NodeDlb::with_counts(&counts, true);
+        let active = procs - 1; // the *smallest* owner borrows everything
+        let mut got = 0;
+        while node.acquire(ProcId(active)).is_some() {
+            got += 1;
+        }
+        prop_assert_eq!(got, cores);
+        prop_assert_eq!(node.used_count(ProcId(active)), cores);
+    }
+}

@@ -1,0 +1,201 @@
+//! Vertex isoperimetric number: the paper screens small graphs by computing
+//! the minimal value of `(1 + eps) = |N(A)| / |A|` over apprank subsets `A`
+//! of at most half of the partition (§5.2).
+
+#![allow(clippy::needless_range_loop)] // index loops touch several arrays at once
+use crate::BipartiteGraph;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Exact isoperimetric number by exhaustive subset enumeration.
+///
+/// Complexity `O(2^appranks * degree)`; only call for graphs with up to
+/// roughly 20 appranks (the paper likewise only checks graphs "up to about
+/// 32 nodes").
+pub fn isoperimetric_exact(g: &BipartiteGraph) -> f64 {
+    let a_total = g.appranks();
+    assert!(
+        a_total <= 24,
+        "exhaustive isoperimetric check infeasible for {a_total} appranks"
+    );
+    let half = a_total / 2;
+    if half == 0 {
+        return g.nodes() as f64; // single apprank: |N(A)|/1 for A={0}
+    }
+    // Node-set bitmask per apprank (nodes <= appranks in all our shapes? not
+    // guaranteed, but nodes <= 64 whenever appranks <= 24 in practice).
+    assert!(g.nodes() <= 64, "node bitmask limited to 64 nodes");
+    let masks: Vec<u64> = (0..a_total)
+        .map(|a| g.nodes_of(a).iter().fold(0u64, |m, &n| m | (1u64 << n)))
+        .collect();
+
+    let mut best = f64::INFINITY;
+    // Enumerate all nonempty subsets of size <= half.
+    for subset in 1u64..(1u64 << a_total) {
+        let size = subset.count_ones() as usize;
+        if size > half {
+            continue;
+        }
+        let mut nbhd = 0u64;
+        let mut bits = subset;
+        while bits != 0 {
+            let a = bits.trailing_zeros() as usize;
+            nbhd |= masks[a];
+            bits &= bits - 1;
+        }
+        let ratio = nbhd.count_ones() as f64 / size as f64;
+        if ratio < best {
+            best = ratio;
+        }
+    }
+    best
+}
+
+/// Sampled lower-estimate of the isoperimetric number for large graphs.
+///
+/// Draws `samples` random subsets per size bucket using a greedy
+/// "worst-first" growth heuristic: starting from each apprank, repeatedly
+/// add the apprank whose nodes overlap the current neighbourhood the most
+/// (minimising growth of `|N(A)|`). This finds poorly-expanding subsets far
+/// more reliably than uniform sampling.
+pub fn isoperimetric_sampled(g: &BipartiteGraph, seed: u64, samples: usize) -> f64 {
+    let a_total = g.appranks();
+    let half = (a_total / 2).max(1);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+    let mut best = f64::INFINITY;
+
+    // Greedy growth from every apprank (deterministic part).
+    for start in 0..a_total {
+        let mut in_set = vec![false; a_total];
+        let mut nbhd = vec![false; g.nodes()];
+        let mut nbhd_size = 0usize;
+        let grow = |a: usize, in_set: &mut Vec<bool>, nbhd: &mut Vec<bool>, size: &mut usize| {
+            in_set[a] = true;
+            for &n in g.nodes_of(a) {
+                if !nbhd[n] {
+                    nbhd[n] = true;
+                    *size += 1;
+                }
+            }
+        };
+        grow(start, &mut in_set, &mut nbhd, &mut nbhd_size);
+        let mut set_size = 1usize;
+        best = best.min(nbhd_size as f64 / set_size as f64);
+        while set_size < half {
+            // Pick the apprank adding the fewest new nodes.
+            let mut pick = None;
+            let mut pick_new = usize::MAX;
+            for a in 0..a_total {
+                if in_set[a] {
+                    continue;
+                }
+                let new = g.nodes_of(a).iter().filter(|&&n| !nbhd[n]).count();
+                if new < pick_new {
+                    pick_new = new;
+                    pick = Some(a);
+                    if new == 0 {
+                        break;
+                    }
+                }
+            }
+            let Some(a) = pick else { break };
+            grow(a, &mut in_set, &mut nbhd, &mut nbhd_size);
+            set_size += 1;
+            best = best.min(nbhd_size as f64 / set_size as f64);
+        }
+    }
+
+    // Random subsets (stochastic part): shuffle and take prefixes.
+    let mut order: Vec<usize> = (0..a_total).collect();
+    let rounds = samples / half.max(1) + 1;
+    for _ in 0..rounds {
+        order.shuffle(&mut rng);
+        let mut nbhd = vec![false; g.nodes()];
+        let mut nbhd_size = 0usize;
+        for (i, &a) in order.iter().take(half).enumerate() {
+            for &n in g.nodes_of(a) {
+                if !nbhd[n] {
+                    nbhd[n] = true;
+                    nbhd_size += 1;
+                }
+            }
+            best = best.min(nbhd_size as f64 / (i + 1) as f64);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_circulant, ExpanderConfig};
+
+    #[test]
+    fn single_apprank_graph() {
+        let cfg = ExpanderConfig::new(1, 1, 1);
+        let g = BipartiteGraph::from_adjacency(cfg, vec![vec![0]]).unwrap();
+        assert_eq!(isoperimetric_exact(&g), 1.0);
+    }
+
+    #[test]
+    fn disconnected_baseline_has_ratio_one() {
+        // Degree 1: every subset of size k touches exactly k nodes when
+        // one apprank per node → ratio exactly 1.0 (no expansion).
+        let cfg = ExpanderConfig::new(8, 8, 1);
+        let g = generate_circulant(&cfg, &[]).unwrap();
+        assert_eq!(isoperimetric_exact(&g), 1.0);
+    }
+
+    #[test]
+    fn two_per_node_degree_one_ratio_half() {
+        // Two appranks per node, no offloading: the pair on one node has
+        // |N(A)| = 1, |A| = 2 → ratio 0.5.
+        let cfg = ExpanderConfig::new(8, 4, 1);
+        let g = generate_circulant(&cfg, &[]).unwrap();
+        assert_eq!(isoperimetric_exact(&g), 0.5);
+    }
+
+    #[test]
+    fn ring_expands_small_sets() {
+        let cfg = ExpanderConfig::new(8, 8, 2);
+        let g = generate_circulant(&cfg, &[1]).unwrap();
+        let iso = isoperimetric_exact(&g);
+        // A contiguous arc of k appranks covers k+1 nodes; the worst subset
+        // of size ≤ 4 gives (4+1)/4 = 1.25.
+        assert!((iso - 1.25).abs() < 1e-9, "iso = {iso}");
+    }
+
+    #[test]
+    fn sampled_upper_bounds_exact() {
+        let cfg = ExpanderConfig::new(16, 16, 3).with_seed(5);
+        let g = BipartiteGraph::generate(&cfg).unwrap();
+        let exact = isoperimetric_exact(&g);
+        let sampled = isoperimetric_sampled(&g, 5, 2000);
+        // Sampling can only miss bad subsets, so sampled >= exact.
+        assert!(
+            sampled >= exact - 1e-12,
+            "sampled {sampled} < exact {exact}"
+        );
+        // With the greedy heuristic it should be close on this size.
+        assert!(
+            sampled <= exact + 0.75,
+            "sampled {sampled} far above {exact}"
+        );
+    }
+
+    #[test]
+    fn random_expander_beats_ring() {
+        // A random degree-3 graph should expand strictly better than the
+        // degree-2 ring on the same shape.
+        let ring = generate_circulant(&ExpanderConfig::new(16, 16, 2), &[1]).unwrap();
+        let cfg = ExpanderConfig::new(16, 16, 3)
+            .with_seed(11)
+            .with_candidates(32);
+        let rnd = BipartiteGraph::generate(&cfg).unwrap();
+        assert!(
+            isoperimetric_exact(&rnd) > isoperimetric_exact(&ring),
+            "random d3 should expand better than ring d2"
+        );
+    }
+}

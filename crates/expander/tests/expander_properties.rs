@@ -1,0 +1,93 @@
+//! Property tests for the expander graph generator: structural invariants
+//! over random machine shapes.
+
+use proptest::prelude::*;
+use tlb_expander::{generate_circulant, BipartiteGraph, ExpanderConfig};
+
+fn shapes() -> impl Strategy<Value = (usize, usize, usize)> {
+    // (nodes, appranks_per_node, degree)
+    (2usize..24, 1usize..3, 1usize..5)
+        .prop_map(|(nodes, per, degree)| (nodes, per, degree.min(nodes)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every generated graph is biregular, home-rooted, and sorted.
+    #[test]
+    fn generated_graphs_satisfy_invariants((nodes, per, degree) in shapes(), seed in 0u64..1000) {
+        let appranks = nodes * per;
+        let cfg = ExpanderConfig::new(appranks, nodes, degree).with_seed(seed);
+        let g = BipartiteGraph::generate(&cfg).unwrap();
+        g.check().unwrap();
+        // Apprank degree and node degree as configured.
+        for a in 0..appranks {
+            prop_assert_eq!(g.nodes_of(a).len(), degree);
+            prop_assert_eq!(g.home_node(a), a / per);
+        }
+        for n in 0..nodes {
+            prop_assert_eq!(g.appranks_on(n).len(), degree * per);
+        }
+        // Adjacency is consistent both ways.
+        for a in 0..appranks {
+            for &n in g.nodes_of(a) {
+                prop_assert!(g.appranks_on(n).contains(&a));
+            }
+        }
+    }
+
+    /// Generation is deterministic in the seed.
+    #[test]
+    fn generation_is_deterministic((nodes, per, degree) in shapes(), seed in 0u64..1000) {
+        let appranks = nodes * per;
+        let cfg = ExpanderConfig::new(appranks, nodes, degree).with_seed(seed);
+        let g1 = BipartiteGraph::generate(&cfg).unwrap();
+        let g2 = BipartiteGraph::generate(&cfg).unwrap();
+        for a in 0..appranks {
+            prop_assert_eq!(g1.nodes_of(a), g2.nodes_of(a));
+        }
+    }
+
+    /// Degree ≥ 2 graphs from the screened generator are connected for
+    /// every shape we can build (the screening’s whole point).
+    #[test]
+    fn screened_graphs_are_connected((nodes, per, degree) in shapes(), seed in 0u64..200) {
+        prop_assume!(degree >= 2);
+        let appranks = nodes * per;
+        let cfg = ExpanderConfig::new(appranks, nodes, degree).with_seed(seed);
+        let g = BipartiteGraph::generate(&cfg).unwrap();
+        prop_assert!(g.is_connected());
+    }
+
+    /// The exact isoperimetric number is monotone in the degree for the
+    /// circulant family (more strides can only improve expansion).
+    #[test]
+    fn circulant_expansion_monotone_in_degree(nodes in 4usize..14) {
+        let mut last = 0.0f64;
+        for degree in 1..=3usize.min(nodes - 1) {
+            let strides: Vec<usize> = (1..degree).collect();
+            let cfg = ExpanderConfig::new(nodes, nodes, degree);
+            let g = generate_circulant(&cfg, &strides).unwrap();
+            let iso = tlb_expander::isoperimetric_exact(&g);
+            prop_assert!(iso >= last - 1e-12, "degree {degree}: {iso} < {last}");
+            last = iso;
+        }
+    }
+
+    /// Save/load round-trips bytes exactly for any generated graph.
+    #[test]
+    fn persistence_roundtrip((nodes, per, degree) in shapes(), seed in 0u64..100) {
+        let appranks = nodes * per;
+        let cfg = ExpanderConfig::new(appranks, nodes, degree).with_seed(seed);
+        let g = BipartiteGraph::generate(&cfg).unwrap();
+        let dir = std::env::temp_dir().join("tlb_expander_prop");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("g_{nodes}_{per}_{degree}_{seed}.json"));
+        g.save_json(&path).unwrap();
+        let g2 = BipartiteGraph::load_json(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        for a in 0..appranks {
+            prop_assert_eq!(g.nodes_of(a), g2.nodes_of(a));
+        }
+    }
+}

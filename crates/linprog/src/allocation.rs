@@ -1,0 +1,817 @@
+//! The global core-allocation program (paper §5.4.2) and its two solvers.
+//!
+//! Minimise `max_a (total work on apprank a) / (total cores on a)` subject
+//! to per-node capacity, the expander adjacency, and ≥ 1 core per worker.
+//! The paper formulates this for CVXOPT; we use the equivalent *work-split*
+//! LP: variables `w[a][k]` give the work of apprank `a` executed on its
+//! `k`-th adjacent node, and `t` bounds every node's load-per-core:
+//!
+//! ```text
+//!   min  t + δ · Σ offloaded w            (δ tiny: prefer-local tiebreak)
+//!   s.t. Σ_k w[a][k] = work_a                       (all work placed)
+//!        Σ_a pen(a,n) · w[a][n] ≤ t · cores_n · speed_n    (node load)
+//!        w ≥ 0
+//! ```
+//!
+//! `pen(a,n) = 1 + 1e-6` for offloaded work — the paper's keep-local
+//! incentive; the explicit δ term additionally selects, among the many
+//! optimal bases, the one that *minimises task offloading* (paper Fig. 5b).
+//!
+//! The same program is solved by parametric bisection on `t`, where each
+//! feasibility test is a max-flow problem. Both solvers agree to within the
+//! bisection tolerance; `benches/solver_scaling` compares their cost.
+
+#![allow(clippy::needless_range_loop)] // index loops touch several arrays at once
+use crate::maxflow::FlowNetwork;
+use crate::simplex::{LinearProgram, LpError, Relation};
+use serde::{Deserialize, Serialize};
+
+/// An instance of the core allocation program.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AllocationProblem {
+    /// Estimated work per apprank (busy-core·seconds over the measurement
+    /// window). Non-negative.
+    pub work: Vec<f64>,
+    /// `adjacency[a]` = nodes where apprank `a` has a worker; element 0 is
+    /// the home node (the expander graph rows).
+    pub adjacency: Vec<Vec<usize>>,
+    /// Physical cores per node.
+    pub node_cores: Vec<usize>,
+    /// Relative speed per node (1.0 = nominal; 0.6 models the 1.8 GHz
+    /// Nord3 nodes against 3.0 GHz peers).
+    pub node_speed: Vec<f64>,
+    /// The keep-local work penalty; the paper uses `1e-6`.
+    pub keep_local_incentive: f64,
+}
+
+impl AllocationProblem {
+    /// A problem over homogeneous nodes at speed 1.0.
+    pub fn new(
+        work: Vec<f64>,
+        adjacency: Vec<Vec<usize>>,
+        cores_per_node: usize,
+        nodes: usize,
+    ) -> Self {
+        AllocationProblem {
+            work,
+            adjacency,
+            node_cores: vec![cores_per_node; nodes],
+            node_speed: vec![1.0; nodes],
+            keep_local_incentive: 1e-6,
+        }
+    }
+
+    /// Number of appranks.
+    pub fn appranks(&self) -> usize {
+        self.work.len()
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.node_cores.len()
+    }
+
+    /// Workers (apprank, adjacency slot) hosted on each node.
+    fn workers_per_node(&self) -> Vec<usize> {
+        let mut count = vec![0usize; self.nodes()];
+        for adj in &self.adjacency {
+            for &n in adj {
+                count[n] += 1;
+            }
+        }
+        count
+    }
+
+    /// Validate shape and feasibility of the ≥1-core-per-worker rule.
+    pub fn validate(&self) -> Result<(), LpError> {
+        assert_eq!(
+            self.work.len(),
+            self.adjacency.len(),
+            "work/adjacency length mismatch"
+        );
+        assert_eq!(
+            self.node_cores.len(),
+            self.node_speed.len(),
+            "cores/speed length mismatch"
+        );
+        for (a, adj) in self.adjacency.iter().enumerate() {
+            assert!(!adj.is_empty(), "apprank {a} has no nodes");
+            for &n in adj {
+                assert!(n < self.nodes(), "apprank {a} adjacent to bogus node {n}");
+            }
+        }
+        assert!(self.work.iter().all(|w| *w >= 0.0), "negative work");
+        for (n, &workers) in self.workers_per_node().iter().enumerate() {
+            if workers > self.node_cores[n] {
+                // More worker processes than cores: the DLB minimum of one
+                // owned core each cannot be honoured.
+                return Err(LpError::Infeasible);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One worker's integer core ownership.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerAllocation {
+    /// The apprank the worker belongs to.
+    pub apprank: usize,
+    /// The node it runs on.
+    pub node: usize,
+    /// Cores it owns after rounding.
+    pub cores: usize,
+}
+
+/// Solution of the allocation program.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AllocationSolution {
+    /// Optimal `max_a work_a / cores_a` bound (continuous relaxation).
+    pub objective: f64,
+    /// `work_share[a][k]` = work of apprank `a` placed on `adjacency[a][k]`.
+    pub work_share: Vec<Vec<f64>>,
+    /// `cores[a][k]` = integer cores owned by apprank `a`'s worker on
+    /// `adjacency[a][k]`; every worker owns ≥ 1 and node sums equal the
+    /// node capacities.
+    pub cores: Vec<Vec<usize>>,
+}
+
+impl AllocationSolution {
+    /// Total work each node would execute under the continuous split.
+    pub fn node_load(&self, problem: &AllocationProblem) -> Vec<f64> {
+        let mut load = vec![0.0; problem.nodes()];
+        for (a, shares) in self.work_share.iter().enumerate() {
+            for (k, &w) in shares.iter().enumerate() {
+                load[problem.adjacency[a][k]] += w;
+            }
+        }
+        load
+    }
+
+    /// Total offloaded (non-home) work in the continuous split.
+    pub fn offloaded_work(&self) -> f64 {
+        self.work_share
+            .iter()
+            .map(|s| s[1..].iter().sum::<f64>())
+            .sum()
+    }
+
+    /// Flatten to per-worker allocations.
+    pub fn workers(&self, problem: &AllocationProblem) -> Vec<WorkerAllocation> {
+        let mut out = Vec::new();
+        for (a, cores) in self.cores.iter().enumerate() {
+            for (k, &c) in cores.iter().enumerate() {
+                out.push(WorkerAllocation {
+                    apprank: a,
+                    node: problem.adjacency[a][k],
+                    cores: c,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Solve via the paper's LP (simplex): core counts are the variables.
+///
+/// Formulation (§5.4.2): with measured work `W_a` constant, minimising
+/// `max_a W_a / cores_a` equals maximising `z = 1/t` in
+///
+/// ```text
+///   max  z + δ·Σ home x                     (δ tiny: prefer-local)
+///   s.t. Σ_k speed(n(a,k)) · x[a][k] ≥ z · W_a          (per apprank)
+///        Σ_{workers on n} x = cores_n                     (per node)
+///        x[a][k] ≥ 1                                  (DLB minimum)
+/// ```
+///
+/// The `x ≥ 1` floor is part of the LP (substituted as `x = 1 + x'`,
+/// `x' ≥ 0`), so the optimum already accounts for every helper's reserved
+/// core — the property that keeps hot appranks from being skimmed by
+/// post-hoc rounding. The keep-local incentive counts home cores as
+/// marginally more valuable, which minimises task offloading among the
+/// many optimal allocations (paper Fig. 5b).
+pub fn solve_lp(problem: &AllocationProblem) -> Result<AllocationSolution, LpError> {
+    problem.validate()?;
+    if problem.work.iter().sum::<f64>() <= 0.0 {
+        // No work anywhere: z would be unbounded. Split capacity evenly.
+        let x_cont: Vec<Vec<f64>> = problem
+            .adjacency
+            .iter()
+            .map(|adj| vec![1.0; adj.len()])
+            .collect();
+        let work_share = problem
+            .adjacency
+            .iter()
+            .map(|adj| vec![0.0; adj.len()])
+            .collect();
+        let mut even = x_cont.clone();
+        let workers = problem.workers_per_node();
+        for (a, adj) in problem.adjacency.iter().enumerate() {
+            for (k, &n) in adj.iter().enumerate() {
+                even[a][k] = problem.node_cores[n] as f64 / workers[n] as f64;
+            }
+        }
+        let cores = integerize_cores(problem, &even);
+        return Ok(AllocationSolution {
+            objective: 0.0,
+            work_share,
+            cores,
+        });
+    }
+    let appranks = problem.appranks();
+    // Variable layout: x' edges first (in adjacency order), then z.
+    let mut edge_of = Vec::with_capacity(appranks); // edge_of[a][k] = var index
+    let mut next = 0usize;
+    for adj in &problem.adjacency {
+        let row: Vec<usize> = (next..next + adj.len()).collect();
+        next += adj.len();
+        edge_of.push(row);
+    }
+    let z_var = next;
+    let mut lp = LinearProgram::new(next + 1);
+
+    let total_cores: f64 = problem.node_cores.iter().sum::<usize>() as f64;
+    // Maximise z; among optima prefer home cores (minimise offloading).
+    let delta = problem.keep_local_incentive / (total_cores + 1.0);
+    lp.set_objective(z_var, -1.0);
+    for (a, adj) in problem.adjacency.iter().enumerate() {
+        for k in 1..adj.len() {
+            lp.set_objective(edge_of[a][k], delta);
+        }
+    }
+    // Per apprank: effective cores ≥ z · W_a, i.e.
+    //   Σ_k speed·(1 + x'[a][k]) - z·W_a ≥ 0.
+    for (a, adj) in problem.adjacency.iter().enumerate() {
+        let mut coeffs: Vec<(usize, f64)> = Vec::with_capacity(adj.len() + 1);
+        let mut base = 0.0;
+        for (k, &n) in adj.iter().enumerate() {
+            let speed = problem.node_speed[n];
+            coeffs.push((edge_of[a][k], speed));
+            base += speed; // the floor core of each worker
+        }
+        coeffs.push((z_var, -problem.work[a]));
+        lp.add_constraint(coeffs, Relation::Ge, -base);
+    }
+    // Per node: Σ x' = cores_n - workers_n (full ownership).
+    let workers = problem.workers_per_node();
+    for n in 0..problem.nodes() {
+        let mut coeffs: Vec<(usize, f64)> = Vec::new();
+        for (a, adj) in problem.adjacency.iter().enumerate() {
+            for (k, &node) in adj.iter().enumerate() {
+                if node == n {
+                    coeffs.push((edge_of[a][k], 1.0));
+                }
+            }
+        }
+        if coeffs.is_empty() {
+            continue;
+        }
+        lp.add_constraint(
+            coeffs,
+            Relation::Eq,
+            (problem.node_cores[n] - workers[n]) as f64,
+        );
+    }
+    let sol = lp.solve()?;
+    let z = sol.x[z_var];
+    // Continuous core targets (floor added back).
+    let x_cont: Vec<Vec<f64>> = edge_of
+        .iter()
+        .map(|row| row.iter().map(|&v| 1.0 + sol.x[v].max(0.0)).collect())
+        .collect();
+    // Implied work split for reporting: W_a spread over workers in
+    // proportion to their effective (speed-scaled) cores.
+    let work_share: Vec<Vec<f64>> = problem
+        .adjacency
+        .iter()
+        .enumerate()
+        .map(|(a, adj)| {
+            let eff: Vec<f64> = adj
+                .iter()
+                .zip(&x_cont[a])
+                .map(|(&n, &x)| x * problem.node_speed[n])
+                .collect();
+            let total: f64 = eff.iter().sum();
+            eff.iter()
+                .map(|e| {
+                    if total > 0.0 {
+                        problem.work[a] * e / total
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let cores = integerize_cores(problem, &x_cont);
+    let objective = if z > 1e-12 {
+        1.0 / z
+    } else {
+        // No work anywhere: the load bound is zero.
+        0.0
+    };
+    Ok(AllocationSolution {
+        objective,
+        work_share,
+        cores,
+    })
+}
+
+/// Largest-remainder integerisation of continuous per-worker core targets,
+/// preserving the ≥ 1 floor and exact node sums.
+pub fn integerize_cores(problem: &AllocationProblem, x_cont: &[Vec<f64>]) -> Vec<Vec<usize>> {
+    let nodes = problem.nodes();
+    let mut cores: Vec<Vec<usize>> = problem
+        .adjacency
+        .iter()
+        .map(|adj| vec![0usize; adj.len()])
+        .collect();
+    let mut by_node: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nodes];
+    for (a, adj) in problem.adjacency.iter().enumerate() {
+        for (k, &n) in adj.iter().enumerate() {
+            by_node[n].push((a, k));
+        }
+    }
+    for n in 0..nodes {
+        let workers = &by_node[n];
+        if workers.is_empty() {
+            continue;
+        }
+        let cap = problem.node_cores[n];
+        let mut assigned = 0usize;
+        let mut remainders: Vec<(f64, usize)> = Vec::with_capacity(workers.len());
+        for (i, &(a, k)) in workers.iter().enumerate() {
+            let want = x_cont[a][k].max(1.0);
+            let whole = (want.floor() as usize).max(1).min(cap);
+            cores[a][k] = whole;
+            assigned += whole;
+            remainders.push((want - whole as f64, i));
+        }
+        remainders.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap().then(x.1.cmp(&y.1)));
+        // Hand out any deficit; reclaim any excess from the smallest
+        // remainders (never below the one-core floor).
+        let mut idx = 0;
+        while assigned < cap {
+            let (a, k) = workers[remainders[idx % remainders.len()].1];
+            cores[a][k] += 1;
+            assigned += 1;
+            idx += 1;
+        }
+        let mut idx = remainders.len();
+        while assigned > cap {
+            idx = if idx == 0 {
+                remainders.len() - 1
+            } else {
+                idx - 1
+            };
+            let (a, k) = workers[remainders[idx].1];
+            if cores[a][k] > 1 {
+                cores[a][k] -= 1;
+                assigned -= 1;
+            }
+        }
+        debug_assert_eq!(
+            workers.iter().map(|&(a, k)| cores[a][k]).sum::<usize>(),
+            cap,
+            "node {n} core sum mismatch"
+        );
+    }
+    cores
+}
+
+/// Solve via bisection on `t` with a max-flow feasibility oracle.
+///
+/// `tol` is the relative bisection tolerance on `t` (e.g. `1e-6`).
+pub fn solve_flow(problem: &AllocationProblem, tol: f64) -> Result<AllocationSolution, LpError> {
+    problem.validate()?;
+    let appranks = problem.appranks();
+    let nodes = problem.nodes();
+    let total_work: f64 = problem.work.iter().sum();
+
+    if total_work <= 0.0 {
+        // No work: keep everything home with an even trivial split.
+        let work_share: Vec<Vec<f64>> = problem
+            .adjacency
+            .iter()
+            .map(|adj| vec![0.0; adj.len()])
+            .collect();
+        let cores = round_cores(problem, &work_share);
+        return Ok(AllocationSolution {
+            objective: 0.0,
+            work_share,
+            cores,
+        });
+    }
+
+    // Vertices: 0 = source, 1..=A appranks, A+1..=A+N nodes, last = sink.
+    let source = 0;
+    let sink = 1 + appranks + nodes;
+    let apprank_v = |a: usize| 1 + a;
+    let node_v = |n: usize| 1 + appranks + n;
+
+    let min_eff_cap = (0..nodes)
+        .map(|n| problem.node_cores[n] as f64 * problem.node_speed[n])
+        .fold(f64::INFINITY, f64::min);
+    let mut lo = 0.0f64;
+    let mut hi = total_work / min_eff_cap.max(1e-12) + 1.0;
+
+    let feasible = |t: f64| -> Option<FlowNetwork> {
+        let mut net = FlowNetwork::new(sink + 1);
+        for a in 0..appranks {
+            net.add_edge(source, apprank_v(a), problem.work[a]);
+        }
+        for (a, adj) in problem.adjacency.iter().enumerate() {
+            for &n in adj {
+                net.add_edge(apprank_v(a), node_v(n), f64::INFINITY);
+            }
+        }
+        for n in 0..nodes {
+            let cap = t * problem.node_cores[n] as f64 * problem.node_speed[n];
+            net.add_edge(node_v(n), sink, cap);
+        }
+        let flow = net.max_flow(source, sink);
+        (flow >= total_work * (1.0 - 1e-9) - 1e-9).then_some(net)
+    };
+
+    if feasible(hi).is_none() {
+        return Err(LpError::Infeasible);
+    }
+    let mut best_net = None;
+    for _ in 0..100 {
+        if (hi - lo) <= tol * hi {
+            break;
+        }
+        let mid = 0.5 * (lo + hi);
+        match feasible(mid) {
+            Some(net) => {
+                hi = mid;
+                best_net = Some(net);
+            }
+            None => lo = mid,
+        }
+    }
+    let net = match best_net {
+        Some(n) => n,
+        None => feasible(hi).ok_or(LpError::Infeasible)?,
+    };
+
+    // Recover work shares from edge flows. Edge handles were added in
+    // order: A source edges, then the adjacency edges in order.
+    let mut work_share: Vec<Vec<f64>> = Vec::with_capacity(appranks);
+    let mut handle = appranks; // skip source edges
+    for adj in &problem.adjacency {
+        let mut row = Vec::with_capacity(adj.len());
+        for _ in adj {
+            row.push(net.flow_on(handle));
+            handle += 1;
+        }
+        work_share.push(row);
+    }
+    // Flow does not know the keep-local preference; fold offloaded work
+    // back home wherever home has slack at the achieved bound `hi`.
+    let mut node_load = vec![0.0; nodes];
+    for (a, adj) in problem.adjacency.iter().enumerate() {
+        for (k, &n) in adj.iter().enumerate() {
+            node_load[n] += work_share[a][k];
+        }
+    }
+    for (a, adj) in problem.adjacency.iter().enumerate() {
+        let home = adj[0];
+        let cap = hi * problem.node_cores[home] as f64 * problem.node_speed[home];
+        for k in 1..adj.len() {
+            let slack = (cap - node_load[home]).max(0.0);
+            if slack <= 0.0 {
+                break;
+            }
+            let pull = work_share[a][k].min(slack);
+            if pull > 0.0 {
+                work_share[a][k] -= pull;
+                work_share[a][0] += pull;
+                node_load[home] += pull;
+                node_load[adj[k]] -= pull;
+            }
+        }
+    }
+
+    let cores = round_cores(problem, &work_share);
+    Ok(AllocationSolution {
+        objective: hi,
+        work_share,
+        cores,
+    })
+}
+
+/// Round a continuous work split to integer core ownership.
+///
+/// Per node: every hosted worker gets 1 core (the DLB minimum), and the
+/// remaining cores are distributed proportionally to the workers' work
+/// shares by the largest-remainder method. Deterministic: remainder ties
+/// break towards the lower (apprank, slot) pair.
+pub fn round_cores(problem: &AllocationProblem, work_share: &[Vec<f64>]) -> Vec<Vec<usize>> {
+    let nodes = problem.nodes();
+    let mut cores: Vec<Vec<usize>> = problem
+        .adjacency
+        .iter()
+        .map(|adj| vec![0usize; adj.len()])
+        .collect();
+
+    // Index workers by node.
+    let mut by_node: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nodes]; // (apprank, slot)
+    for (a, adj) in problem.adjacency.iter().enumerate() {
+        for (k, &n) in adj.iter().enumerate() {
+            by_node[n].push((a, k));
+        }
+    }
+
+    for n in 0..nodes {
+        let workers = &by_node[n];
+        if workers.is_empty() {
+            continue;
+        }
+        let cap = problem.node_cores[n];
+        assert!(
+            cap >= workers.len(),
+            "node {n}: {} workers exceed {cap} cores",
+            workers.len()
+        );
+        let total: f64 = workers.iter().map(|&(a, k)| work_share[a][k]).sum();
+        // Continuous targets proportional to work over the FULL capacity,
+        // then lift every worker to the one-core DLB minimum by
+        // waterfilling: fix the sub-minimum workers at exactly 1 core and
+        // re-share the remaining capacity among the rest. (A naive
+        // "1 + proportional-over-spare" scheme would skim
+        // `workers/capacity` off the busiest worker — with 8 workers on a
+        // 48-core node that is a 17% under-allocation of the hot rank.)
+        let mut want: Vec<f64> = if total > 0.0 {
+            workers
+                .iter()
+                .map(|&(a, k)| work_share[a][k] / total * cap as f64)
+                .collect()
+        } else {
+            vec![cap as f64 / workers.len() as f64; workers.len()]
+        };
+        let mut fixed = vec![false; workers.len()];
+        loop {
+            let mut changed = false;
+            for (i, w) in want.iter_mut().enumerate() {
+                if !fixed[i] && *w < 1.0 {
+                    *w = 1.0;
+                    fixed[i] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            let reserved: f64 = fixed.iter().filter(|&&f| f).count() as f64;
+            let free_cap = cap as f64 - reserved;
+            let free_share: f64 = workers
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !fixed[*i])
+                .map(|(_, &(a, k))| work_share[a][k])
+                .sum();
+            if free_share <= 0.0 {
+                break;
+            }
+            for (i, &(a, k)) in workers.iter().enumerate() {
+                if !fixed[i] {
+                    want[i] = work_share[a][k] / free_share * free_cap;
+                }
+            }
+        }
+        // Largest-remainder rounding of the continuous targets, keeping
+        // every worker at ≥ 1 core and the node sum exact.
+        let mut assigned = 0usize;
+        let mut remainders: Vec<(f64, usize)> = Vec::with_capacity(workers.len());
+        for (i, &(a, k)) in workers.iter().enumerate() {
+            let whole = (want[i].floor() as usize).max(1);
+            cores[a][k] = whole;
+            assigned += whole;
+            remainders.push((want[i] - whole as f64, i));
+        }
+        remainders.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap().then(x.1.cmp(&y.1)));
+        let mut left = cap - assigned;
+        for &(_, i) in &remainders {
+            if left == 0 {
+                break;
+            }
+            let (a, k) = workers[i];
+            cores[a][k] += 1;
+            left -= 1;
+        }
+        debug_assert_eq!(
+            workers.iter().map(|&(a, k)| cores[a][k]).sum::<usize>(),
+            cap,
+            "node {n} core sum mismatch"
+        );
+    }
+    cores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_adjacency(appranks: usize, nodes: usize, degree: usize) -> Vec<Vec<usize>> {
+        let per = appranks / nodes;
+        (0..appranks)
+            .map(|a| {
+                let home = a / per;
+                let mut adj = vec![home];
+                let mut extra: Vec<usize> = (1..degree).map(|s| (home + s) % nodes).collect();
+                extra.sort_unstable();
+                adj.extend(extra);
+                adj
+            })
+            .collect()
+    }
+
+    #[test]
+    fn balanced_load_stays_home() {
+        let p = AllocationProblem::new(vec![10.0, 10.0], ring_adjacency(2, 2, 2), 4, 2);
+        let s = solve_lp(&p).unwrap();
+        // Helpers stay at the one-core DLB floor; homes take the rest.
+        assert_eq!(s.cores, vec![vec![3, 1], vec![3, 1]]);
+        assert!((s.objective - 10.0 / 4.0).abs() < 1e-4);
+        // The only "offloaded" work is what the mandatory floor cores
+        // would execute (one of each rank's four effective cores).
+        assert!(s.offloaded_work() <= 2.0 * 2.5 + 1e-6);
+    }
+
+    #[test]
+    fn imbalanced_load_spreads() {
+        // Apprank 0 has 3x the work; with full connectivity the optimum is
+        // an even node load: t = 16 / 8 = 2.
+        let p = AllocationProblem::new(vec![12.0, 4.0], ring_adjacency(2, 2, 2), 4, 2);
+        let s = solve_lp(&p).unwrap();
+        assert!(
+            (s.objective - 2.0).abs() < 1e-4,
+            "objective {}",
+            s.objective
+        );
+        let load = s.node_load(&p);
+        assert!((load[0] - 8.0).abs() < 1e-3 && (load[1] - 8.0).abs() < 1e-3);
+        // The hot apprank owns three times the cores of the light one.
+        let c0: usize = s.cores[0].iter().sum();
+        let c1: usize = s.cores[1].iter().sum();
+        assert_eq!((c0, c1), (6, 2), "cores {:?}", s.cores);
+    }
+
+    #[test]
+    fn adjacency_constrains_spreading() {
+        // 4 nodes, degree 1 (no offloading): apprank 0's hot node cannot
+        // shed work, t = its own ratio.
+        let adj = vec![vec![0], vec![1], vec![2], vec![3]];
+        let p = AllocationProblem::new(vec![40.0, 1.0, 1.0, 1.0], adj, 4, 4);
+        let s = solve_lp(&p).unwrap();
+        assert!((s.objective - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn slow_node_gets_less_work() {
+        let mut p = AllocationProblem::new(vec![6.0, 6.0], ring_adjacency(2, 2, 2), 4, 2);
+        p.node_speed = vec![1.0, 0.5]; // node 1 half speed
+        let s = solve_lp(&p).unwrap();
+        let load = s.node_load(&p);
+        // Effective capacities 4 and 2 → loads 8 and 4, t = 2.
+        assert!(
+            (s.objective - 2.0).abs() < 1e-3,
+            "objective {}",
+            s.objective
+        );
+        assert!((load[0] - 8.0).abs() < 1e-2, "load {load:?}");
+    }
+
+    #[test]
+    fn infeasible_when_workers_exceed_cores() {
+        // 4 workers per node but only 2 cores.
+        let p = AllocationProblem::new(vec![1.0; 4], ring_adjacency(4, 2, 2), 2, 2);
+        assert_eq!(solve_lp(&p).unwrap_err(), LpError::Infeasible);
+        assert_eq!(solve_flow(&p, 1e-6).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn flow_matches_lp_objective_when_floors_slack() {
+        // With plenty of cores per node and a moderate imbalance the
+        // one-core floors do not bind, and the floor-aware LP equals the
+        // flow relaxation. (The hot rank must need fewer cores than its
+        // adjacent nodes can give after reserving the floors.)
+        let p =
+            AllocationProblem::new(vec![20.0, 12.0, 12.0, 16.0], ring_adjacency(4, 4, 2), 16, 4);
+        let lp = solve_lp(&p).unwrap();
+        let fl = solve_flow(&p, 1e-7).unwrap();
+        assert!(
+            (lp.objective - fl.objective).abs() < 1e-4 * lp.objective.max(1.0),
+            "lp {} vs flow {}",
+            lp.objective,
+            fl.objective
+        );
+    }
+
+    #[test]
+    fn lp_exceeds_flow_when_floors_bind() {
+        // Small nodes: the helper floors steal capacity the hot rank
+        // needs, so the floor-aware optimum is strictly worse than the
+        // flow relaxation (which ignores ownership floors).
+        let p = AllocationProblem::new(vec![30.0, 10.0, 5.0, 15.0], ring_adjacency(4, 4, 2), 8, 4);
+        let lp = solve_lp(&p).unwrap();
+        let fl = solve_flow(&p, 1e-7).unwrap();
+        assert!(
+            fl.objective < lp.objective,
+            "flow {} vs lp {}",
+            fl.objective,
+            lp.objective
+        );
+        // Hot rank capped at 14 cores (7 + 7 after floors): t = 30/14.
+        assert!(
+            (lp.objective - 30.0 / 14.0).abs() < 1e-3,
+            "lp {}",
+            lp.objective
+        );
+    }
+
+    #[test]
+    fn flow_zero_work_is_graceful() {
+        let p = AllocationProblem::new(vec![0.0, 0.0], ring_adjacency(2, 2, 2), 4, 2);
+        let s = solve_flow(&p, 1e-6).unwrap();
+        assert_eq!(s.objective, 0.0);
+        // Cores still fully owned: 4 per node.
+        let mut per_node = vec![0usize; 2];
+        for w in s.workers(&p) {
+            per_node[w.node] += w.cores;
+            assert!(w.cores >= 1);
+        }
+        assert_eq!(per_node, vec![4, 4]);
+    }
+
+    #[test]
+    fn rounding_conserves_cores_and_minimum() {
+        let p = AllocationProblem::new(vec![100.0, 1.0, 1.0, 1.0], ring_adjacency(4, 4, 3), 48, 4);
+        let s = solve_lp(&p).unwrap();
+        let mut per_node = vec![0usize; 4];
+        for w in s.workers(&p) {
+            assert!(w.cores >= 1, "worker below DLB minimum");
+            per_node[w.node] += w.cores;
+        }
+        assert_eq!(per_node, vec![48; 4]);
+    }
+
+    #[test]
+    fn hot_apprank_gets_most_cores() {
+        let p = AllocationProblem::new(vec![100.0, 1.0], ring_adjacency(2, 2, 2), 48, 2);
+        let s = solve_lp(&p).unwrap();
+        // Apprank 0's home worker should own nearly all of node 0.
+        assert!(s.cores[0][0] > 40, "home cores {:?}", s.cores[0]);
+        // And its helper on node 1 should own most of node 1 too.
+        assert!(s.cores[0][1] > 40, "helper cores {:?}", s.cores[0]);
+    }
+
+    #[test]
+    fn keep_local_tiebreak_prefers_home() {
+        // Perfectly balanced 4-apprank case with degree 3: unlimited
+        // optimal splits exist; the tiebreak must keep every helper at
+        // the mandatory one-core floor and give homes the rest.
+        let p = AllocationProblem::new(vec![8.0; 4], ring_adjacency(4, 4, 3), 8, 4);
+        let s = solve_lp(&p).unwrap();
+        for (a, cores) in s.cores.iter().enumerate() {
+            for (k, &c) in cores.iter().enumerate().skip(1) {
+                assert_eq!(c, 1, "apprank {a} helper {k} above floor: {:?}", s.cores);
+            }
+            assert_eq!(cores[0], 6, "apprank {a} home cores: {:?}", s.cores);
+        }
+    }
+
+    #[test]
+    fn random_instances_lp_flow_agree() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1234);
+        for case in 0..40 {
+            let nodes = rng.gen_range(2..7);
+            let per = rng.gen_range(1..3usize);
+            let appranks = nodes * per;
+            let degree = rng.gen_range(1..=nodes.min(3));
+            let cores = rng.gen_range((per * degree).max(2)..16);
+            let work: Vec<f64> = (0..appranks).map(|_| rng.gen_range(0.0..50.0)).collect();
+            let p =
+                AllocationProblem::new(work, ring_adjacency(appranks, nodes, degree), cores, nodes);
+            let lp = solve_lp(&p).unwrap();
+            let fl = solve_flow(&p, 1e-7).unwrap();
+            // Flow ignores the ownership floors, so it is a relaxation:
+            // never worse than the floor-aware LP.
+            assert!(
+                fl.objective <= lp.objective + 1e-3 * lp.objective.max(1e-6),
+                "case {case}: flow {} above lp {}",
+                fl.objective,
+                lp.objective
+            );
+            // And the LP's integer cores are always a valid ownership.
+            let mut per_node = vec![0usize; p.nodes()];
+            for w in lp.workers(&p) {
+                assert!(w.cores >= 1, "case {case}: worker below floor");
+                per_node[w.node] += w.cores;
+            }
+            assert_eq!(per_node, p.node_cores, "case {case}: node sums");
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Shared-memory LeWI: couple two pools on one node through [`NodeDlb`].
+
+use crate::Pool;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use tlb_dlb::{NodeDlb, ProcId};
+
+/// Couples worker pools that share a node's cores, implementing LeWI with
+/// real threads: when a pool has no pending work its cores become
+/// borrowable by the other pools, and are reclaimed (after the borrower's
+/// current tasks finish) as soon as work returns.
+///
+/// Each pool must be created with `threads == node cores` so that it *can*
+/// expand to the whole node; the coupler continuously adjusts each pool's
+/// active-thread limit to the number of cores it currently holds in the
+/// shared [`NodeDlb`].
+pub struct LewiCoupler {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<NodeDlb>>,
+}
+
+impl LewiCoupler {
+    /// Start coupling. `owned[i]` cores are initially owned by pool `i`;
+    /// the sum must equal every pool's thread count (the node size).
+    /// `poll` is the adjustment period (a millisecond or two).
+    pub fn start(pools: Vec<Arc<Pool>>, owned: Vec<usize>, poll: Duration) -> Self {
+        assert_eq!(pools.len(), owned.len(), "one ownership count per pool");
+        let cores: usize = owned.iter().sum();
+        for (i, p) in pools.iter().enumerate() {
+            assert_eq!(
+                p.threads(),
+                cores,
+                "pool {i} must have threads == node cores to be malleable"
+            );
+        }
+        let mut dlb = NodeDlb::with_counts(&owned, true);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("tlb-lewi-coupler".into())
+            .spawn(move || {
+                let mut held: Vec<Vec<usize>> = vec![Vec::new(); pools.len()];
+                while !stop2.load(Ordering::Relaxed) {
+                    for (i, pool) in pools.iter().enumerate() {
+                        let proc = ProcId(i);
+                        let demand = pool.load().min(cores);
+                        // Grow towards demand.
+                        while held[i].len() < demand {
+                            match dlb.acquire(proc) {
+                                Some(c) => held[i].push(c),
+                                None => break,
+                            }
+                        }
+                        // Shrink down to demand (release our newest cores
+                        // first; keep at least the owned minimum of one).
+                        while held[i].len() > demand {
+                            let c = held[i].pop().expect("len checked");
+                            dlb.release(proc, c).expect("held core releases");
+                        }
+                        pool.set_active_threads(held[i].len().max(1));
+                    }
+                    std::thread::sleep(poll);
+                }
+                // Return all cores on shutdown.
+                for (i, cs) in held.into_iter().enumerate() {
+                    for c in cs {
+                        dlb.release(ProcId(i), c).expect("held core releases");
+                    }
+                }
+                dlb
+            })
+            .expect("failed to spawn coupler");
+        LewiCoupler {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stop coupling and return the final DLB state (for inspection).
+    pub fn stop(mut self) -> NodeDlb {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handle
+            .take()
+            .expect("coupler already stopped")
+            .join()
+            .expect("coupler thread panicked")
+    }
+}
+
+impl Drop for LewiCoupler {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphRun;
+    use std::sync::atomic::AtomicUsize;
+    use tlb_tasking::TaskDef;
+
+    fn sleepy_run(tasks: usize, us: u64, counter: Arc<AtomicUsize>) -> GraphRun {
+        let mut run = GraphRun::new();
+        for _ in 0..tasks {
+            let c = Arc::clone(&counter);
+            run.task(TaskDef::new("t"), move || {
+                std::thread::sleep(Duration::from_micros(us));
+                c.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        run
+    }
+
+    #[test]
+    fn idle_pool_lends_cores_to_busy_pool() {
+        let cores = 4;
+        let pool_a = Arc::new(Pool::new(cores));
+        let pool_b = Arc::new(Pool::new(cores));
+        // Start both pools throttled; the coupler takes over the limits.
+        pool_a.set_active_threads(1);
+        pool_b.set_active_threads(1);
+        let coupler = LewiCoupler::start(
+            vec![Arc::clone(&pool_a), Arc::clone(&pool_b)],
+            vec![2, 2],
+            Duration::from_micros(200),
+        );
+        // Pool B stays idle; pool A gets a pile of work. With LeWI it
+        // should reach close to 4 active threads.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let run = sleepy_run(200, 400, Arc::clone(&counter));
+        let mut peak_active = 0;
+        let watcher_pool = Arc::clone(&pool_a);
+        let watcher_stop = Arc::new(AtomicBool::new(false));
+        let ws = Arc::clone(&watcher_stop);
+        let watcher = std::thread::spawn(move || {
+            let mut peak = 0;
+            while !ws.load(Ordering::Relaxed) {
+                peak = peak.max(watcher_pool.active_threads());
+                std::thread::sleep(Duration::from_micros(100));
+            }
+            peak
+        });
+        pool_a.run(run);
+        watcher_stop.store(true, Ordering::Relaxed);
+        peak_active = peak_active.max(watcher.join().unwrap());
+        assert_eq!(counter.load(Ordering::Relaxed), 200);
+        assert!(
+            peak_active > 2,
+            "pool A never borrowed beyond its 2 owned cores (peak {peak_active})"
+        );
+        let dlb = coupler.stop();
+        assert_eq!(dlb.busy_count(), 0, "all cores returned");
+    }
+}

@@ -1,0 +1,90 @@
+//! Data-parallel helper for the application kernels.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Run `body(i)` for every `i` in `0..n` across `threads` OS threads,
+/// dealing indices in chunks of `chunk` via an atomic counter.
+///
+/// This is the small data-parallel loop the application kernels (CG sweeps,
+/// force calculations) use inside a task when run on real hardware; it
+/// deliberately has no dependency machinery — that lives in the task graph.
+///
+/// `body` receives the index and may capture shared state; it must be
+/// `Sync` because multiple threads call it concurrently.
+pub fn parallel_for<F>(n: usize, chunk: usize, threads: usize, body: F)
+where
+    F: Fn(usize) + Sync,
+{
+    assert!(chunk > 0, "chunk must be positive");
+    if n == 0 {
+        return;
+    }
+    let threads = threads.max(1).min(n.div_ceil(chunk));
+    if threads == 1 {
+        for i in 0..n {
+            body(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let body = &body;
+    let next = &next;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(move || loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    return;
+                }
+                let end = (start + chunk).min(n);
+                for i in start..end {
+                    body(i);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        parallel_for(1000, 7, 4, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn matches_serial_sum() {
+        let total = AtomicU64::new(0);
+        parallel_for(500, 16, 8, |i| {
+            total.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 499 * 500 / 2);
+    }
+
+    #[test]
+    fn zero_items_is_noop() {
+        parallel_for(0, 4, 4, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let total = AtomicU64::new(0);
+        parallel_for(10, 100, 1, |i| {
+            total.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk must be positive")]
+    fn zero_chunk_panics() {
+        parallel_for(10, 0, 2, |_| {});
+    }
+}

@@ -1,0 +1,614 @@
+//! The malleable work-stealing thread pool.
+
+use crate::run::{Body, GraphRun};
+use crossbeam::deque::{Injector, Steal, Stealer, Worker as Deque};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use tlb_tasking::{TaskDef, TaskGraph, TaskId};
+
+type Job = (TaskId, Body);
+
+/// Statistics of one [`Pool::run`] execution.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Total tasks executed.
+    pub tasks_executed: usize,
+    /// Tasks executed per worker index.
+    pub per_worker: Vec<usize>,
+    /// Jobs obtained by stealing from another worker's deque.
+    pub steals: usize,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+struct ActiveRun {
+    graph: TaskGraph,
+    bodies: Vec<Option<Body>>,
+    remaining: usize,
+    per_worker: Vec<usize>,
+    steals: usize,
+    /// First panic payload from a task body; re-thrown by `run`.
+    panic: Option<Box<dyn std::any::Any + Send + 'static>>,
+}
+
+struct Shared {
+    injector: Injector<Job>,
+    stealers: Vec<Stealer<Job>>,
+    active_limit: AtomicUsize,
+    shutdown: AtomicBool,
+    /// Bumped on every job push so sleeping workers re-check for work.
+    work_epoch: AtomicU64,
+    state: Mutex<Option<ActiveRun>>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+/// A work-stealing pool over `threads` OS threads whose *active* worker
+/// count can be changed at any time ([`Pool::set_active_threads`]) — the
+/// malleability DLB relies on. Workers above the active limit park on a
+/// condition variable; lowering the limit never preempts a running task
+/// (LeWI semantics: a reclaimed core is returned when the current task
+/// finishes).
+pub struct Pool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+    /// Serialises concurrent `run` calls.
+    run_gate: Mutex<()>,
+}
+
+impl Pool {
+    /// Spawn a pool with `threads` workers, all initially active.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "pool needs at least one thread");
+        let deques: Vec<Deque<Job>> = (0..threads).map(|_| Deque::new_fifo()).collect();
+        let stealers = deques.iter().map(|d| d.stealer()).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            active_limit: AtomicUsize::new(threads),
+            shutdown: AtomicBool::new(false),
+            work_epoch: AtomicU64::new(0),
+            state: Mutex::new(None),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = deques
+            .into_iter()
+            .enumerate()
+            .map(|(i, deque)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("tlb-worker-{i}"))
+                    .spawn(move || worker_loop(i, deque, shared))
+                    .expect("failed to spawn worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            handles,
+            threads,
+            run_gate: Mutex::new(()),
+        }
+    }
+
+    /// Total worker threads (active or parked).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Current active-worker limit.
+    pub fn active_threads(&self) -> usize {
+        self.shared.active_limit.load(Ordering::Relaxed)
+    }
+
+    /// Change the number of workers allowed to execute tasks, clamped to
+    /// `1..=threads`. Raising the limit wakes parked workers immediately;
+    /// lowering it takes effect as running tasks finish.
+    pub fn set_active_threads(&self, n: usize) {
+        let n = n.clamp(1, self.threads);
+        self.shared.active_limit.store(n, Ordering::Relaxed);
+        let _guard = self.shared.state.lock();
+        self.shared.work_cv.notify_all();
+    }
+
+    /// Outstanding (not yet completed) tasks of the run currently
+    /// executing, or zero when the pool is idle. This is the demand signal
+    /// the LeWI coupler polls.
+    pub fn load(&self) -> usize {
+        self.shared.state.lock().as_ref().map_or(0, |a| a.remaining)
+    }
+
+    /// Execute a [`GraphRun`] to completion and return statistics.
+    ///
+    /// Concurrent `run` calls from different threads are serialised.
+    pub fn run(&self, run: GraphRun) -> RunStats {
+        let _gate = self.run_gate.lock();
+        let started = std::time::Instant::now();
+        let GraphRun { graph, mut bodies } = run;
+        let total = graph.len();
+        if total == 0 {
+            return RunStats {
+                per_worker: vec![0; self.threads],
+                ..RunStats::default()
+            };
+        }
+        {
+            let mut state = self.shared.state.lock();
+            debug_assert!(state.is_none(), "run gate should prevent overlap");
+            let mut active = ActiveRun {
+                remaining: total,
+                per_worker: vec![0; self.threads],
+                steals: 0,
+                graph,
+                bodies: Vec::new(),
+                panic: None,
+            };
+            // Seed initially ready tasks.
+            let ready = active.graph.ready();
+            for id in ready {
+                active.graph.start(id).expect("ready task must start");
+                let body = bodies[id.raw() as usize]
+                    .take()
+                    .expect("missing body for ready task");
+                self.shared.injector.push((id, body));
+            }
+            active.bodies = bodies;
+            *state = Some(active);
+            self.shared.work_epoch.fetch_add(1, Ordering::Release);
+            self.shared.work_cv.notify_all();
+        }
+        // Wait for completion.
+        let mut state = self.shared.state.lock();
+        while state.as_ref().is_some_and(|a| a.remaining > 0) {
+            self.shared.done_cv.wait(&mut state);
+        }
+        let mut finished = state.take().expect("run vanished");
+        if let Some(payload) = finished.panic.take() {
+            // A task body panicked: surface it on the caller, exactly as
+            // a panicking closure would in a scoped-thread API.
+            std::panic::resume_unwind(payload);
+        }
+        RunStats {
+            // Children spawned during execution count too, so sum what
+            // actually ran rather than reporting the pre-run task count.
+            tasks_executed: finished.per_worker.iter().sum(),
+            per_worker: finished.per_worker,
+            steals: finished.steals,
+            elapsed: started.elapsed(),
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        {
+            let _guard = self.shared.state.lock();
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn find_job(index: usize, deque: &Deque<Job>, shared: &Shared) -> Option<(Job, bool)> {
+    if let Some(job) = deque.pop() {
+        return Some((job, false));
+    }
+    loop {
+        match shared.injector.steal_batch_and_pop(deque) {
+            Steal::Success(job) => return Some((job, false)),
+            Steal::Empty => break,
+            Steal::Retry => continue,
+        }
+    }
+    for (i, stealer) in shared.stealers.iter().enumerate() {
+        if i == index {
+            continue;
+        }
+        loop {
+            match stealer.steal() {
+                Steal::Success(job) => return Some((job, true)),
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+    }
+    None
+}
+
+fn worker_loop(index: usize, deque: Deque<Job>, shared: Arc<Shared>) {
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        // Malleability: parked while above the active limit.
+        if index >= shared.active_limit.load(Ordering::Relaxed) {
+            let mut state = shared.state.lock();
+            if shared.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            if index >= shared.active_limit.load(Ordering::Relaxed) {
+                shared
+                    .work_cv
+                    .wait_for(&mut state, Duration::from_millis(5));
+            }
+            continue;
+        }
+        let epoch = shared.work_epoch.load(Ordering::Acquire);
+        let Some((job, stolen)) = find_job(index, &deque, &shared) else {
+            // No work visible: sleep unless new work arrived since we
+            // started searching (epoch check avoids missed wakeups).
+            let mut state = shared.state.lock();
+            if shared.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            if shared.work_epoch.load(Ordering::Acquire) == epoch {
+                shared
+                    .work_cv
+                    .wait_for(&mut state, Duration::from_millis(1));
+            }
+            continue;
+        };
+        execute_job(index, Some(&deque), &shared, job, stolen);
+    }
+}
+
+/// Run one job to completion: execute the body (panics are caught and
+/// recorded, never kill the thread), then release successors. Shared by
+/// the worker loop and [`TaskCtx::taskwait`]'s helping path (which has no
+/// local deque).
+fn execute_job(
+    index: usize,
+    deque: Option<&Deque<Job>>,
+    shared: &Arc<Shared>,
+    job: Job,
+    stolen: bool,
+) {
+    let (id, body) = job;
+    let ctx = TaskCtx {
+        shared: Arc::clone(shared),
+        task: id,
+        worker: index,
+    };
+    // A panicking body must not kill the worker thread: that would
+    // strand `remaining > 0` forever and hang `run`. Catch it, record
+    // the payload, and count the task as executed so the run drains.
+    let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&ctx))).err();
+    // Mark complete, release successors, gather their bodies.
+    let mut state = shared.state.lock();
+    let active = state.as_mut().expect("job without active run");
+    if let Some(payload) = panic {
+        if active.panic.is_none() {
+            active.panic = Some(payload);
+        }
+    }
+    let newly_ready = active.graph.complete(id).expect("completion failed");
+    active.per_worker[index] += 1;
+    if stolen {
+        active.steals += 1;
+    }
+    active.remaining -= 1;
+    let mut pushed = false;
+    for (k, succ) in newly_ready.into_iter().enumerate() {
+        active
+            .graph
+            .start(succ)
+            .expect("ready successor must start");
+        let body = active.bodies[succ.raw() as usize]
+            .take()
+            .expect("missing body for successor");
+        match (k, deque) {
+            // Keep the first successor local for cache affinity.
+            (0, Some(d)) => d.push((succ, body)),
+            _ => shared.injector.push((succ, body)),
+        }
+        pushed = true;
+    }
+    let done = active.remaining == 0;
+    drop(state);
+    if pushed {
+        shared.work_epoch.fetch_add(1, Ordering::Release);
+        let _guard = shared.state.lock();
+        shared.work_cv.notify_all();
+    }
+    if done {
+        let _guard = shared.state.lock();
+        shared.done_cv.notify_all();
+    }
+}
+
+/// Handle passed to every task body: spawn nested child tasks and wait
+/// for them (OmpSs-2 nesting and `taskwait`, paper §3.1). Children form
+/// their own dependency domain — their declared accesses order them
+/// against their *siblings*, independent of the parent's level.
+pub struct TaskCtx {
+    shared: Arc<Shared>,
+    task: TaskId,
+    worker: usize,
+}
+
+impl TaskCtx {
+    /// The id of the currently executing task.
+    pub fn current(&self) -> TaskId {
+        self.task
+    }
+
+    /// Spawn a child task of the current one. Its accesses order it
+    /// against its siblings; it may start immediately on any worker.
+    pub fn spawn(&self, def: TaskDef, body: impl FnOnce() + Send + 'static) -> TaskId {
+        self.spawn_with_ctx(def, move |_| body())
+    }
+
+    /// Spawn a child whose body itself receives a [`TaskCtx`] (arbitrary
+    /// nesting depth).
+    pub fn spawn_with_ctx(
+        &self,
+        def: TaskDef,
+        body: impl FnOnce(&TaskCtx) + Send + 'static,
+    ) -> TaskId {
+        let def = def.child_of(self.task);
+        let mut state = self.shared.state.lock();
+        let active = state.as_mut().expect("spawn outside a run");
+        let id = active.graph.submit(def).expect("parent is running");
+        debug_assert_eq!(id.raw() as usize, active.bodies.len());
+        active.remaining += 1;
+        if active.graph.state(id) == tlb_tasking::TaskState::Ready {
+            active.graph.start(id).expect("ready child must start");
+            active.bodies.push(None);
+            self.shared.injector.push((id, Box::new(body)));
+        } else {
+            active.bodies.push(Some(Box::new(body)));
+        }
+        drop(state);
+        self.shared.work_epoch.fetch_add(1, Ordering::Release);
+        let _guard = self.shared.state.lock();
+        self.shared.work_cv.notify_all();
+        id
+    }
+
+    /// Block until every child of the current task has completed — by
+    /// *helping*: while waiting, this worker executes other ready tasks
+    /// (stolen from the injector or any worker's deque), so a task-waiting
+    /// parent never wastes its core.
+    pub fn taskwait(&self) {
+        loop {
+            {
+                let state = self.shared.state.lock();
+                let active = state.as_ref().expect("taskwait outside a run");
+                if active.graph.pending_children(Some(self.task)) == 0 {
+                    return;
+                }
+            }
+            // Help: run anything available anywhere.
+            match find_job_anywhere(&self.shared) {
+                Some(job) => execute_job(self.worker, None, &self.shared, job, true),
+                None => std::thread::yield_now(),
+            }
+        }
+    }
+}
+
+/// Steal from the injector or any worker's deque (used by helping waits,
+/// which have no local deque of their own).
+fn find_job_anywhere(shared: &Shared) -> Option<Job> {
+    loop {
+        match shared.injector.steal() {
+            Steal::Success(job) => return Some(job),
+            Steal::Empty => break,
+            Steal::Retry => continue,
+        }
+    }
+    for stealer in shared.stealers.iter() {
+        loop {
+            match stealer.steal() {
+                Steal::Success(job) => return Some(job),
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphRun;
+    use std::sync::atomic::AtomicUsize;
+    use tlb_tasking::{DataRegion, TaskDef};
+
+    #[test]
+    fn executes_all_tasks() {
+        let pool = Pool::new(4);
+        let mut run = GraphRun::new();
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            run.task(TaskDef::new("inc"), move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        let stats = pool.run(run);
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(stats.tasks_executed, 100);
+        assert_eq!(stats.per_worker.iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn empty_run_returns_immediately() {
+        let pool = Pool::new(2);
+        let stats = pool.run(GraphRun::new());
+        assert_eq!(stats.tasks_executed, 0);
+    }
+
+    #[test]
+    fn dependencies_enforced_under_parallelism() {
+        let pool = Pool::new(8);
+        let mut run = GraphRun::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let r = DataRegion::new(0, 8);
+        // A chain through a region: must execute strictly in order even
+        // with 8 hungry workers.
+        for i in 0..50u32 {
+            let log = Arc::clone(&log);
+            run.task(TaskDef::new("step").reads_writes(r), move || {
+                log.lock().push(i);
+            })
+            .unwrap();
+        }
+        pool.run(run);
+        let log = log.lock();
+        assert_eq!(*log, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fan_out_fan_in() {
+        let pool = Pool::new(4);
+        let mut run = GraphRun::new();
+        let acc = Arc::new(AtomicUsize::new(0));
+        let src = DataRegion::new(0, 1024);
+        let chunks = src.chunks(16);
+        // Producer writes whole region, consumers read chunks, reducer
+        // reads whole region again.
+        {
+            let acc = Arc::clone(&acc);
+            run.task(TaskDef::new("produce").writes(src), move || {
+                acc.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        for c in &chunks {
+            let acc = Arc::clone(&acc);
+            run.task(TaskDef::new("consume").reads(*c), move || {
+                assert!(
+                    acc.load(Ordering::Relaxed) >= 1,
+                    "consumer ran before producer"
+                );
+                acc.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        {
+            let acc = Arc::clone(&acc);
+            // inout, not in: the reducer must order behind the *reader*
+            // consumers too (readers commute with each other, so a plain
+            // read would only order behind the producer).
+            run.task(TaskDef::new("reduce").reads_writes(src), move || {
+                assert_eq!(acc.load(Ordering::Relaxed), 17, "reducer ran early");
+            })
+            .unwrap();
+        }
+        let stats = pool.run(run);
+        assert_eq!(stats.tasks_executed, 18);
+    }
+
+    #[test]
+    fn active_limit_bounds_concurrency() {
+        let pool = Pool::new(4);
+        pool.set_active_threads(2);
+        let inflight = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let mut run = GraphRun::new();
+        for _ in 0..64 {
+            let inflight = Arc::clone(&inflight);
+            let peak = Arc::clone(&peak);
+            run.task(TaskDef::new("t"), move || {
+                let now = inflight.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_micros(300));
+                inflight.fetch_sub(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.run(run);
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "peak concurrency {} exceeded active limit",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn raising_limit_mid_run_speeds_up() {
+        let pool = Pool::new(4);
+        pool.set_active_threads(1);
+        let mut run = GraphRun::new();
+        let executed = Arc::new(AtomicUsize::new(0));
+        for _ in 0..40 {
+            let executed = Arc::clone(&executed);
+            run.task(TaskDef::new("t"), move || {
+                std::thread::sleep(Duration::from_micros(500));
+                executed.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        let pool = Arc::new(pool);
+        let p2 = Arc::clone(&pool);
+        let raiser = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(3));
+            p2.set_active_threads(4);
+        });
+        let stats = pool.run(run);
+        raiser.join().unwrap();
+        assert_eq!(executed.load(Ordering::Relaxed), 40);
+        // After the raise, more than one worker must have participated.
+        let participants = stats.per_worker.iter().filter(|&&n| n > 0).count();
+        assert!(participants > 1, "per_worker {:?}", stats.per_worker);
+    }
+
+    #[test]
+    fn sequential_runs_reuse_pool() {
+        let pool = Pool::new(3);
+        for round in 0..5 {
+            let mut run = GraphRun::new();
+            let c = Arc::new(AtomicUsize::new(0));
+            for _ in 0..20 {
+                let c = Arc::clone(&c);
+                run.task(TaskDef::new("t"), move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                })
+                .unwrap();
+            }
+            let stats = pool.run(run);
+            assert_eq!(stats.tasks_executed, 20, "round {round}");
+            assert_eq!(c.load(Ordering::Relaxed), 20);
+        }
+    }
+
+    #[test]
+    fn task_panic_propagates_to_run() {
+        let pool = Pool::new(2);
+        let mut run = GraphRun::new();
+        run.task(TaskDef::new("ok"), || {}).unwrap();
+        run.task(TaskDef::new("boom"), || panic!("kernel exploded"))
+            .unwrap();
+        run.task(TaskDef::new("ok2"), || {}).unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.run(run)));
+        let payload = result.expect_err("panic must surface on the caller");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert!(msg.contains("kernel exploded"), "payload: {msg}");
+        // The pool survives and runs subsequent graphs.
+        let mut run = GraphRun::new();
+        run.task(TaskDef::new("after"), || {}).unwrap();
+        assert_eq!(pool.run(run).tasks_executed, 1);
+    }
+
+    #[test]
+    fn clamps_active_threads() {
+        let pool = Pool::new(2);
+        pool.set_active_threads(0);
+        assert_eq!(pool.active_threads(), 1);
+        pool.set_active_threads(99);
+        assert_eq!(pool.active_threads(), 2);
+    }
+}

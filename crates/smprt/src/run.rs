@@ -1,0 +1,91 @@
+//! A task graph paired with executable bodies.
+
+use crate::TaskCtx;
+use tlb_tasking::{GraphError, TaskDef, TaskGraph, TaskId};
+
+/// The body of one task. Every body receives a [`TaskCtx`] for spawning
+/// nested child tasks and task-waiting on them; plain closures that take
+/// no context are wrapped by [`GraphRun::task`].
+pub(crate) type Body = Box<dyn FnOnce(&TaskCtx) + Send + 'static>;
+
+/// A task graph under construction together with the closure each task
+/// runs. Submit tasks with [`GraphRun::task`], then execute the whole
+/// graph with [`crate::Pool::run`].
+#[derive(Default)]
+pub struct GraphRun {
+    pub(crate) graph: TaskGraph,
+    pub(crate) bodies: Vec<Option<Body>>,
+}
+
+impl GraphRun {
+    /// An empty run.
+    pub fn new() -> Self {
+        GraphRun {
+            graph: TaskGraph::new(),
+            bodies: Vec::new(),
+        }
+    }
+
+    /// Submit a task definition with its body. Dependencies follow from
+    /// the accesses declared on `def`, exactly as in [`TaskGraph::submit`].
+    pub fn task(
+        &mut self,
+        def: TaskDef,
+        body: impl FnOnce() + Send + 'static,
+    ) -> Result<TaskId, GraphError> {
+        self.task_with_ctx(def, move |_| body())
+    }
+
+    /// Submit a task whose body receives a [`TaskCtx`], enabling nested
+    /// child tasks and `taskwait` (OmpSs-2 nesting, paper §3.1).
+    pub fn task_with_ctx(
+        &mut self,
+        def: TaskDef,
+        body: impl FnOnce(&TaskCtx) + Send + 'static,
+    ) -> Result<TaskId, GraphError> {
+        let id = self.graph.submit(def)?;
+        debug_assert_eq!(id.raw() as usize, self.bodies.len());
+        self.bodies.push(Some(Box::new(body)));
+        Ok(id)
+    }
+
+    /// Number of tasks submitted.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Whether no tasks were submitted.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// Cost-weighted critical path of the submitted graph.
+    pub fn critical_path(&self) -> f64 {
+        self.graph.critical_path()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlb_tasking::DataRegion;
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut run = GraphRun::new();
+        let a = run.task(TaskDef::new("a"), || {}).unwrap();
+        let b = run.task(TaskDef::new("b"), || {}).unwrap();
+        assert_eq!(a.raw(), 0);
+        assert_eq!(b.raw(), 1);
+        assert_eq!(run.len(), 2);
+    }
+
+    #[test]
+    fn dependencies_recorded() {
+        let mut run = GraphRun::new();
+        let r = DataRegion::new(0, 8);
+        let a = run.task(TaskDef::new("w").writes(r), || {}).unwrap();
+        let b = run.task(TaskDef::new("r").reads(r), || {}).unwrap();
+        assert_eq!(run.graph.predecessors(b), &[a]);
+    }
+}

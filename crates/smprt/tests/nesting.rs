@@ -1,0 +1,156 @@
+//! Nested task creation and taskwait on the real-thread runtime
+//! (OmpSs-2 nesting, paper §3.1).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use tlb_smprt::{GraphRun, Pool};
+use tlb_tasking::{DataRegion, TaskDef};
+
+#[test]
+fn children_run_and_taskwait_blocks() {
+    let pool = Pool::new(4);
+    let mut run = GraphRun::new();
+    let child_count = Arc::new(AtomicUsize::new(0));
+    let after_wait = Arc::new(AtomicUsize::new(0));
+    {
+        let child_count = Arc::clone(&child_count);
+        let after_wait = Arc::clone(&after_wait);
+        run.task_with_ctx(TaskDef::new("parent"), move |ctx| {
+            for _ in 0..16 {
+                let c = Arc::clone(&child_count);
+                ctx.spawn(TaskDef::new("child"), move || {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            ctx.taskwait();
+            after_wait.store(child_count.load(Ordering::SeqCst), Ordering::SeqCst);
+        })
+        .unwrap();
+    }
+    let stats = pool.run(run);
+    assert_eq!(stats.tasks_executed, 17);
+    assert_eq!(child_count.load(Ordering::SeqCst), 16);
+    assert_eq!(
+        after_wait.load(Ordering::SeqCst),
+        16,
+        "taskwait returned before all children finished"
+    );
+}
+
+#[test]
+fn sibling_dependencies_order_children() {
+    let pool = Pool::new(4);
+    let mut run = GraphRun::new();
+    let log = Arc::new(std::sync::Mutex::new(Vec::new()));
+    {
+        let log = Arc::clone(&log);
+        run.task_with_ctx(TaskDef::new("parent"), move |ctx| {
+            let r = DataRegion::new(0x100, 8);
+            // Chain of children through one region: strict order.
+            for i in 0..8u32 {
+                let log = Arc::clone(&log);
+                ctx.spawn(TaskDef::new("step").reads_writes(r), move || {
+                    log.lock().unwrap().push(i);
+                });
+            }
+            ctx.taskwait();
+        })
+        .unwrap();
+    }
+    pool.run(run);
+    assert_eq!(*log.lock().unwrap(), (0..8).collect::<Vec<_>>());
+}
+
+#[test]
+fn two_level_nesting() {
+    let pool = Pool::new(4);
+    let mut run = GraphRun::new();
+    let total = Arc::new(AtomicUsize::new(0));
+    {
+        let total = Arc::clone(&total);
+        run.task_with_ctx(TaskDef::new("root"), move |ctx| {
+            for _ in 0..4 {
+                let total = Arc::clone(&total);
+                ctx.spawn_with_ctx(TaskDef::new("mid"), move |ctx2| {
+                    for _ in 0..4 {
+                        let total = Arc::clone(&total);
+                        ctx2.spawn(TaskDef::new("leaf"), move || {
+                            total.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                    ctx2.taskwait();
+                    total.fetch_add(100, Ordering::SeqCst);
+                });
+            }
+            ctx.taskwait();
+        })
+        .unwrap();
+    }
+    let stats = pool.run(run);
+    // 1 root + 4 mids + 16 leaves.
+    assert_eq!(stats.tasks_executed, 21);
+    assert_eq!(total.load(Ordering::SeqCst), 16 + 400);
+}
+
+#[test]
+fn taskwait_helps_instead_of_blocking() {
+    // One worker only: taskwait must execute the children itself or the
+    // run would deadlock (the single worker is inside the parent body).
+    let pool = Pool::new(1);
+    let mut run = GraphRun::new();
+    let done = Arc::new(AtomicUsize::new(0));
+    {
+        let done = Arc::clone(&done);
+        run.task_with_ctx(TaskDef::new("parent"), move |ctx| {
+            for _ in 0..8 {
+                let done = Arc::clone(&done);
+                ctx.spawn(TaskDef::new("child"), move || {
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            ctx.taskwait();
+            assert_eq!(done.load(Ordering::SeqCst), 8);
+        })
+        .unwrap();
+    }
+    let stats = pool.run(run);
+    assert_eq!(stats.tasks_executed, 9);
+}
+
+#[test]
+fn nested_child_panic_propagates() {
+    let pool = Pool::new(2);
+    let mut run = GraphRun::new();
+    run.task_with_ctx(TaskDef::new("parent"), |ctx| {
+        ctx.spawn(TaskDef::new("bad"), || panic!("child exploded"));
+        ctx.taskwait();
+    })
+    .unwrap();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.run(run)));
+    assert!(result.is_err(), "child panic must surface from run()");
+}
+
+#[test]
+fn children_without_taskwait_still_complete_the_run() {
+    // The run only ends when *all* tasks (children included) finish, even
+    // if the parent never taskwaits.
+    let pool = Pool::new(3);
+    let mut run = GraphRun::new();
+    let count = Arc::new(AtomicUsize::new(0));
+    {
+        let count = Arc::clone(&count);
+        run.task_with_ctx(TaskDef::new("fire-and-forget"), move |ctx| {
+            for _ in 0..12 {
+                let count = Arc::clone(&count);
+                ctx.spawn(TaskDef::new("bg"), move || {
+                    count.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+    }
+    let stats = pool.run(run);
+    assert_eq!(stats.tasks_executed, 13);
+    assert_eq!(count.load(Ordering::SeqCst), 12);
+}

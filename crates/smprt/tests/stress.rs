@@ -1,0 +1,128 @@
+//! Stress and scenario tests for the shared-memory runtime.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tlb_smprt::{GraphRun, LewiCoupler, Pool};
+use tlb_tasking::{DataRegion, TaskDef};
+
+/// A diamond-heavy random-ish DAG executes correctly under contention.
+#[test]
+fn layered_dag_runs_in_order() {
+    let pool = Pool::new(8);
+    let mut run = GraphRun::new();
+    let layer_done: Vec<Arc<AtomicUsize>> = (0..6).map(|_| Arc::new(AtomicUsize::new(0))).collect();
+    let layers = 6usize;
+    let width = 24usize;
+    // Layer k writes region k; reads region k-1: full barrier between layers.
+    let regions: Vec<DataRegion> = (0..layers)
+        .map(|k| DataRegion::new(k * 0x1000, 0x1000))
+        .collect();
+    for k in 0..layers {
+        for _ in 0..width {
+            let mine = Arc::clone(&layer_done[k]);
+            let prev = k.checked_sub(1).map(|p| Arc::clone(&layer_done[p]));
+            let mut def = TaskDef::new(format!("layer{k}"));
+            // Writers of layer k conflict with readers of layer k+1 via
+            // region k. Each task reads the previous layer's region and
+            // writes a distinct chunk of its own.
+            if k > 0 {
+                def = def.reads(regions[k - 1]);
+            }
+            let chunk = regions[k].chunks(width)[mine.load(Ordering::Relaxed) % width];
+            def = def.writes(chunk);
+            run.task(def, move || {
+                if let Some(prev) = prev {
+                    assert_eq!(
+                        prev.load(Ordering::SeqCst),
+                        width,
+                        "layer started before previous completed"
+                    );
+                }
+                mine.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+    }
+    let stats = pool.run(run);
+    assert_eq!(stats.tasks_executed, layers * width);
+    assert!(layer_done.iter().all(|l| l.load(Ordering::SeqCst) == width));
+}
+
+/// Many short runs back-to-back never deadlock or leak state.
+#[test]
+fn rapid_fire_runs() {
+    let pool = Pool::new(4);
+    for round in 0..50 {
+        let mut run = GraphRun::new();
+        let n = 1 + round % 17;
+        let count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..n {
+            let c = Arc::clone(&count);
+            run.task(TaskDef::new("t"), move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        assert_eq!(pool.run(run).tasks_executed, n);
+        assert_eq!(count.load(Ordering::Relaxed), n);
+        assert_eq!(pool.load(), 0);
+    }
+}
+
+/// Three pools coupled on one node: the busiest pool ends up with the
+/// lion's share of cores while the others idle.
+#[test]
+fn three_way_coupling() {
+    let cores = 6;
+    let pools: Vec<Arc<Pool>> = (0..3).map(|_| Arc::new(Pool::new(cores))).collect();
+    let coupler = LewiCoupler::start(
+        pools.iter().map(Arc::clone).collect(),
+        vec![2, 2, 2],
+        Duration::from_micros(200),
+    );
+    let counter = Arc::new(AtomicUsize::new(0));
+    let mut run = GraphRun::new();
+    for _ in 0..150 {
+        let c = Arc::clone(&counter);
+        run.task(TaskDef::new("t"), move || {
+            std::thread::sleep(Duration::from_micros(300));
+            c.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+    }
+    // Pool 1 is the only busy one.
+    let watcher = {
+        let p = Arc::clone(&pools[1]);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let s = Arc::clone(&stop);
+        let h = std::thread::spawn(move || {
+            let mut peak = 0;
+            while !s.load(Ordering::Relaxed) {
+                peak = peak.max(p.active_threads());
+                std::thread::sleep(Duration::from_micros(100));
+            }
+            peak
+        });
+        (stop, h)
+    };
+    pools[1].run(run);
+    watcher.0.store(true, Ordering::Relaxed);
+    let peak = watcher.1.join().unwrap();
+    assert_eq!(counter.load(Ordering::Relaxed), 150);
+    assert!(peak > 2, "busy pool never borrowed (peak {peak})");
+    let dlb = coupler.stop();
+    assert_eq!(dlb.busy_count(), 0);
+}
+
+/// Pool drop while idle terminates promptly (no hung worker threads).
+#[test]
+fn drop_is_clean() {
+    for _ in 0..10 {
+        let pool = Pool::new(3);
+        let mut run = GraphRun::new();
+        run.task(TaskDef::new("t"), || {}).unwrap();
+        pool.run(run);
+        drop(pool); // must join workers without hanging
+    }
+}

@@ -1,0 +1,583 @@
+//! The dependency graph: Nanos6's region-overlap dependency computation in
+//! sequential submission order, with per-parent dependency domains.
+
+use crate::index::{EntryId, IntervalIndex};
+use crate::{AccessMode, TaskDef, TaskId, TaskState};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from graph operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// Unknown task id.
+    NoSuchTask(TaskId),
+    /// Operation invalid for the task's current state.
+    BadState {
+        task: TaskId,
+        state: TaskState,
+        wanted: TaskState,
+    },
+    /// Parent referenced at submit time does not exist or is completed.
+    BadParent(TaskId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NoSuchTask(t) => write!(f, "unknown task {t:?}"),
+            GraphError::BadState {
+                task,
+                state,
+                wanted,
+            } => {
+                write!(f, "task {task:?} is {state:?}, expected {wanted:?}")
+            }
+            GraphError::BadParent(t) => write!(f, "invalid parent {t:?}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+struct TaskNode {
+    def: TaskDef,
+    state: TaskState,
+    /// Predecessors not yet completed.
+    pending_deps: usize,
+    /// Successor edges (dependents released on completion).
+    successors: Vec<TaskId>,
+    /// Predecessor edges (kept for critical-path computation and tests).
+    predecessors: Vec<TaskId>,
+    /// Children not yet completed (for taskwait).
+    live_children: usize,
+    /// Interval-index entries of this task's accesses, removed when the
+    /// task completes (accesses stop generating dependencies then).
+    access_entries: Vec<EntryId>,
+}
+
+/// The task dependency graph.
+///
+/// Tasks are submitted in sequential program order (the order the OmpSs-2
+/// source would create them); a submitted task depends on every earlier
+/// *sibling* (same dependency domain / parent) task, not yet completed,
+/// with a conflicting access — overlap where at least one side writes.
+/// Readers between two writers run concurrently; the second writer orders
+/// behind all of them.
+pub struct TaskGraph {
+    tasks: Vec<TaskNode>,
+    /// Active accesses per dependency domain (keyed by parent; `None` key
+    /// encoded as u64::MAX). The interval index answers "which active
+    /// accesses overlap this region" in O(log n + k).
+    domains: HashMap<u64, IntervalIndex<(TaskId, AccessMode)>>,
+    ready: Vec<TaskId>,
+    completed_count: usize,
+}
+
+impl Default for TaskGraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn domain_key(parent: Option<TaskId>) -> u64 {
+    parent.map_or(u64::MAX, |t| t.0)
+}
+
+impl TaskGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        TaskGraph {
+            tasks: Vec::new(),
+            domains: HashMap::new(),
+            ready: Vec::new(),
+            completed_count: 0,
+        }
+    }
+
+    /// Submit a task; returns its id. Dependencies on earlier conflicting
+    /// siblings are computed here.
+    pub fn submit(&mut self, def: TaskDef) -> Result<TaskId, GraphError> {
+        if let Some(p) = def.parent {
+            let node = self
+                .tasks
+                .get(p.0 as usize)
+                .ok_or(GraphError::BadParent(p))?;
+            if node.state == TaskState::Completed {
+                return Err(GraphError::BadParent(p));
+            }
+        }
+        let id = TaskId(self.tasks.len() as u64);
+        let key = domain_key(def.parent);
+        let active = self.domains.entry(key).or_default();
+
+        // Collect unique predecessor ids among conflicting active accesses:
+        // regions overlap and at least one side writes.
+        let mut preds: Vec<TaskId> = Vec::new();
+        for acc in &def.accesses {
+            active.for_each_overlap(acc.region, |_, &(task, mode)| {
+                if (acc.mode.writes() || mode.writes()) && !preds.contains(&task) {
+                    preds.push(task);
+                }
+            });
+        }
+        preds.sort_unstable();
+        let access_entries: Vec<EntryId> = def
+            .accesses
+            .iter()
+            .map(|acc| active.insert(acc.region, (id, acc.mode)))
+            .collect();
+        if let Some(p) = def.parent {
+            self.tasks[p.0 as usize].live_children += 1;
+        }
+        let pending = preds.len();
+        for &p in &preds {
+            self.tasks[p.0 as usize].successors.push(id);
+        }
+        let state = if pending == 0 {
+            self.ready.push(id);
+            TaskState::Ready
+        } else {
+            TaskState::Blocked
+        };
+        self.tasks.push(TaskNode {
+            def,
+            state,
+            pending_deps: pending,
+            successors: Vec::new(),
+            predecessors: preds,
+            live_children: 0,
+            access_entries,
+        });
+        Ok(id)
+    }
+
+    /// Tasks currently ready, in submission order. Draining is the
+    /// executor's job: call [`TaskGraph::start`] to claim one.
+    pub fn ready(&self) -> Vec<TaskId> {
+        self.ready.clone()
+    }
+
+    /// Number of ready tasks.
+    pub fn ready_count(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Pop the first ready task (submission order), if any, marking it
+    /// running.
+    pub fn pop_ready(&mut self) -> Option<TaskId> {
+        if self.ready.is_empty() {
+            return None;
+        }
+        let id = self.ready.remove(0);
+        self.tasks[id.0 as usize].state = TaskState::Running;
+        Some(id)
+    }
+
+    /// Claim a specific ready task for execution.
+    pub fn start(&mut self, id: TaskId) -> Result<(), GraphError> {
+        let node = self
+            .tasks
+            .get_mut(id.0 as usize)
+            .ok_or(GraphError::NoSuchTask(id))?;
+        if node.state != TaskState::Ready {
+            return Err(GraphError::BadState {
+                task: id,
+                state: node.state,
+                wanted: TaskState::Ready,
+            });
+        }
+        node.state = TaskState::Running;
+        self.ready.retain(|&r| r != id);
+        Ok(())
+    }
+
+    /// Complete a running task: releases successors and returns the tasks
+    /// that became ready as a result (in submission order).
+    pub fn complete(&mut self, id: TaskId) -> Result<Vec<TaskId>, GraphError> {
+        let idx = id.0 as usize;
+        {
+            let node = self.tasks.get_mut(idx).ok_or(GraphError::NoSuchTask(id))?;
+            if node.state != TaskState::Running {
+                return Err(GraphError::BadState {
+                    task: id,
+                    state: node.state,
+                    wanted: TaskState::Running,
+                });
+            }
+            node.state = TaskState::Completed;
+        }
+        self.completed_count += 1;
+        // Retire this task's accesses from its dependency domain.
+        let key = domain_key(self.tasks[idx].def.parent);
+        let entries = std::mem::take(&mut self.tasks[idx].access_entries);
+        if let Some(active) = self.domains.get_mut(&key) {
+            for e in entries {
+                active.remove(e);
+            }
+        }
+        if let Some(p) = self.tasks[idx].def.parent {
+            self.tasks[p.0 as usize].live_children -= 1;
+        }
+        let successors = self.tasks[idx].successors.clone();
+        let mut newly_ready = Vec::new();
+        for s in successors {
+            let node = &mut self.tasks[s.0 as usize];
+            node.pending_deps -= 1;
+            if node.pending_deps == 0 && node.state == TaskState::Blocked {
+                node.state = TaskState::Ready;
+                self.ready.push(s);
+                newly_ready.push(s);
+            }
+        }
+        Ok(newly_ready)
+    }
+
+    /// Definition of a task.
+    pub fn def(&self, id: TaskId) -> &TaskDef {
+        &self.tasks[id.0 as usize].def
+    }
+
+    /// Current state of a task.
+    pub fn state(&self, id: TaskId) -> TaskState {
+        self.tasks[id.0 as usize].state
+    }
+
+    /// Predecessor ids of a task (dependency edges into it).
+    pub fn predecessors(&self, id: TaskId) -> &[TaskId] {
+        &self.tasks[id.0 as usize].predecessors
+    }
+
+    /// Number of submitted tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether no tasks were submitted.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Number of not-yet-completed children of `parent` (`None` = the main
+    /// function): the quantity a `taskwait` blocks on.
+    pub fn pending_children(&self, parent: Option<TaskId>) -> usize {
+        match parent {
+            Some(p) => self.tasks[p.0 as usize].live_children,
+            None => self
+                .tasks
+                .iter()
+                .filter(|t| t.def.parent.is_none() && t.state != TaskState::Completed)
+                .count(),
+        }
+    }
+
+    /// Whether every submitted task has completed.
+    pub fn all_complete(&self) -> bool {
+        self.completed_count == self.tasks.len()
+    }
+
+    /// Cost-weighted critical path: the longest chain of dependent task
+    /// costs. With perfect load balance and no overheads, execution time
+    /// cannot go below `max(critical_path, total_cost / total_cores)` —
+    /// the paper's "perfect load balancing" reference line.
+    pub fn critical_path(&self) -> f64 {
+        let n = self.tasks.len();
+        let mut finish = vec![0.0f64; n];
+        // Tasks are indexed in submission order and edges go forward only,
+        // so a single forward pass computes longest paths.
+        for i in 0..n {
+            let start = self.tasks[i]
+                .predecessors
+                .iter()
+                .map(|p| finish[p.0 as usize])
+                .fold(0.0f64, f64::max);
+            finish[i] = start + self.tasks[i].def.cost;
+        }
+        finish.into_iter().fold(0.0, f64::max)
+    }
+
+    /// Total cost of all submitted tasks.
+    pub fn total_cost(&self) -> f64 {
+        self.tasks.iter().map(|t| t.def.cost).sum()
+    }
+
+    /// Summary counters.
+    pub fn stats(&self) -> TaskStats {
+        let mut s = TaskStats {
+            submitted: self.tasks.len(),
+            completed: self.completed_count,
+            ready: self.ready.len(),
+            ..TaskStats::default()
+        };
+        for t in &self.tasks {
+            if t.state == TaskState::Running {
+                s.running += 1;
+            }
+            s.edges += t.predecessors.len();
+        }
+        s
+    }
+}
+
+/// Counters describing graph progress.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TaskStats {
+    /// Tasks submitted.
+    pub submitted: usize,
+    /// Tasks completed.
+    pub completed: usize,
+    /// Tasks currently ready.
+    pub ready: usize,
+    /// Tasks currently running.
+    pub running: usize,
+    /// Dependency edges.
+    pub edges: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DataRegion;
+
+    fn run_to_completion(g: &mut TaskGraph) -> Vec<TaskId> {
+        let mut order = Vec::new();
+        while let Some(t) = g.pop_ready() {
+            g.complete(t).unwrap();
+            order.push(t);
+        }
+        order
+    }
+
+    #[test]
+    fn pop_ready_drains_in_submission_order() {
+        let mut g = TaskGraph::new();
+        let r = DataRegion::new(0, 8);
+        let ids: Vec<_> = (0..5)
+            .map(|i| {
+                g.submit(TaskDef::new(format!("t{i}")).reads_writes(r))
+                    .unwrap()
+            })
+            .collect();
+        let order = run_to_completion(&mut g);
+        assert_eq!(order, ids); // chain executes strictly in order
+        assert!(g.all_complete());
+    }
+
+    #[test]
+    fn raw_chain_orders() {
+        let mut g = TaskGraph::new();
+        let r = DataRegion::new(0, 8);
+        let w = g.submit(TaskDef::new("w").writes(r)).unwrap();
+        let rd = g.submit(TaskDef::new("r").reads(r)).unwrap();
+        assert_eq!(g.ready(), vec![w]);
+        assert_eq!(g.state(rd), TaskState::Blocked);
+        g.start(w).unwrap();
+        let released = g.complete(w).unwrap();
+        assert_eq!(released, vec![rd]);
+    }
+
+    #[test]
+    fn readers_run_concurrently() {
+        let mut g = TaskGraph::new();
+        let r = DataRegion::new(0, 8);
+        let w = g.submit(TaskDef::new("w").writes(r)).unwrap();
+        let r1 = g.submit(TaskDef::new("r1").reads(r)).unwrap();
+        let r2 = g.submit(TaskDef::new("r2").reads(r)).unwrap();
+        let w2 = g.submit(TaskDef::new("w2").writes(r)).unwrap();
+        g.start(w).unwrap();
+        let rel = g.complete(w).unwrap();
+        assert_eq!(rel, vec![r1, r2]); // both readers release together
+                                       // Second writer waits on both readers (WAR).
+        assert_eq!(g.predecessors(w2).len(), 3); // w (WAW) + r1 + r2
+        g.start(r1).unwrap();
+        g.complete(r1).unwrap();
+        assert_eq!(g.state(w2), TaskState::Blocked);
+        g.start(r2).unwrap();
+        let rel = g.complete(r2).unwrap();
+        assert_eq!(rel, vec![w2]);
+    }
+
+    #[test]
+    fn disjoint_regions_are_independent() {
+        let mut g = TaskGraph::new();
+        let a = g
+            .submit(TaskDef::new("a").writes(DataRegion::new(0, 8)))
+            .unwrap();
+        let b = g
+            .submit(TaskDef::new("b").writes(DataRegion::new(8, 8)))
+            .unwrap();
+        assert_eq!(g.ready(), vec![a, b]);
+    }
+
+    #[test]
+    fn partial_overlap_creates_dependency() {
+        let mut g = TaskGraph::new();
+        let _a = g
+            .submit(TaskDef::new("a").writes(DataRegion::new(0, 10)))
+            .unwrap();
+        let b = g
+            .submit(TaskDef::new("b").reads(DataRegion::new(5, 10)))
+            .unwrap();
+        assert_eq!(g.state(b), TaskState::Blocked);
+    }
+
+    #[test]
+    fn completed_tasks_stop_generating_deps() {
+        let mut g = TaskGraph::new();
+        let r = DataRegion::new(0, 8);
+        let w = g.submit(TaskDef::new("w").writes(r)).unwrap();
+        g.start(w).unwrap();
+        g.complete(w).unwrap();
+        // Submitted after completion: no dependency.
+        let w2 = g.submit(TaskDef::new("w2").writes(r)).unwrap();
+        assert_eq!(g.state(w2), TaskState::Ready);
+        assert!(g.predecessors(w2).is_empty());
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let mut g = TaskGraph::new();
+        let r1 = DataRegion::new(0, 8);
+        let r2 = DataRegion::new(8, 8);
+        let w = g.submit(TaskDef::new("w").writes(r1).writes(r2)).unwrap();
+        // Conflicts with both of w's accesses, but only one edge.
+        let rd = g.submit(TaskDef::new("r").reads(r1).reads(r2)).unwrap();
+        assert_eq!(g.predecessors(rd), &[w]);
+        g.start(w).unwrap();
+        let rel = g.complete(w).unwrap();
+        assert_eq!(rel, vec![rd]); // single decrement, single release
+    }
+
+    #[test]
+    fn sibling_domains_are_independent() {
+        let mut g = TaskGraph::new();
+        let r = DataRegion::new(0, 8);
+        let p1 = g.submit(TaskDef::new("p1")).unwrap();
+        let p2 = g.submit(TaskDef::new("p2")).unwrap();
+        // Same region, different parents: OmpSs-2 dependency domains are
+        // per nesting level, so no cross-domain edge.
+        let c1 = g.submit(TaskDef::new("c1").writes(r).child_of(p1)).unwrap();
+        let c2 = g.submit(TaskDef::new("c2").writes(r).child_of(p2)).unwrap();
+        assert_eq!(g.state(c1), TaskState::Ready);
+        assert_eq!(g.state(c2), TaskState::Ready);
+    }
+
+    #[test]
+    fn taskwait_counts_children() {
+        let mut g = TaskGraph::new();
+        let p = g.submit(TaskDef::new("p")).unwrap();
+        let c1 = g.submit(TaskDef::new("c1").child_of(p)).unwrap();
+        let c2 = g.submit(TaskDef::new("c2").child_of(p)).unwrap();
+        assert_eq!(g.pending_children(Some(p)), 2);
+        g.start(c1).unwrap();
+        g.complete(c1).unwrap();
+        assert_eq!(g.pending_children(Some(p)), 1);
+        g.start(c2).unwrap();
+        g.complete(c2).unwrap();
+        assert_eq!(g.pending_children(Some(p)), 0);
+    }
+
+    #[test]
+    fn top_level_taskwait() {
+        let mut g = TaskGraph::new();
+        let a = g.submit(TaskDef::new("a")).unwrap();
+        let _b = g.submit(TaskDef::new("b")).unwrap();
+        assert_eq!(g.pending_children(None), 2);
+        g.start(a).unwrap();
+        g.complete(a).unwrap();
+        assert_eq!(g.pending_children(None), 1);
+    }
+
+    #[test]
+    fn cannot_complete_unstarted() {
+        let mut g = TaskGraph::new();
+        let a = g.submit(TaskDef::new("a")).unwrap();
+        assert!(matches!(
+            g.complete(a),
+            Err(GraphError::BadState {
+                wanted: TaskState::Running,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn cannot_start_blocked() {
+        let mut g = TaskGraph::new();
+        let r = DataRegion::new(0, 8);
+        let _w = g.submit(TaskDef::new("w").writes(r)).unwrap();
+        let rd = g.submit(TaskDef::new("r").reads(r)).unwrap();
+        assert!(g.start(rd).is_err());
+    }
+
+    #[test]
+    fn bad_parent_rejected() {
+        let mut g = TaskGraph::new();
+        let bogus = TaskId(42);
+        assert_eq!(
+            g.submit(TaskDef::new("c").child_of(bogus)).unwrap_err(),
+            GraphError::BadParent(bogus)
+        );
+    }
+
+    #[test]
+    fn critical_path_chain_vs_fan() {
+        let mut g = TaskGraph::new();
+        let r = DataRegion::new(0, 8);
+        // Chain of 3 writers, cost 2 each → CP = 6.
+        for i in 0..3 {
+            g.submit(TaskDef::new(format!("w{i}")).reads_writes(r).cost(2.0))
+                .unwrap();
+        }
+        // Plus 10 independent cost-1 tasks: CP unchanged.
+        for i in 0..10 {
+            g.submit(TaskDef::new(format!("x{i}")).cost(1.0)).unwrap();
+        }
+        assert!((g.critical_path() - 6.0).abs() < 1e-12);
+        assert!((g.total_cost() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_track_progress() {
+        let mut g = TaskGraph::new();
+        let r = DataRegion::new(0, 8);
+        let w = g.submit(TaskDef::new("w").writes(r)).unwrap();
+        let _r = g.submit(TaskDef::new("r").reads(r)).unwrap();
+        let s = g.stats();
+        assert_eq!(s.submitted, 2);
+        assert_eq!(s.edges, 1);
+        assert_eq!(s.ready, 1);
+        g.start(w).unwrap();
+        assert_eq!(g.stats().running, 1);
+        g.complete(w).unwrap();
+        assert_eq!(g.stats().completed, 1);
+    }
+
+    #[test]
+    fn any_completion_order_is_consistent() {
+        // Property: executing ready tasks in any (here: reverse) order
+        // never violates dependencies and always drains the graph.
+        let mut g = TaskGraph::new();
+        let r = DataRegion::new(0, 64);
+        let chunks = r.chunks(4);
+        for c in &chunks {
+            g.submit(TaskDef::new("init").writes(*c)).unwrap();
+        }
+        for c in &chunks {
+            g.submit(TaskDef::new("use").reads(*c)).unwrap();
+        }
+        g.submit(TaskDef::new("reduce").reads(r)).unwrap();
+        let mut done = 0;
+        loop {
+            let ready = g.ready();
+            if ready.is_empty() {
+                break;
+            }
+            let t = *ready.last().unwrap();
+            g.start(t).unwrap();
+            g.complete(t).unwrap();
+            done += 1;
+        }
+        assert_eq!(done, 9);
+        assert!(g.all_complete());
+    }
+}

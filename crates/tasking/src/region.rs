@@ -1,0 +1,208 @@
+//! Regions of the common virtual address space.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open byte range `[base, base + len)` in the cluster-wide common
+/// virtual address space.
+///
+/// OmpSs-2@Cluster keeps the same virtual memory layout on every node of an
+/// apprank's worker set, so a region identifies the same logical data
+/// everywhere — no address translation (paper §3.2). Zero-length regions
+/// are permitted and overlap nothing.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DataRegion {
+    base: usize,
+    len: usize,
+}
+
+impl DataRegion {
+    /// Region starting at `base` covering `len` bytes.
+    pub const fn new(base: usize, len: usize) -> Self {
+        DataRegion { base, len }
+    }
+
+    /// The region occupied by a slice in this process (for shared-memory
+    /// executions where regions come from real data).
+    pub fn of_slice<T>(slice: &[T]) -> Self {
+        DataRegion {
+            base: slice.as_ptr() as usize,
+            len: std::mem::size_of_val(slice),
+        }
+    }
+
+    /// Start address.
+    pub const fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Length in bytes.
+    pub const fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the region covers no bytes.
+    pub const fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// One-past-the-end address.
+    pub const fn end(&self) -> usize {
+        self.base + self.len
+    }
+
+    /// Whether two regions share at least one byte. Empty regions overlap
+    /// nothing (and so never create dependencies).
+    pub const fn overlaps(&self, other: &DataRegion) -> bool {
+        self.len > 0 && other.len > 0 && self.base < other.end() && other.base < self.end()
+    }
+
+    /// Whether `other` lies fully inside `self`.
+    pub const fn contains(&self, other: &DataRegion) -> bool {
+        other.base >= self.base && other.end() <= self.end()
+    }
+
+    /// The overlapping byte range, if any.
+    pub fn intersection(&self, other: &DataRegion) -> Option<DataRegion> {
+        let base = self.base.max(other.base);
+        let end = self.end().min(other.end());
+        (end > base).then(|| DataRegion::new(base, end - base))
+    }
+
+    /// Smallest region covering both.
+    pub fn hull(&self, other: &DataRegion) -> DataRegion {
+        let base = self.base.min(other.base);
+        let end = self.end().max(other.end());
+        DataRegion::new(base, end - base)
+    }
+
+    /// Split into `parts` contiguous chunks (last chunk takes the
+    /// remainder); used by workloads to block their arrays into task
+    /// accesses.
+    pub fn chunks(&self, parts: usize) -> Vec<DataRegion> {
+        assert!(parts > 0, "cannot split into zero chunks");
+        let per = self.len / parts;
+        (0..parts)
+            .map(|i| {
+                let base = self.base + i * per;
+                let len = if i == parts - 1 {
+                    self.end() - base
+                } else {
+                    per
+                };
+                DataRegion::new(base, len)
+            })
+            .collect()
+    }
+}
+
+impl fmt::Debug for DataRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#x}, {:#x})", self.base, self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn overlap_basic() {
+        let a = DataRegion::new(0, 10);
+        let b = DataRegion::new(5, 10);
+        let c = DataRegion::new(10, 5);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c)); // half-open: [0,10) and [10,15) disjoint
+        assert!(b.overlaps(&c));
+    }
+
+    #[test]
+    fn zero_length_overlaps_nothing() {
+        let z = DataRegion::new(5, 0);
+        let a = DataRegion::new(0, 10);
+        assert!(!z.overlaps(&a));
+        assert!(!a.overlaps(&z));
+        assert!(z.is_empty());
+    }
+
+    #[test]
+    fn containment_and_intersection() {
+        let a = DataRegion::new(0, 100);
+        let b = DataRegion::new(10, 20);
+        assert!(a.contains(&b));
+        assert!(!b.contains(&a));
+        assert_eq!(a.intersection(&b), Some(b));
+        let c = DataRegion::new(90, 20);
+        assert_eq!(a.intersection(&c), Some(DataRegion::new(90, 10)));
+        assert_eq!(
+            DataRegion::new(0, 5).intersection(&DataRegion::new(5, 5)),
+            None
+        );
+    }
+
+    #[test]
+    fn hull_covers_both() {
+        let a = DataRegion::new(0, 10);
+        let b = DataRegion::new(50, 10);
+        assert_eq!(a.hull(&b), DataRegion::new(0, 60));
+    }
+
+    #[test]
+    fn chunks_partition_exactly() {
+        let r = DataRegion::new(100, 103);
+        let parts = r.chunks(4);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[0], DataRegion::new(100, 25));
+        assert_eq!(parts[3], DataRegion::new(175, 28)); // remainder
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 103);
+    }
+
+    #[test]
+    fn of_slice_matches_address() {
+        let data = [0u64; 8];
+        let r = DataRegion::of_slice(&data);
+        assert_eq!(r.base(), data.as_ptr() as usize);
+        assert_eq!(r.len(), 64);
+    }
+
+    proptest! {
+        #[test]
+        fn overlap_symmetric(b1 in 0usize..1000, l1 in 0usize..100, b2 in 0usize..1000, l2 in 0usize..100) {
+            let a = DataRegion::new(b1, l1);
+            let b = DataRegion::new(b2, l2);
+            prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+        }
+
+        #[test]
+        fn overlap_iff_intersection(b1 in 0usize..1000, l1 in 0usize..100, b2 in 0usize..1000, l2 in 0usize..100) {
+            let a = DataRegion::new(b1, l1);
+            let b = DataRegion::new(b2, l2);
+            prop_assert_eq!(a.overlaps(&b), a.intersection(&b).is_some());
+        }
+
+        #[test]
+        fn intersection_contained_in_both(b1 in 0usize..1000, l1 in 1usize..100, b2 in 0usize..1000, l2 in 1usize..100) {
+            let a = DataRegion::new(b1, l1);
+            let b = DataRegion::new(b2, l2);
+            if let Some(i) = a.intersection(&b) {
+                prop_assert!(a.contains(&i));
+                prop_assert!(b.contains(&i));
+            }
+        }
+
+        #[test]
+        fn chunks_are_disjoint_and_cover(base in 0usize..1000, len in 1usize..500, parts in 1usize..10) {
+            let r = DataRegion::new(base, len);
+            let cs = r.chunks(parts);
+            prop_assert_eq!(cs.iter().map(|c| c.len()).sum::<usize>(), len);
+            for w in cs.windows(2) {
+                prop_assert_eq!(w[0].end(), w[1].base());
+            }
+            prop_assert_eq!(cs[0].base(), base);
+            prop_assert_eq!(cs.last().unwrap().end(), r.end());
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests: the incremental dependency computation must match a
+//! brute-force oracle, and every execution schedule must respect program
+//! order semantics.
+
+use proptest::prelude::*;
+use tlb_tasking::{Access, AccessMode, DataRegion, TaskDef, TaskGraph};
+
+/// A compact generated access: (base bucket, length bucket, mode).
+#[derive(Clone, Debug)]
+struct GenAccess {
+    base: usize,
+    len: usize,
+    mode: AccessMode,
+}
+
+fn gen_access() -> impl Strategy<Value = GenAccess> {
+    (0usize..20, 1usize..8, 0u8..3).prop_map(|(base, len, m)| GenAccess {
+        base: base * 4,
+        len: len * 4,
+        mode: match m {
+            0 => AccessMode::In,
+            1 => AccessMode::Out,
+            _ => AccessMode::InOut,
+        },
+    })
+}
+
+fn gen_tasks() -> impl Strategy<Value = Vec<Vec<GenAccess>>> {
+    prop::collection::vec(prop::collection::vec(gen_access(), 1..4), 1..25)
+}
+
+/// Brute-force oracle: task j depends on i < j iff (no intermediate
+/// completion happens during submission here) some access pair conflicts.
+fn oracle_edges(tasks: &[Vec<GenAccess>]) -> Vec<(usize, usize)> {
+    let mut edges = Vec::new();
+    for j in 0..tasks.len() {
+        for i in 0..j {
+            let conflict = tasks[i].iter().any(|a| {
+                tasks[j].iter().any(|b| {
+                    let ra = DataRegion::new(a.base, a.len);
+                    let rb = DataRegion::new(b.base, b.len);
+                    (a.mode.writes() || b.mode.writes()) && ra.overlaps(&rb)
+                })
+            });
+            if conflict {
+                edges.push((i, j));
+            }
+        }
+    }
+    edges
+}
+
+fn build_graph(tasks: &[Vec<GenAccess>]) -> (TaskGraph, Vec<tlb_tasking::TaskId>) {
+    let mut g = TaskGraph::new();
+    let ids = tasks
+        .iter()
+        .enumerate()
+        .map(|(i, accs)| {
+            let mut def = TaskDef::new(format!("t{i}"));
+            for a in accs {
+                let r = DataRegion::new(a.base, a.len);
+                def = match a.mode {
+                    AccessMode::In => def.reads(r),
+                    AccessMode::Out => def.writes(r),
+                    AccessMode::InOut => def.reads_writes(r),
+                };
+            }
+            g.submit(def).unwrap()
+        })
+        .collect();
+    (g, ids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The graph's predecessor sets equal the brute-force conflict oracle.
+    #[test]
+    fn dependencies_match_oracle(tasks in gen_tasks()) {
+        let (g, ids) = build_graph(&tasks);
+        let expected = oracle_edges(&tasks);
+        let mut actual = Vec::new();
+        for (j, &id) in ids.iter().enumerate() {
+            for p in g.predecessors(id) {
+                actual.push((p.raw() as usize, j));
+            }
+        }
+        actual.sort_unstable();
+        let mut expected = expected;
+        expected.sort_unstable();
+        prop_assert_eq!(actual, expected);
+    }
+
+    /// Greedy execution always drains the graph (no deadlock), and every
+    /// task runs after all its predecessors.
+    #[test]
+    fn greedy_execution_respects_order(tasks in gen_tasks(), pick_last in any::<bool>()) {
+        let (mut g, ids) = build_graph(&tasks);
+        let mut completed_at = vec![usize::MAX; ids.len()];
+        let mut step = 0;
+        loop {
+            let ready = g.ready();
+            if ready.is_empty() { break; }
+            let t = if pick_last { *ready.last().unwrap() } else { ready[0] };
+            g.start(t).unwrap();
+            g.complete(t).unwrap();
+            completed_at[t.raw() as usize] = step;
+            step += 1;
+        }
+        prop_assert!(g.all_complete(), "graph deadlocked");
+        for (j, &id) in ids.iter().enumerate() {
+            for p in g.predecessors(id) {
+                prop_assert!(
+                    completed_at[p.raw() as usize] < completed_at[j],
+                    "task {} ran before its predecessor {}", j, p.raw()
+                );
+            }
+        }
+    }
+
+    /// Critical path is at most total cost and at least the max single cost.
+    #[test]
+    fn critical_path_bounds(tasks in gen_tasks()) {
+        let (g, _) = build_graph(&tasks);
+        let cp = g.critical_path();
+        prop_assert!(cp <= g.total_cost() + 1e-9);
+        prop_assert!(cp >= 1.0 - 1e-9); // all costs are 1.0 by default
+    }
+
+    /// Access conflicts are symmetric.
+    #[test]
+    fn conflict_symmetry(a in gen_access(), b in gen_access()) {
+        let aa = Access { region: DataRegion::new(a.base, a.len), mode: a.mode };
+        let bb = Access { region: DataRegion::new(b.base, b.len), mode: b.mode };
+        prop_assert_eq!(aa.conflicts_with(&bb), bb.conflicts_with(&aa));
+    }
+}

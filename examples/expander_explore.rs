@@ -1,0 +1,54 @@
+//! Explore expander graph quality: generate random bipartite biregular
+//! graphs for several shapes, check connectivity and the vertex
+//! isoperimetric number, and compare against ring (circulant) layouts.
+//!
+//! Run with: `cargo run --release --example expander_explore`
+
+use tlb::expander::{generate_circulant, isoperimetric_exact, BipartiteGraph, ExpanderConfig};
+
+fn main() {
+    println!(
+        "{:>14} {:>7} {:>11} {:>12}",
+        "shape", "degree", "connected", "iso (1+eps)"
+    );
+    for &(appranks, nodes) in &[(8usize, 8usize), (16, 16), (32, 16)] {
+        for degree in 1..=4usize {
+            let cfg = ExpanderConfig::new(appranks, nodes, degree)
+                .with_seed(42)
+                .with_candidates(32);
+            let g = BipartiteGraph::generate(&cfg).expect("generate");
+            let iso = if appranks <= 20 {
+                isoperimetric_exact(&g)
+            } else {
+                g.isoperimetric_number()
+            };
+            println!(
+                "{:>14} {degree:>7} {:>11} {iso:>12.3}",
+                format!("{appranks}x{nodes}"),
+                g.is_connected(),
+            );
+        }
+    }
+
+    // Random expander vs deterministic ring at the same degree.
+    println!("\nrandom vs ring at 16x16:");
+    for degree in 2..=4usize {
+        let ring_strides: Vec<usize> = (1..degree).collect();
+        let ring = generate_circulant(&ExpanderConfig::new(16, 16, degree), &ring_strides).unwrap();
+        let rnd = BipartiteGraph::generate(
+            &ExpanderConfig::new(16, 16, degree)
+                .with_seed(7)
+                .with_candidates(64),
+        )
+        .unwrap();
+        println!(
+            "  degree {degree}: ring iso {:.3}, random iso {:.3}",
+            isoperimetric_exact(&ring),
+            isoperimetric_exact(&rnd),
+        );
+    }
+    println!("\nan apprank's nodes (32x16, degree 3): {:?}", {
+        let g = BipartiteGraph::generate(&ExpanderConfig::new(32, 16, 3).with_seed(7)).unwrap();
+        (0..4).map(|a| g.nodes_of(a).to_vec()).collect::<Vec<_>>()
+    });
+}

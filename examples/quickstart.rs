@@ -1,0 +1,53 @@
+//! Quickstart: balance an imbalanced MPI+OmpSs-2-style workload across
+//! two nodes, comparing the paper's configurations.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use tlb::cluster::{ClusterSim, SpecWorkload, TaskSpec};
+use tlb::core::{BalanceConfig, DromPolicy, Platform};
+
+fn main() {
+    // A 2-node, 8-cores-per-node virtual cluster.
+    let platform = Platform::homogeneous(2, 8);
+
+    // Two appranks (one per node). Apprank 0 creates 3x the work: the
+    // kind of imbalance a mixed linear/non-linear FE mesh produces.
+    let task = TaskSpec::compute(0.050); // 50 ms of single-core compute
+    let heavy: Vec<TaskSpec> = (0..240).map(|_| task.clone()).collect();
+    let light: Vec<TaskSpec> = (0..80).map(|_| task.clone()).collect();
+    let workload = SpecWorkload::iterated(vec![heavy, light], 6);
+
+    let total_work = workload.total_work();
+    let perfect = total_work / platform.effective_capacity() / 6.0;
+    println!("perfect balance bound: {perfect:.3} s/iteration\n");
+
+    let configs = [
+        (
+            "baseline (no DLB, no offloading)",
+            BalanceConfig::baseline(),
+        ),
+        ("single-node DLB", BalanceConfig::dlb_only()),
+        (
+            "LeWI only, degree 2",
+            BalanceConfig::offloading(2, DromPolicy::Off),
+        ),
+        (
+            "local policy, degree 2",
+            BalanceConfig::offloading(2, DromPolicy::Local),
+        ),
+        (
+            "global policy, degree 2",
+            BalanceConfig::offloading(2, DromPolicy::Global),
+        ),
+    ];
+    for (name, cfg) in configs {
+        let report =
+            ClusterSim::run(&platform, &cfg, workload.clone()).expect("valid configuration");
+        println!(
+            "{name:36} {:7.3} s/iter  (offloaded {:4.1}% of tasks, {} events)",
+            report.mean_iteration_secs(2),
+            100.0 * report.offload_fraction(),
+            report.events,
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Integration tests for the policy stack and the real compute kernels
+//! used by the examples.
+
+use tlb::apps::micropp::MicroProblem;
+use tlb::apps::nbody::{direct_accelerations, orb_partition, Body, Octree};
+use tlb::core::{GlobalPolicy, GlobalSolverKind, LocalPolicy, Platform, ProcessLayout};
+use tlb::expander::{BipartiteGraph, ExpanderConfig};
+use tlb::smprt::{GraphRun, Pool};
+use tlb::tasking::{DataRegion, TaskDef};
+
+/// The global policy's per-node ownership vectors always feed cleanly
+/// into DLB: node sums equal capacity and everyone owns ≥ 1 core.
+#[test]
+fn global_policy_drom_roundtrip() {
+    let g = BipartiteGraph::generate(&ExpanderConfig::new(16, 8, 3).with_seed(5)).unwrap();
+    let platform = Platform::homogeneous(8, 12);
+    let layout = ProcessLayout::new(&g, 12);
+    let mut policy = GlobalPolicy::new(&g, &platform);
+    let work: Vec<f64> = (0..16).map(|a| 1.0 + (a as f64 * 2.7) % 9.0).collect();
+    let sol = policy.allocate(&work, GlobalSolverKind::Simplex).unwrap();
+    let per_node = policy.ownership_by_node(&layout, &sol);
+    for (n, counts) in per_node.iter().enumerate() {
+        assert_eq!(counts.iter().sum::<usize>(), 12, "node {n}");
+        assert!(counts.iter().all(|&c| c >= 1), "node {n}: {counts:?}");
+        // And DLB accepts them.
+        let mut dlb = tlb::dlb::NodeDlb::with_counts(layout.initial_ownership(n), true);
+        dlb.set_ownership(counts).expect("valid DROM update");
+    }
+}
+
+/// Iterating local-policy updates from any start converges to a fixed
+/// point that matches the busy profile.
+#[test]
+fn local_policy_fixed_point() {
+    let busy = [9.0, 3.0, 0.5, 0.1];
+    let mut counts = vec![4usize, 4, 4, 4];
+    for _ in 0..5 {
+        counts = LocalPolicy::ownership(16, &busy, &counts);
+    }
+    let again = LocalPolicy::ownership(16, &busy, &counts);
+    assert_eq!(counts, again, "not a fixed point");
+    assert_eq!(counts.iter().sum::<usize>(), 16);
+    assert!(counts[0] > counts[1] && counts[1] > counts[2]);
+    assert!(counts[3] >= 1);
+}
+
+/// The real MicroPP kernel on the real thread pool: a batch of
+/// subproblems with dependencies between assembly and reduction.
+#[test]
+fn micropp_kernel_on_thread_pool() {
+    let pool = Pool::new(4);
+    let mut run = GraphRun::new();
+    let results = std::sync::Arc::new(parking_lot_stub::Mutex::new(Vec::new()));
+    let region = DataRegion::new(0x4000, 1024);
+    for i in 0..8 {
+        let results = std::sync::Arc::clone(&results);
+        // Independent solves writing disjoint chunks.
+        let chunk = region.chunks(8)[i];
+        run.task(TaskDef::new("solve").writes(chunk), move || {
+            let mut p = MicroProblem::new(5, i % 3 == 0);
+            let stats = p.solve();
+            results.lock().push(stats.residual);
+        })
+        .unwrap();
+    }
+    // Reduction reads the whole region: runs last.
+    {
+        let results = std::sync::Arc::clone(&results);
+        run.task(TaskDef::new("reduce").reads(region), move || {
+            let r = results.lock();
+            assert_eq!(r.len(), 8, "reduction ran before all solves");
+            assert!(r.iter().all(|v| v.is_finite() && *v < 1e-6));
+        })
+        .unwrap();
+    }
+    let stats = pool.run(run);
+    assert_eq!(stats.tasks_executed, 9);
+}
+
+// Minimal shim so the test reads naturally without adding parking_lot to
+// the facade's dev-deps: std Mutex with an unwrapping lock().
+mod parking_lot_stub {
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+    impl<T> Mutex<T> {
+        pub fn new(v: T) -> Self {
+            Mutex(std::sync::Mutex::new(v))
+        }
+        pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+            self.0.lock().unwrap()
+        }
+    }
+}
+
+/// Barnes–Hut + ORB round trip: partition, per-rank trees, forces close
+/// to the direct sum.
+#[test]
+fn nbody_orb_and_forces_roundtrip() {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+    let bodies: Vec<Body> = (0..600)
+        .map(|_| {
+            Body::at(
+                [
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                ],
+                1.0,
+            )
+        })
+        .collect();
+    let ranks = 4;
+    let assign = orb_partition(&bodies, ranks);
+    // Every body assigned exactly once, counts near-equal.
+    let mut counts = vec![0usize; ranks];
+    for &r in &assign {
+        counts[r] += 1;
+    }
+    assert_eq!(counts.iter().sum::<usize>(), 600);
+    assert!(counts.iter().all(|&c| c == 150));
+
+    // The global tree gives forces matching the direct sum.
+    let tree = Octree::build(&bodies, 0.3);
+    let direct = direct_accelerations(&bodies);
+    let mut worst = 0.0f64;
+    for (i, b) in bodies.iter().enumerate().step_by(17) {
+        let a = tree.acceleration(&b.pos, Some(i));
+        let err: f64 = (0..3)
+            .map(|d| (a[d] - direct[i][d]).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        let mag: f64 = direct[i].iter().map(|v| v * v).sum::<f64>().sqrt();
+        worst = worst.max(err / mag.max(1e-9));
+    }
+    assert!(worst < 0.08, "worst relative force error {worst}");
+}
+
+/// An expander graph survives a save/load round trip and still validates.
+#[test]
+fn expander_persistence_roundtrip() {
+    let cfg = ExpanderConfig::new(32, 16, 3).with_seed(13);
+    let g = BipartiteGraph::generate(&cfg).unwrap();
+    let dir = std::env::temp_dir().join("tlb_integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("graph32x16.json");
+    g.save_json(&path).unwrap();
+    let g2 = BipartiteGraph::load_json(&path).unwrap();
+    assert!(g2.is_connected());
+    for a in 0..32 {
+        assert_eq!(g.nodes_of(a), g2.nodes_of(a));
+    }
+    std::fs::remove_file(&path).ok();
+}
