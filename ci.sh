@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Offline CI gate: format, build, tier-1 tests, perf smoke.
+# The workspace is hermetic (no registry deps), so everything here runs
+# with no network access. Mirrors .github/workflows/ci.yml.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== tier-1: cargo build --release"
+cargo build --workspace --release --offline
+
+echo "== tier-1: cargo test"
+cargo test --workspace -q --offline
+
+echo "== perf smoke (--quick)"
+cargo run --release --offline -p tlb-bench --bin perf_smoke -- --quick
+
+echo "CI gate passed."

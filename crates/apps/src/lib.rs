@@ -28,6 +28,7 @@
 pub mod cholesky;
 pub mod micropp;
 pub mod nbody;
+pub(crate) mod par;
 pub mod stencil;
 pub mod synthetic;
 

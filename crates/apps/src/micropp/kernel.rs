@@ -1,6 +1,14 @@
 //! The real micro-scale FE compute kernel.
+//!
+//! The hot paths — the stencil apply, the CG dot products, and the vector
+//! updates — can run on a [`Pool`] via [`MicroProblem::solve_on`]. All
+//! parallel arithmetic uses fixed chunk boundaries and in-order partial
+//! combination (see [`crate::par`]), so the solve is bitwise identical
+//! whether it runs serially or on any number of threads.
 
+use crate::par::{det_dot, for_each_range, SendPtr};
 use std::time::Instant;
+use tlb_smprt::Pool;
 
 /// Result of solving one subproblem.
 #[derive(Clone, Copy, Debug)]
@@ -66,10 +74,21 @@ impl MicroProblem {
     /// term; boundary points are Dirichlet, eliminated from interior rows
     /// (identity rows plus zero off-diagonal coupling) so the operator is
     /// symmetric — a requirement of CG.
+    #[cfg(test)]
     fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.apply_with(x, y, None);
+    }
+
+    /// [`MicroProblem::apply`] parallelised over the outer `ix` index:
+    /// each `ix` plane writes a disjoint contiguous block of `3n²` output
+    /// values, so the planes can run on any threads in any order and the
+    /// result is identical to the serial sweep.
+    fn apply_with(&self, x: &[f64], y: &mut [f64], pool: Option<&Pool>) {
         let n = self.n;
         let k = self.stiffness;
         debug_assert_eq!(x.len(), self.dofs());
+        debug_assert_eq!(y.len(), self.dofs());
+        let yp = SendPtr::new(y.as_mut_ptr());
         // Value of a neighbour as the eliminated-Dirichlet operator sees
         // it: zero on the boundary.
         let v = |ix: usize, iy: usize, iz: usize, c: usize| -> f64 {
@@ -79,14 +98,17 @@ impl MicroProblem {
                 x[self.idx(ix, iy, iz, c)]
             }
         };
-        for ix in 0..n {
+        let plane = |ix: usize| {
             for iy in 0..n {
                 for iz in 0..n {
                     let boundary = self.is_boundary(ix, iy, iz);
                     for c in 0..3 {
                         let i = self.idx(ix, iy, iz, c);
+                        // SAFETY: index `i` lies in plane `ix`'s disjoint
+                        // output block; `y` outlives the parallel region.
+                        let out = unsafe { &mut *yp.get().add(i) };
                         if boundary {
-                            y[i] = x[i];
+                            *out = x[i];
                             continue;
                         }
                         let centre = x[i];
@@ -101,10 +123,14 @@ impl MicroProblem {
                         // coupling block is symmetric.
                         let other = x[self.idx(ix, iy, iz, (c + 1) % 3)]
                             + x[self.idx(ix, iy, iz, (c + 2) % 3)];
-                        y[i] = k * (6.0 * centre - nb) + 0.1 * k * other;
+                        *out = k * (6.0 * centre - nb) + 0.1 * k * other;
                     }
                 }
             }
+        };
+        match pool {
+            Some(p) if n >= 4 => p.parallel_for(n, 1, plane),
+            _ => (0..n).for_each(plane),
         }
     }
 
@@ -123,51 +149,92 @@ impl MicroProblem {
         b
     }
 
-    /// Unpreconditioned CG on the stencil operator.
-    fn cg(&self, b: &[f64], x: &mut [f64], tol: f64, max_iters: usize) -> (usize, f64) {
+    /// Unpreconditioned CG on the stencil operator. Every reduction uses
+    /// fixed-chunk in-order partial sums ([`det_dot`]), so the iterate
+    /// sequence is bitwise identical for any thread count.
+    fn cg(
+        &self,
+        b: &[f64],
+        x: &mut [f64],
+        tol: f64,
+        max_iters: usize,
+        pool: Option<&Pool>,
+    ) -> (usize, f64) {
         let dofs = self.dofs();
         let mut r = vec![0.0; dofs];
         let mut ax = vec![0.0; dofs];
-        self.apply(x, &mut ax);
-        for i in 0..dofs {
-            r[i] = b[i] - ax[i];
+        self.apply_with(x, &mut ax, pool);
+        {
+            let rp = SendPtr::new(r.as_mut_ptr());
+            for_each_range(pool, dofs, |lo, hi| {
+                // SAFETY: ranges are disjoint; `r` outlives the region.
+                for i in lo..hi {
+                    unsafe { *rp.get().add(i) = b[i] - ax[i] };
+                }
+            });
         }
         let mut p = r.clone();
-        let mut rr: f64 = r.iter().map(|v| v * v).sum();
-        let b_norm = b.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-30);
+        let mut rr: f64 = det_dot(pool, &r, &r);
+        let b_norm = det_dot(pool, b, b).sqrt().max(1e-30);
         let mut ap = vec![0.0; dofs];
         for it in 0..max_iters {
             if rr.sqrt() / b_norm < tol {
                 return (it, rr.sqrt());
             }
-            self.apply(&p, &mut ap);
-            let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+            self.apply_with(&p, &mut ap, pool);
+            let pap: f64 = det_dot(pool, &p, &ap);
             if pap.abs() < 1e-300 {
                 return (it, rr.sqrt());
             }
             let alpha = rr / pap;
-            for i in 0..dofs {
-                x[i] += alpha * p[i];
-                r[i] -= alpha * ap[i];
+            {
+                let xp = SendPtr::new(x.as_mut_ptr());
+                let rp = SendPtr::new(r.as_mut_ptr());
+                for_each_range(pool, dofs, |lo, hi| {
+                    // SAFETY: ranges are disjoint; both vectors outlive
+                    // the region.
+                    for i in lo..hi {
+                        unsafe {
+                            *xp.get().add(i) += alpha * p[i];
+                            *rp.get().add(i) -= alpha * ap[i];
+                        }
+                    }
+                });
             }
-            let rr_new: f64 = r.iter().map(|v| v * v).sum();
+            let rr_new: f64 = det_dot(pool, &r, &r);
             let beta = rr_new / rr;
             rr = rr_new;
-            for i in 0..dofs {
-                p[i] = r[i] + beta * p[i];
+            {
+                let pp = SendPtr::new(p.as_mut_ptr());
+                for_each_range(pool, dofs, |lo, hi| {
+                    // SAFETY: ranges are disjoint; `p` outlives the region.
+                    for i in lo..hi {
+                        unsafe { *pp.get().add(i) = r[i] + beta * *pp.get().add(i) };
+                    }
+                });
             }
         }
         (max_iters, rr.sqrt())
     }
 
-    /// Solve the subproblem; real compute, no shortcuts.
+    /// Solve the subproblem serially; real compute, no shortcuts.
     pub fn solve(&mut self) -> SolveStats {
+        self.solve_with(None)
+    }
+
+    /// Solve the subproblem with the hot loops spread over `pool`'s
+    /// active workers. Bitwise identical to [`MicroProblem::solve`].
+    pub fn solve_on(&mut self, pool: &Pool) -> SolveStats {
+        self.solve_with(Some(pool))
+    }
+
+    fn solve_with(&mut self, pool: Option<&Pool>) -> SolveStats {
         let tol = 1e-8;
         let max_cg = 50 * self.n;
         let b = self.rhs();
         let mut x = vec![0.0; self.dofs()];
         if !self.nonlinear {
-            let (iters, res) = self.cg(&b, &mut x, tol, max_cg);
+            let (iters, res) = self.cg(&b, &mut x, tol, max_cg, pool);
             return SolveStats {
                 cg_iterations: iters,
                 newton_steps: 1,
@@ -181,10 +248,10 @@ impl MicroProblem {
         let mut res = 0.0;
         for _ in 0..4 {
             steps += 1;
-            let (iters, r) = self.cg(&b, &mut x, tol, max_cg);
+            let (iters, r) = self.cg(&b, &mut x, tol, max_cg, pool);
             total_cg += iters;
             res = r;
-            let norm: f64 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+            let norm: f64 = det_dot(pool, &x, &x).sqrt();
             let new_stiffness = 1.0 / (1.0 + 5.0 * norm);
             if (new_stiffness - self.stiffness).abs() < 1e-6 {
                 break;
@@ -271,7 +338,7 @@ mod tests {
         let p = MicroProblem::new(5, false);
         let b = p.rhs();
         let mut x = vec![0.0; p.dofs()];
-        let (_, res) = p.cg(&b, &mut x, 1e-8, 500);
+        let (_, res) = p.cg(&b, &mut x, 1e-8, 500, None);
         assert!(res.is_finite());
         let norm: f64 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!(norm > 0.0, "zero solution for nonzero load");
@@ -283,13 +350,12 @@ mod tests {
     fn operator_is_symmetric() {
         // CG requires a symmetric operator: check x·(A y) == y·(A x) on
         // random vectors.
-        use rand::{Rng, SeedableRng};
         let p = MicroProblem::new(4, false);
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let mut rng = tlb_rng::Rng::seed_from_u64(7);
         let dofs = p.dofs();
         for _ in 0..5 {
-            let x: Vec<f64> = (0..dofs).map(|_| rng.gen_range(-1.0..1.0)).collect();
-            let y: Vec<f64> = (0..dofs).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let x: Vec<f64> = (0..dofs).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+            let y: Vec<f64> = (0..dofs).map(|_| rng.range_f64(-1.0, 1.0)).collect();
             let mut ax = vec![0.0; dofs];
             let mut ay = vec![0.0; dofs];
             p.apply(&x, &mut ax);
@@ -299,6 +365,60 @@ mod tests {
             assert!(
                 (xay - yax).abs() < 1e-9 * xay.abs().max(1.0),
                 "asymmetric operator: {xay} vs {yax}"
+            );
+        }
+    }
+
+    #[test]
+    fn solve_bitwise_identical_across_thread_counts() {
+        // The acceptance bar for the parallel kernels: the full Newton/CG
+        // solve — every dot product, axpy, and stencil apply — produces
+        // the exact same bits at 1 and 8 threads as serially.
+        let serial = {
+            let mut p = MicroProblem::new(8, true);
+            p.solve()
+        };
+        for threads in [1usize, 8] {
+            let pool = Pool::new(threads);
+            let mut p = MicroProblem::new(8, true);
+            let stats = p.solve_on(&pool);
+            assert_eq!(
+                stats.cg_iterations, serial.cg_iterations,
+                "{threads} threads"
+            );
+            assert_eq!(stats.newton_steps, serial.newton_steps, "{threads} threads");
+            assert_eq!(
+                stats.residual.to_bits(),
+                serial.residual.to_bits(),
+                "residual differs at {threads} threads"
+            );
+            assert_eq!(
+                p.stiffness.to_bits(),
+                {
+                    let mut q = MicroProblem::new(8, true);
+                    q.solve();
+                    q.stiffness.to_bits()
+                },
+                "final Newton stiffness differs at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn cg_solution_vector_bitwise_identical_across_thread_counts() {
+        let p = MicroProblem::new(7, false);
+        let b = p.rhs();
+        let mut x_ref = vec![0.0; p.dofs()];
+        p.cg(&b, &mut x_ref, 1e-8, 500, None);
+        for threads in [1usize, 2, 8] {
+            let pool = Pool::new(threads);
+            let mut x = vec![0.0; p.dofs()];
+            p.cg(&b, &mut x, 1e-8, 500, Some(&pool));
+            assert!(
+                x.iter()
+                    .zip(&x_ref)
+                    .all(|(a, r)| a.to_bits() == r.to_bits()),
+                "CG iterate differs at {threads} threads"
             );
         }
     }

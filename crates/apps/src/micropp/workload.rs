@@ -1,9 +1,8 @@
 //! MicroPP workload generation for the cluster simulation.
 
 use crate::micropp::Calibration;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 use tlb_cluster::{SpecWorkload, TaskSpec};
+use tlb_rng::Rng;
 
 /// Parameters of a MicroPP-style run.
 #[derive(Clone, Debug)]
@@ -73,10 +72,10 @@ pub(crate) fn rank_fractions(cfg: &MicroPpConfig) -> Vec<f64> {
         assert_eq!(f.len(), cfg.appranks, "override length mismatch");
         return f.clone();
     }
-    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     (0..cfg.appranks)
         .map(|_| {
-            let u: f64 = rng.gen_range(0.0..1.0);
+            let u: f64 = rng.f64_unit();
             cfg.fraction_lo + (cfg.fraction_hi - cfg.fraction_lo) * u.powf(cfg.gamma)
         })
         .collect()
@@ -92,7 +91,7 @@ pub fn micropp_workload(cfg: &MicroPpConfig) -> SpecWorkload {
         "bad fraction range"
     );
     let fractions = rank_fractions(cfg);
-    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xC0FF_EE00_DEAD_BEEF);
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ 0xC0FF_EE00_DEAD_BEEF);
     let nl_secs = cfg.linear_secs * cfg.nonlinear_ratio;
     let tasks_per_rank = cfg.subproblems_per_rank / cfg.subproblems_per_task;
 
@@ -104,7 +103,7 @@ pub fn micropp_workload(cfg: &MicroPpConfig) -> SpecWorkload {
                 (0..tasks_per_rank)
                     .map(|_| {
                         let n_nl = (0..cfg.subproblems_per_task)
-                            .filter(|_| rng.gen_range(0.0..1.0) < f)
+                            .filter(|_| rng.f64_unit() < f)
                             .count();
                         let n_lin = cfg.subproblems_per_task - n_nl;
                         let dur = n_lin as f64 * cfg.linear_secs + n_nl as f64 * nl_secs;

@@ -1,6 +1,13 @@
 //! Barnes–Hut octree force computation.
+//!
+//! The force accumulation — one independent tree walk per body — can run
+//! on a [`Pool`] via [`Octree::accelerations`]: each body writes only its
+//! own acceleration slot, so the result is bitwise identical for any
+//! thread count (no reductions cross body boundaries).
 
+use crate::par::SendPtr;
 use std::time::Instant;
+use tlb_smprt::Pool;
 
 /// Softening length avoiding singular pairwise forces.
 const SOFTENING2: f64 = 1e-6;
@@ -209,6 +216,29 @@ impl Octree {
         }
     }
 
+    /// Accelerations for every body in `bodies` (each excluding itself),
+    /// optionally spread over `pool`'s active workers. Each body's tree
+    /// walk is independent and writes only its own output slot, so the
+    /// result is identical to the serial loop for any thread count.
+    pub fn accelerations(&self, bodies: &[Body], pool: Option<&Pool>) -> Vec<[f64; 3]> {
+        let n = bodies.len();
+        let mut acc = vec![[0.0f64; 3]; n];
+        let ap = SendPtr::new(acc.as_mut_ptr());
+        let one = |i: usize| {
+            let a = self.acceleration(&bodies[i].pos, Some(i));
+            // SAFETY: body `i` writes only slot `i`; `acc` outlives the
+            // parallel region (parallel_for blocks until done).
+            unsafe { *ap.get().add(i) = a };
+        };
+        match pool {
+            // A tree walk costs microseconds; claim bodies a cacheline's
+            // worth at a time to keep counter traffic negligible.
+            Some(p) if n > 128 => p.parallel_for(n, 32, one),
+            _ => (0..n).for_each(one),
+        }
+        acc
+    }
+
     /// Number of tree nodes (for tests/benches).
     pub fn node_count(&self) -> usize {
         self.nodes.len()
@@ -263,20 +293,18 @@ pub fn calibrate_force_cost(bodies: &[Body], theta: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
-    use rand_chacha::ChaCha8Rng;
 
     fn random_bodies(n: usize, seed: u64) -> Vec<Body> {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = tlb_rng::Rng::seed_from_u64(seed);
         (0..n)
             .map(|_| Body {
                 pos: [
-                    rng.gen_range(-1.0..1.0),
-                    rng.gen_range(-1.0..1.0),
-                    rng.gen_range(-1.0..1.0),
+                    rng.range_f64(-1.0, 1.0),
+                    rng.range_f64(-1.0, 1.0),
+                    rng.range_f64(-1.0, 1.0),
                 ],
                 vel: [0.0; 3],
-                mass: rng.gen_range(0.5..2.0),
+                mass: rng.range_f64(0.5, 2.0),
             })
             .collect()
     }
@@ -349,6 +377,26 @@ mod tests {
         bodies.push(bodies[0]); // exact duplicate position
         let tree = Octree::build(&bodies, 0.5);
         assert!(tree.total_mass() > 0.0);
+    }
+
+    #[test]
+    fn pool_accelerations_match_serial_bitwise() {
+        let bodies = random_bodies(600, 9);
+        let tree = Octree::build(&bodies, 0.5);
+        let serial = tree.accelerations(&bodies, None);
+        let pool = Pool::new(4);
+        let parallel = tree.accelerations(&bodies, Some(&pool));
+        for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+            for d in 0..3 {
+                assert_eq!(
+                    s[d].to_bits(),
+                    p[d].to_bits(),
+                    "body {i} dim {d}: {} vs {}",
+                    s[d],
+                    p[d]
+                );
+            }
+        }
     }
 
     #[test]

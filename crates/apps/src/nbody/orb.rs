@@ -68,18 +68,16 @@ fn bisect(bodies: &[Body], idx: &mut [usize], rank0: usize, ranks: usize, out: &
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
-    use rand_chacha::ChaCha8Rng;
 
     fn random_bodies(n: usize, seed: u64) -> Vec<Body> {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = tlb_rng::Rng::seed_from_u64(seed);
         (0..n)
             .map(|_| {
                 Body::at(
                     [
-                        rng.gen_range(-1.0..1.0),
-                        rng.gen_range(-1.0..1.0),
-                        rng.gen_range(-1.0..1.0),
+                        rng.range_f64(-1.0, 1.0),
+                        rng.range_f64(-1.0, 1.0),
+                        rng.range_f64(-1.0, 1.0),
                     ],
                     1.0,
                 )

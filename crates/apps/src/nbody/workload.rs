@@ -1,9 +1,8 @@
 //! The n-body workload for the cluster simulation.
 
 use crate::nbody::{orb_partition, Body};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 use tlb_cluster::{TaskSpec, Workload};
+use tlb_rng::Rng;
 
 /// Parameters of the simulated n-body run.
 #[derive(Clone, Debug)]
@@ -76,7 +75,7 @@ pub struct NBodyWorkload {
     cfg: NBodyConfig,
     bodies: Vec<Body>,
     assignment: Vec<usize>,
-    rng: ChaCha8Rng,
+    rng: Rng,
 }
 
 impl NBodyWorkload {
@@ -84,12 +83,12 @@ impl NBodyWorkload {
     /// `core_fraction` of the bodies inside a uniform halo cube.
     pub fn new(cfg: NBodyConfig) -> Self {
         assert!(cfg.bodies >= cfg.appranks, "fewer bodies than ranks");
-        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut rng = Rng::seed_from_u64(cfg.seed);
         let n_core = (cfg.bodies as f64 * cfg.core_fraction) as usize;
-        let gauss = |rng: &mut ChaCha8Rng| {
+        let gauss = |rng: &mut Rng| {
             // Box–Muller from two uniforms.
-            let u1: f64 = rng.gen_range(1e-12..1.0);
-            let u2: f64 = rng.gen_range(0.0..1.0);
+            let u1: f64 = rng.range_f64(1e-12, 1.0);
+            let u2: f64 = rng.f64_unit();
             (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
         };
         let bodies: Vec<Body> = (0..cfg.bodies)
@@ -105,15 +104,15 @@ impl NBodyWorkload {
                     ]
                 } else {
                     [
-                        rng.gen_range(-1.0..1.0),
-                        rng.gen_range(-1.0..1.0),
-                        rng.gen_range(-1.0..1.0),
+                        rng.range_f64(-1.0, 1.0),
+                        rng.range_f64(-1.0, 1.0),
+                        rng.range_f64(-1.0, 1.0),
                     ]
                 };
                 Body {
                     pos,
                     vel: [0.0; 3],
-                    mass: rng.gen_range(0.5..2.0),
+                    mass: rng.range_f64(0.5, 2.0),
                 }
             })
             .collect();
@@ -192,7 +191,7 @@ impl Workload for NBodyWorkload {
         // the application does every timestep.
         for b in self.bodies.iter_mut() {
             for d in 0..3 {
-                b.pos[d] += self.rng.gen_range(-0.01..0.01);
+                b.pos[d] += self.rng.range_f64(-0.01, 0.01);
             }
         }
         self.assignment = orb_partition(&self.bodies, self.cfg.appranks);

@@ -9,10 +9,9 @@
 //! respecting the constraints (mean over ranks = 50 ms, all durations
 //! non-negative, none above the worst case).
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 use tlb_cluster::{SpecWorkload, TaskSpec};
 use tlb_core::Platform;
+use tlb_rng::Rng;
 
 /// Parameters of the synthetic benchmark.
 #[derive(Clone, Debug)]
@@ -70,7 +69,7 @@ pub fn rank_factors(cfg: &SyntheticConfig) -> Vec<f64> {
     if r == 1 || (imb - 1.0).abs() < 1e-12 {
         return vec![1.0; r];
     }
-    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut f = vec![0.0f64; r];
     f[cfg.max_rank] = imb;
     // The rest must sum to (r - imb), each within [0, imb]. Draw uniform
@@ -90,7 +89,7 @@ pub fn rank_factors(cfg: &SyntheticConfig) -> Vec<f64> {
     if others.is_empty() {
         return f;
     }
-    let draws: Vec<f64> = others.iter().map(|_| rng.gen_range(0.2..1.8)).collect();
+    let draws: Vec<f64> = others.iter().map(|_| rng.range_f64(0.2, 1.8)).collect();
     let sum: f64 = draws.iter().sum();
     for (i, &rank) in others.iter().enumerate() {
         f[rank] = draws[i] / sum * budget;

@@ -12,8 +12,8 @@
 //!
 //! Exits nonzero listing every violated expectation.
 
-use serde_json::Value;
 use std::path::PathBuf;
+use tlb_json::Value;
 
 struct Checker {
     dir: PathBuf,
@@ -25,7 +25,7 @@ impl Checker {
     fn load(&mut self, id: &str) -> Option<Value> {
         let path = self.dir.join(format!("{id}.json"));
         match std::fs::read_to_string(&path) {
-            Ok(s) => serde_json::from_str(&s).ok(),
+            Ok(s) => tlb_json::parse(&s).ok(),
             Err(_) => {
                 self.failures.push(format!(
                     "{id}: missing {} (regenerate figures first)",
@@ -37,18 +37,19 @@ impl Checker {
     }
 
     fn series<'v>(&mut self, v: &'v Value, label: &str) -> Option<&'v Vec<Value>> {
-        let found = v["series"]
+        let found = v
+            .get("series")
             .as_array()?
             .iter()
-            .find(|s| s["label"] == label)?;
-        found["points"].as_array()
+            .find(|s| s.get("label").as_str() == Some(label))?;
+        found.get("points").as_array()
     }
 
     fn value_at(&mut self, v: &Value, label: &str, x: f64) -> Option<f64> {
         let pts = self.series(v, label)?;
         pts.iter()
-            .find(|p| (p["x"].as_f64().unwrap_or(f64::NAN) - x).abs() < 1e-9)
-            .and_then(|p| p["y"].as_f64())
+            .find(|p| (p.get("x").as_f64().unwrap_or(f64::NAN) - x).abs() < 1e-9)
+            .and_then(|p| p.get("y").as_f64())
     }
 
     fn expect(&mut self, ok: bool, what: impl Into<String>) {
@@ -163,7 +164,7 @@ fn main() {
             let n = pts.len();
             let tail: Vec<f64> = pts[2 * n / 3..]
                 .iter()
-                .filter_map(|p| p["y"].as_f64())
+                .filter_map(|p| p.get("y").as_f64())
                 .collect();
             Some(tail.iter().sum::<f64>() / tail.len().max(1) as f64)
         };
@@ -180,7 +181,7 @@ fn main() {
     // Fig. 9 summary: relative times ordered base > lewi, base > drom >= both.
     if let Some(v) = c.load("fig09_summary") {
         if let Some(pts) = c.series(&v, "relative time") {
-            let ys: Vec<f64> = pts.iter().filter_map(|p| p["y"].as_f64()).collect();
+            let ys: Vec<f64> = pts.iter().filter_map(|p| p.get("y").as_f64()).collect();
             if ys.len() == 4 {
                 c.expect(
                     ys[1] < 0.95 && ys[2] < 0.85 && ys[3] <= ys[2] + 0.02,

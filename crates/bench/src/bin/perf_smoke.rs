@@ -1,0 +1,272 @@
+//! Perf smoke test for the parallel hot paths: times each smprt-backed
+//! kernel at 1/2/4/8 threads, checks that every parallel result is
+//! *bitwise identical* to the serial one, and writes the measurements to
+//! `BENCH_perf_smoke.json` at the repository root.
+//!
+//! Kernels:
+//!
+//! * `nbody-force`    — Barnes–Hut force pass over all bodies
+//!   ([`Octree::accelerations`] on a [`Pool`]).
+//! * `micropp-solve`  — one non-linear micro-scale FE solve (Newton + CG,
+//!   all reductions deterministic; [`MicroProblem::solve_on`]).
+//! * `expander-gen`   — candidate screening of the offloading graph
+//!   ([`generate_with_workers`], scoped threads).
+//! * `cluster-sim-step` — one synthetic-benchmark simulation. The
+//!   discrete-event simulator is inherently serial (a single ordered
+//!   event queue), so this is timed serially and reported as a baseline
+//!   number only — no speedup claim.
+//!
+//! Usage: `perf_smoke [--quick]` (quick shrinks problem sizes for CI).
+
+use std::path::PathBuf;
+use std::time::Instant;
+use tlb_apps::micropp::MicroProblem;
+use tlb_apps::nbody::{Body, Octree};
+use tlb_apps::{synthetic_workload, SyntheticConfig};
+use tlb_bench::Effort;
+use tlb_cluster::ClusterSim;
+use tlb_core::{BalanceConfig, DromPolicy, Platform};
+use tlb_expander::{generate_with_workers, ExpanderConfig};
+use tlb_json::Value;
+use tlb_rng::Rng;
+use tlb_smprt::Pool;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+struct KernelResult {
+    name: &'static str,
+    size: String,
+    serial_ms: f64,
+    ms_at: Vec<(usize, f64)>,
+    identical: bool,
+}
+
+impl KernelResult {
+    fn speedup_at(&self, threads: usize) -> f64 {
+        self.ms_at
+            .iter()
+            .find(|(t, _)| *t == threads)
+            .map(|(_, ms)| self.serial_ms / ms)
+            .unwrap_or(f64::NAN)
+    }
+
+    fn to_json(&self) -> Value {
+        Value::object(vec![
+            ("name", self.name.into()),
+            ("size", self.size.as_str().into()),
+            ("serial_ms", self.serial_ms.into()),
+            (
+                "ms_per_threads",
+                Value::Object(
+                    self.ms_at
+                        .iter()
+                        .map(|&(t, ms)| (t.to_string(), ms.into()))
+                        .collect(),
+                ),
+            ),
+            ("speedup_4t", self.speedup_at(4).into()),
+            ("bitwise_identical", self.identical.into()),
+        ])
+    }
+}
+
+/// Best-of-`reps` wall time of `f`, in milliseconds.
+fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn nbody_force(effort: Effort, reps: usize) -> KernelResult {
+    let n = effort.pick(16_000, 4_000);
+    let mut rng = Rng::seed_from_u64(0xBE7C_0001);
+    let bodies: Vec<Body> = (0..n)
+        .map(|_| {
+            Body::at(
+                [
+                    rng.range_f64(-1.0, 1.0),
+                    rng.range_f64(-1.0, 1.0),
+                    rng.range_f64(-1.0, 1.0),
+                ],
+                rng.range_f64(0.5, 2.0),
+            )
+        })
+        .collect();
+    let tree = Octree::build(&bodies, 0.5);
+    let reference = tree.accelerations(&bodies, None);
+    let serial_ms = time_ms(reps, || tree.accelerations(&bodies, None));
+    let mut ms_at = Vec::new();
+    let mut identical = true;
+    for t in THREADS {
+        let pool = Pool::new(t);
+        let got = tree.accelerations(&bodies, Some(&pool));
+        identical &= got
+            .iter()
+            .zip(&reference)
+            .all(|(a, r)| (0..3).all(|d| a[d].to_bits() == r[d].to_bits()));
+        ms_at.push((
+            t,
+            time_ms(reps, || tree.accelerations(&bodies, Some(&pool))),
+        ));
+    }
+    KernelResult {
+        name: "nbody-force",
+        size: format!("{n} bodies, theta 0.5"),
+        serial_ms,
+        ms_at,
+        identical,
+    }
+}
+
+fn micropp_solve(effort: Effort, reps: usize) -> KernelResult {
+    let n = effort.pick(24, 14);
+    let solve_serial = || MicroProblem::new(n, true).solve();
+    let reference = solve_serial();
+    let serial_ms = time_ms(reps, solve_serial);
+    let mut ms_at = Vec::new();
+    let mut identical = true;
+    for t in THREADS {
+        let pool = Pool::new(t);
+        let stats = MicroProblem::new(n, true).solve_on(&pool);
+        identical &= stats.residual.to_bits() == reference.residual.to_bits()
+            && stats.cg_iterations == reference.cg_iterations
+            && stats.newton_steps == reference.newton_steps;
+        ms_at.push((
+            t,
+            time_ms(reps, || MicroProblem::new(n, true).solve_on(&pool)),
+        ));
+    }
+    KernelResult {
+        name: "micropp-solve",
+        size: format!("{n}^3 grid, nonlinear"),
+        serial_ms,
+        ms_at,
+        identical,
+    }
+}
+
+fn expander_gen(effort: Effort, reps: usize) -> KernelResult {
+    let (appranks, nodes) = effort.pick((192, 96), (96, 48));
+    let candidates = effort.pick(64, 32);
+    let cfg = ExpanderConfig::new(appranks, nodes, 4)
+        .with_seed(7)
+        .with_candidates(candidates);
+    let reference = generate_with_workers(&cfg, 1).unwrap();
+    let serial_ms = time_ms(reps, || generate_with_workers(&cfg, 1).unwrap());
+    let mut ms_at = Vec::new();
+    let mut identical = true;
+    for t in THREADS {
+        let got = generate_with_workers(&cfg, t).unwrap();
+        identical &= (0..appranks).all(|a| got.nodes_of(a) == reference.nodes_of(a));
+        ms_at.push((t, time_ms(reps, || generate_with_workers(&cfg, t).unwrap())));
+    }
+    KernelResult {
+        name: "expander-gen",
+        size: format!("{appranks}x{nodes} d4, {candidates} candidates"),
+        serial_ms,
+        ms_at,
+        identical,
+    }
+}
+
+fn cluster_sim_step(effort: Effort, reps: usize) -> (f64, String) {
+    let nodes = effort.pick(8, 4);
+    let platform = Platform::mn4(nodes);
+    let cfg = SyntheticConfig::new(nodes * 2, 2.0);
+    let balance = BalanceConfig::offloading(4.min(nodes), DromPolicy::Global);
+    let ms = time_ms(reps, || {
+        let wl = synthetic_workload(&cfg, &platform);
+        ClusterSim::run_opts(&platform, &balance, wl, false).unwrap()
+    });
+    (
+        ms,
+        format!(
+            "{nodes} nodes, synthetic imbalance 2.0, degree {}",
+            4.min(nodes)
+        ),
+    )
+}
+
+fn repo_root() -> PathBuf {
+    std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(|d| PathBuf::from(d).join("../.."))
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() {
+    let effort = Effort::from_args();
+    let reps = effort.pick(5, 3);
+    let host = std::thread::available_parallelism().map_or(1, |v| v.get());
+
+    println!("perf_smoke ({effort:?}, best of {reps}, host parallelism {host})");
+    if host < 4 {
+        println!(
+            "note: only {host} core(s) visible — threads timeshare, so wall-clock \
+             speedups are not meaningful on this host; the bitwise-identity checks are."
+        );
+    }
+    let kernels = [
+        nbody_force(effort, reps),
+        micropp_solve(effort, reps),
+        expander_gen(effort, reps),
+    ];
+    for k in &kernels {
+        print!(
+            "{:>14} [{}]: serial {:8.2} ms |",
+            k.name, k.size, k.serial_ms
+        );
+        for &(t, ms) in &k.ms_at {
+            print!(" {t}t {ms:8.2}");
+        }
+        println!(
+            " | x{:.2} @4t | identical: {}",
+            k.speedup_at(4),
+            k.identical
+        );
+    }
+    let (sim_ms, sim_size) = cluster_sim_step(effort, reps);
+    println!("cluster-sim-step [{sim_size}]: {sim_ms:.2} ms (serial DES, baseline only)");
+
+    let doc = Value::object(vec![
+        ("bench", "perf_smoke".into()),
+        ("quick", (effort == Effort::Quick).into()),
+        ("host_parallelism", host.into()),
+        (
+            "threads",
+            Value::Array(THREADS.iter().map(|&t| t.into()).collect()),
+        ),
+        (
+            "kernels",
+            Value::Array(kernels.iter().map(|k| k.to_json()).collect()),
+        ),
+        (
+            "cluster_sim_step",
+            Value::object(vec![
+                ("size", sim_size.as_str().into()),
+                ("ms", sim_ms.into()),
+                (
+                    "note",
+                    "discrete-event simulator is inherently serial; no speedup claim".into(),
+                ),
+            ]),
+        ),
+    ]);
+    let path = repo_root().join("BENCH_perf_smoke.json");
+    std::fs::write(&path, doc.to_string_pretty()).expect("write BENCH_perf_smoke.json");
+    println!("saved: {}", path.display());
+
+    let mut failed = false;
+    for k in &kernels {
+        if !k.identical {
+            eprintln!("FAIL: {} parallel output differs from serial", k.name);
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -5,8 +5,6 @@
 //!
 //! Usage: `solver_table [--quick]`
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 use tlb_bench::{Effort, Experiment, Point};
 use tlb_core::{GlobalPolicy, GlobalSolverKind, Platform};
 use tlb_expander::{BipartiteGraph, ExpanderConfig};
@@ -24,7 +22,7 @@ fn main() {
     );
     let mut simplex_pts = Vec::new();
     let mut flow_pts = Vec::new();
-    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut rng = tlb_rng::Rng::seed_from_u64(7);
 
     for &nodes in node_counts {
         let appranks = nodes * 2;
@@ -34,7 +32,7 @@ fn main() {
                 .expect("graph");
         let platform = Platform::mn4(nodes);
         let mut policy = GlobalPolicy::new(&g, &platform);
-        let work: Vec<f64> = (0..appranks).map(|_| rng.gen_range(1.0..50.0)).collect();
+        let work: Vec<f64> = (0..appranks).map(|_| rng.range_f64(1.0, 50.0)).collect();
 
         let time_of = |policy: &mut GlobalPolicy, kind: GlobalSolverKind| -> f64 {
             let start = std::time::Instant::now();

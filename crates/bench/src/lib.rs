@@ -19,7 +19,6 @@
 //! Results print as aligned tables and are also written as JSON under
 //! `results/` so EXPERIMENTS.md can cite exact numbers.
 
-use serde::Serialize;
 use std::path::PathBuf;
 use tlb_cluster::{ClusterSim, SimReport, Workload};
 use tlb_core::{BalanceConfig, Platform};
@@ -54,7 +53,7 @@ impl Effort {
 }
 
 /// One measured point of an experiment series.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Point {
     /// x-coordinate (nodes, imbalance, time, …).
     pub x: f64,
@@ -63,7 +62,7 @@ pub struct Point {
 }
 
 /// One named series of an experiment (a line in the paper's figure).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Series {
     /// Legend label ("baseline", "degree 4", "perfect", …).
     pub label: String,
@@ -72,7 +71,7 @@ pub struct Series {
 }
 
 /// A complete regenerated figure/table.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Experiment {
     /// Experiment id ("fig06a", …).
     pub id: String,
@@ -152,16 +151,55 @@ impl Experiment {
         out
     }
 
+    /// The experiment as a JSON value (what [`Experiment::save`] writes).
+    pub fn to_json(&self) -> tlb_json::Value {
+        use tlb_json::Value;
+        Value::object(vec![
+            ("id", self.id.as_str().into()),
+            ("title", self.title.as_str().into()),
+            ("x_label", self.x_label.as_str().into()),
+            ("y_label", self.y_label.as_str().into()),
+            (
+                "series",
+                Value::Array(
+                    self.series
+                        .iter()
+                        .map(|s| {
+                            Value::object(vec![
+                                ("label", s.label.as_str().into()),
+                                (
+                                    "points",
+                                    Value::Array(
+                                        s.points
+                                            .iter()
+                                            .map(|p| {
+                                                Value::object(vec![
+                                                    ("x", p.x.into()),
+                                                    ("y", p.y.into()),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "notes",
+                Value::Array(self.notes.iter().map(|n| n.as_str().into()).collect()),
+            ),
+        ])
+    }
+
     /// Write the experiment JSON under `results/<id>.json` (workspace
     /// root if run via cargo, else the current directory).
     pub fn save(&self) -> std::io::Result<PathBuf> {
         let dir = results_dir();
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.json", self.id));
-        std::fs::write(
-            &path,
-            serde_json::to_string_pretty(self).expect("serialise"),
-        )?;
+        std::fs::write(&path, self.to_json().to_string_pretty())?;
         Ok(path)
     }
 

@@ -338,27 +338,36 @@ pub fn format_text(args: &Args, report: &SimReport, perfect: f64) -> String {
 
 /// A JSON-ready summary of a run (the full trace is exported separately).
 pub fn format_json(args: &Args, report: &SimReport, perfect: f64) -> String {
-    serde_json::json!({
-        "app": format!("{:?}", args.app),
-        "nodes": args.nodes,
-        "appranks": args.nodes * args.appranks_per_node,
-        "degree": args.degree,
-        "policy": format!("{:?}", args.policy),
-        "lewi": args.lewi,
-        "makespan_s": report.makespan.as_secs_f64(),
-        "mean_iteration_s": report.mean_iteration_secs(args.iterations / 3),
-        "perfect_bound_s": perfect,
-        "offloaded_tasks": report.offloaded_tasks,
-        "total_tasks": report.total_tasks,
-        "parallel_efficiency": report.parallel_efficiency,
-        "solver_runs": report.solver_runs,
-        "iteration_times_s": report
-            .iteration_times
-            .iter()
-            .map(|t| t.as_secs_f64())
-            .collect::<Vec<_>>(),
-    })
-    .to_string()
+    use tlb_json::Value;
+    Value::object(vec![
+        ("app", format!("{:?}", args.app).into()),
+        ("nodes", args.nodes.into()),
+        ("appranks", (args.nodes * args.appranks_per_node).into()),
+        ("degree", args.degree.into()),
+        ("policy", format!("{:?}", args.policy).into()),
+        ("lewi", args.lewi.into()),
+        ("makespan_s", report.makespan.as_secs_f64().into()),
+        (
+            "mean_iteration_s",
+            report.mean_iteration_secs(args.iterations / 3).into(),
+        ),
+        ("perfect_bound_s", perfect.into()),
+        ("offloaded_tasks", report.offloaded_tasks.into()),
+        ("total_tasks", report.total_tasks.into()),
+        ("parallel_efficiency", report.parallel_efficiency.into()),
+        ("solver_runs", report.solver_runs.into()),
+        (
+            "iteration_times_s",
+            Value::Array(
+                report
+                    .iteration_times
+                    .iter()
+                    .map(|t| t.as_secs_f64().into())
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_string_compact()
 }
 
 /// Keep `SpecWorkload` in the public surface for config-driven runs.
@@ -439,8 +448,8 @@ mod tests {
         let text = format_text(&a, &report, perfect);
         assert!(text.contains("makespan"));
         let json = format_json(&a, &report, perfect);
-        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
-        assert_eq!(parsed["nodes"], 4);
+        let parsed = tlb_json::parse(&json).unwrap();
+        assert_eq!(parsed.get("nodes").as_usize(), Some(4));
     }
 
     #[test]

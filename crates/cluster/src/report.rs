@@ -1,11 +1,10 @@
 //! Simulation results.
 
 use crate::Trace;
-use serde::{Deserialize, Serialize};
 use tlb_des::SimTime;
 
 /// The outcome of one cluster simulation.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SimReport {
     /// Total virtual execution time.
     pub makespan: SimTime,

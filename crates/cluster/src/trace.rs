@@ -1,6 +1,5 @@
 //! Paraver-style trace recording: the timelines behind Figs. 5, 9 and 11.
 
-use serde::{Deserialize, Serialize};
 use tlb_core::ProcessLayout;
 use tlb_des::{SimTime, Timeline};
 
@@ -10,7 +9,7 @@ use tlb_des::{SimTime, Timeline};
 /// node-local index from [`ProcessLayout::workers_on`]; each worker
 /// belongs to exactly one apprank, so `(node, proc)` also identifies
 /// "apprank X's cores on node Y" — the coloured bands of Fig. 9.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Trace {
     /// `busy[node][proc]`: cores currently executing tasks for that worker.
     pub busy: Vec<Vec<Timeline>>,

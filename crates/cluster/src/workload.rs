@@ -1,6 +1,5 @@
 //! Workloads: the application side of the simulation.
 
-use serde::{Deserialize, Serialize};
 use tlb_tasking::{Access, AccessMode, DataRegion};
 
 /// A point-to-point MPI operation performed by a task (paper §4: MPI
@@ -12,7 +11,7 @@ use tlb_tasking::{Access, AccessMode, DataRegion};
 /// become runnable until the message has arrived (latency + bytes/bw
 /// later), then executes its duration (unpacking). Tags match sends to
 /// receives per (source, destination, tag) within an iteration.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MpiOp {
     /// Send `bytes` to apprank `to` under `tag`.
     Send {
@@ -33,7 +32,7 @@ pub enum MpiOp {
 }
 
 /// One task an apprank creates in an iteration.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TaskSpec {
     /// Nominal single-core execution time in seconds (divided by the
     /// executing node's speed factor).

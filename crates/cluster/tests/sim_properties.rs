@@ -1,10 +1,11 @@
-//! Property tests of the cluster runtime: for random workloads and
+//! Randomized tests of the cluster runtime: for random workloads and
 //! configurations, the simulation must terminate, complete every task,
-//! respect physical bounds, and be deterministic.
+//! respect physical bounds, and be deterministic. Seeded `tlb-rng` loops
+//! stand in for proptest (no registry deps).
 
-use proptest::prelude::*;
 use tlb_cluster::{ClusterSim, SpecWorkload, TaskSpec};
 use tlb_core::{BalanceConfig, DromPolicy, Platform, StealGate, WorkSignal};
+use tlb_rng::Rng;
 
 #[derive(Clone, Debug)]
 struct Shape {
@@ -18,50 +19,55 @@ struct Shape {
     signal: WorkSignal,
 }
 
-fn gen_shape() -> impl Strategy<Value = Shape> {
-    (
-        1usize..5, // nodes
-        1usize..3, // appranks per node
-        prop_oneof![
-            Just(DromPolicy::Off),
-            Just(DromPolicy::Local),
-            Just(DromPolicy::Global)
-        ],
-        any::<bool>(),
-        prop_oneof![
-            Just(StealGate::Owned),
-            Just(StealGate::Usable),
-            Just(StealGate::Unbounded)
-        ],
-        prop_oneof![Just(WorkSignal::BusyPending), Just(WorkSignal::CreatedWork)],
-        1usize..4, // degree cap
-    )
-        .prop_map(|(nodes, per_node, drom, lewi, gate, signal, degree)| {
-            let degree = degree.min(nodes);
-            // Enough cores for the one-core-per-worker floor.
-            let cores = (degree * per_node).max(2) + 2;
-            Shape {
-                nodes,
-                per_node,
-                cores,
-                degree,
-                lewi,
-                drom,
-                gate,
-                signal,
-            }
-        })
+fn gen_shape(rng: &mut Rng) -> Shape {
+    let nodes = rng.range_usize(1, 5);
+    let per_node = rng.range_usize(1, 3);
+    let drom = match rng.range_u64(0, 3) {
+        0 => DromPolicy::Off,
+        1 => DromPolicy::Local,
+        _ => DromPolicy::Global,
+    };
+    let lewi = rng.chance(0.5);
+    let gate = match rng.range_u64(0, 3) {
+        0 => StealGate::Owned,
+        1 => StealGate::Usable,
+        _ => StealGate::Unbounded,
+    };
+    let signal = if rng.chance(0.5) {
+        WorkSignal::BusyPending
+    } else {
+        WorkSignal::CreatedWork
+    };
+    let degree = rng.range_usize(1, 4).min(nodes);
+    // Enough cores for the one-core-per-worker floor.
+    let cores = (degree * per_node).max(2) + 2;
+    Shape {
+        nodes,
+        per_node,
+        cores,
+        degree,
+        lewi,
+        drom,
+        gate,
+        signal,
+    }
 }
 
-fn gen_workload(ranks: usize) -> impl Strategy<Value = Vec<Vec<Vec<(u32, bool)>>>> {
-    // iterations × ranks × tasks(duration ms, offloadable)
-    prop::collection::vec(
-        prop::collection::vec(
-            prop::collection::vec((1u32..60, any::<bool>()), 0..20),
-            ranks..=ranks,
-        ),
-        1..4,
-    )
+// iterations × ranks × tasks(duration ms, offloadable)
+fn gen_workload(rng: &mut Rng, ranks: usize) -> Vec<Vec<Vec<(u32, bool)>>> {
+    let iterations = rng.range_usize(1, 4);
+    (0..iterations)
+        .map(|_| {
+            (0..ranks)
+                .map(|_| {
+                    let tasks = rng.range_usize(0, 20);
+                    (0..tasks)
+                        .map(|_| (rng.range_u64(1, 60) as u32, rng.chance(0.5)))
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
 }
 
 fn build(specs: &[Vec<Vec<(u32, bool)>>]) -> SpecWorkload {
@@ -89,20 +95,15 @@ fn build(specs: &[Vec<Vec<(u32, bool)>>]) -> SpecWorkload {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn simulation_always_completes_and_respects_bounds(
-        shape in gen_shape(),
-        raw in gen_shape().prop_flat_map(|s| gen_workload(s.nodes * s.per_node)),
-    ) {
-        // Pair the workload rank count to this shape by truncating/padding.
+#[test]
+fn simulation_always_completes_and_respects_bounds() {
+    const CASES: usize = 48;
+    let root = Rng::seed_from_u64(0xC105_0001);
+    for case in 0..CASES {
+        let mut rng = root.split_u64(case as u64);
+        let shape = gen_shape(&mut rng);
         let ranks = shape.nodes * shape.per_node;
-        let mut specs = raw;
-        for it in specs.iter_mut() {
-            it.resize(ranks, Vec::new());
-        }
+        let specs = gen_workload(&mut rng, ranks);
         let wl = build(&specs);
         let platform = Platform::homogeneous(shape.nodes, shape.cores);
         let mut cfg = BalanceConfig {
@@ -126,40 +127,46 @@ proptest! {
 
         // All tasks executed.
         let n_tasks: usize = specs.iter().flatten().map(|t| t.len()).sum();
-        prop_assert_eq!(report.total_tasks, n_tasks);
-        prop_assert_eq!(report.iteration_times.len(), specs.len());
+        assert_eq!(report.total_tasks, n_tasks, "case {case}");
+        assert_eq!(report.iteration_times.len(), specs.len(), "case {case}");
 
         // Physical lower bound: cannot beat work/capacity.
         let bound = total_work / platform.effective_capacity();
-        prop_assert!(
+        assert!(
             report.makespan.as_secs_f64() >= bound - 1e-9,
-            "makespan {} below bound {bound}", report.makespan
+            "case {case}: makespan {} below bound {bound}",
+            report.makespan
         );
         // Sanity upper bound: serial execution on one core (plus barriers).
-        prop_assert!(
+        assert!(
             report.makespan.as_secs_f64() <= total_work + 1.0,
-            "makespan {} above serial bound {total_work}", report.makespan
+            "case {case}: makespan {} above serial bound {total_work}",
+            report.makespan
         );
 
         // Degree 1 or pinned-only tasks never offload.
         if shape.degree == 1 {
-            prop_assert_eq!(report.offloaded_tasks, 0);
+            assert_eq!(report.offloaded_tasks, 0, "case {case}");
         }
 
         // Determinism.
         let again = ClusterSim::run_opts(&platform, &cfg, wl, false).unwrap();
-        prop_assert_eq!(report.makespan, again.makespan);
-        prop_assert_eq!(report.events, again.events);
-        prop_assert_eq!(report.offloaded_tasks, again.offloaded_tasks);
+        assert_eq!(report.makespan, again.makespan, "case {case}");
+        assert_eq!(report.events, again.events, "case {case}");
+        assert_eq!(report.offloaded_tasks, again.offloaded_tasks, "case {case}");
     }
+}
 
-    /// More balancing never catastrophically hurts: the global policy's
-    /// makespan stays within 2x of the baseline for any workload (it is
-    /// usually far better; pathological graphs/overheads must not explode).
-    #[test]
-    fn balancing_is_never_catastrophic(
-        raw in gen_workload(4),
-    ) {
+/// More balancing never catastrophically hurts: the global policy's
+/// makespan stays within 2x of the baseline for any workload (it is
+/// usually far better; pathological graphs/overheads must not explode).
+#[test]
+fn balancing_is_never_catastrophic() {
+    const CASES: usize = 48;
+    let root = Rng::seed_from_u64(0xC105_0002);
+    for case in 0..CASES {
+        let mut rng = root.split_u64(case as u64);
+        let raw = gen_workload(&mut rng, 4);
         let platform = Platform::homogeneous(2, 6);
         let wl = build(&raw);
         let base = ClusterSim::run_opts(&platform, &BalanceConfig::baseline(), wl.clone(), false)
@@ -175,9 +182,9 @@ proptest! {
         .unwrap()
         .makespan
         .as_secs_f64();
-        prop_assert!(
+        assert!(
             glob <= base * 2.0 + 0.2,
-            "global {glob} vs baseline {base}"
+            "case {case}: global {glob} vs baseline {base}"
         );
     }
 }

@@ -1,12 +1,11 @@
 //! Experiment configuration: platform description and balancing knobs.
 
-use serde::{Deserialize, Serialize};
 use tlb_des::SimTime;
 
 /// A scheduled change of one node's speed (DVFS step, thermal throttle,
 /// turbo variation — the system-level imbalance sources of the paper's
 /// introduction).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SpeedEvent {
     /// When the change takes effect.
     pub at: SimTime,
@@ -19,7 +18,7 @@ pub struct SpeedEvent {
 }
 
 /// Description of the (virtual) machine an experiment runs on.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Platform {
     /// Number of compute nodes.
     pub nodes: usize,
@@ -118,7 +117,7 @@ impl Platform {
 }
 
 /// Which DROM core-allocation policy runs (paper §5.4).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DromPolicy {
     /// DROM disabled: ownership stays at the initial split.
     Off,
@@ -129,7 +128,7 @@ pub enum DromPolicy {
 }
 
 /// Solver backing the global policy.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum GlobalSolverKind {
     /// Two-phase simplex on the work-split LP (the paper's CVXOPT role).
     Simplex,
@@ -138,7 +137,7 @@ pub enum GlobalSolverKind {
 }
 
 /// Demand signal fed to the global solver (§5.4.2).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum WorkSignal {
     /// The paper's signal: time-integrated busy cores per worker over the
     /// window, plus currently pending work. Subject to phase error when
@@ -155,7 +154,7 @@ pub enum WorkSignal {
 
 /// How aggressively a worker may steal held tasks onto cores beyond its
 /// eager queue (paper §5.5: "will be stolen as tasks complete").
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StealGate {
     /// Steal only while below `depth × owned` tasks — the strict reading
     /// of §5.5 (borrowed cores never increase steal appetite).
@@ -173,7 +172,7 @@ pub enum StealGate {
 /// Dynamic work spreading (the paper's §5.2 future-work extension):
 /// instead of a fixed offloading degree, helper ranks are spawned at run
 /// time when the global solver finds an apprank capacity-constrained.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DynamicSpreading {
     /// Hard cap on nodes per apprank (home included).
     pub max_degree: usize,
@@ -192,7 +191,7 @@ impl Default for DynamicSpreading {
 }
 
 /// All balancing knobs for one execution.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct BalanceConfig {
     /// Offloading degree: nodes per apprank including home (1 = no
     /// offloading, the baseline).

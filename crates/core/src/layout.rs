@@ -1,13 +1,12 @@
 //! Process layout: which worker processes live on which node, and the
 //! initial DROM core ownership.
 
-use serde::{Deserialize, Serialize};
 use tlb_expander::BipartiteGraph;
 
 /// One worker process: the representative of `apprank` on a node. `slot`
 /// is the index of the node in the apprank's adjacency list (0 = the main
 /// process on the home node; ≥1 = helper ranks).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct WorkerRef {
     /// The apprank this worker executes tasks for.
     pub apprank: usize,
@@ -28,7 +27,7 @@ impl WorkerRef {
 /// adjacent node. Helper ranks initially own one core (the DLB minimum);
 /// the remaining cores are divided equally among the node's main
 /// processes (§5.4).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ProcessLayout {
     /// `workers[n]` = the worker processes hosted on node `n`, mains
     /// first (by apprank), then helpers (by apprank).

@@ -31,6 +31,11 @@ mod metrics;
 mod policy;
 mod sched;
 
+/// Deterministic randomness for every layer of the workspace: SplitMix64
+/// seeding, Xoshiro256++ streams, and `split(label)` substream derivation
+/// (see the `tlb-rng` crate docs for the reproducibility guarantees).
+pub use tlb_rng as rng;
+
 pub use config::{
     BalanceConfig, DromPolicy, DynamicSpreading, GlobalSolverKind, Platform, SpeedEvent, StealGate,
     WorkSignal,

@@ -1,14 +1,13 @@
 //! Small statistics helpers used by the load-measurement machinery.
 
 use crate::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Accumulates core·seconds of busy time, the quantity both DROM policies in
 /// the paper use as their load estimate ("average number of busy cores").
 ///
 /// The integral is maintained incrementally: call [`BusyIntegral::set`] each
 /// time the number of busy cores changes, then query the windowed average.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct BusyIntegral {
     /// Accumulated core·seconds up to `last_change`.
     integral: f64,
@@ -89,7 +88,7 @@ impl BusyIntegral {
 
 /// Streaming mean/variance (Welford) for wall-clock style measurements in
 /// the benchmark harness.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct RunningStats {
     n: u64,
     mean: f64,

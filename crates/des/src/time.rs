@@ -1,7 +1,6 @@
 //! Virtual time. Integer nanoseconds so that event ordering is exact and
 //! arithmetic never accumulates floating-point error across long runs.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
@@ -11,7 +10,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// `SimTime` is used both as an instant (time since simulation start) and as
 /// a duration; the engine never needs a distinct instant type because the
 /// simulation origin is always zero.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 impl SimTime {

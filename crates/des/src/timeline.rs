@@ -2,11 +2,10 @@
 //! cores, node imbalance) exactly as the paper's Paraver timelines do.
 
 use crate::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// One step of a piecewise-constant series: `value` holds from `at` until
 /// the next sample.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TimelineSample {
     /// Virtual time at which the value took effect.
     pub at: SimTime,
@@ -20,7 +19,7 @@ pub struct TimelineSample {
 /// at the same instant as the previous one overwrites it (the series records
 /// the value that *held*, not transient intermediate states within an
 /// event).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Timeline {
     samples: Vec<TimelineSample>,
 }

@@ -1,21 +1,30 @@
-//! Property tests for the timeline/statistics machinery: the trace maths
+//! Randomized tests for the timeline/statistics machinery: the trace maths
 //! every figure rests on must satisfy basic measure-theoretic identities.
+//! Seeded `tlb-rng` loops stand in for proptest (no registry deps).
 
-use proptest::prelude::*;
 use tlb_des::{BusyIntegral, SimTime, Timeline};
+use tlb_rng::Rng;
 
-fn gen_samples() -> impl Strategy<Value = Vec<(u64, f64)>> {
-    prop::collection::vec((0u64..10_000, 0.0f64..64.0), 1..40).prop_map(|mut v| {
-        v.sort_by_key(|&(t, _)| t);
-        v.dedup_by_key(|&mut (t, _)| t);
-        v
-    })
+fn gen_samples(rng: &mut Rng) -> Vec<(u64, f64)> {
+    let n = rng.range_usize(1, 40);
+    let mut v: Vec<(u64, f64)> = (0..n)
+        .map(|_| (rng.range_u64(0, 10_000), rng.range_f64(0.0, 64.0)))
+        .collect();
+    v.sort_by_key(|&(t, _)| t);
+    v.dedup_by_key(|&mut (t, _)| t);
+    v
 }
 
-proptest! {
-    /// Integral is additive over adjacent intervals.
-    #[test]
-    fn integral_additivity(samples in gen_samples(), cut in 0u64..10_000) {
+const CASES: usize = 256;
+
+/// Integral is additive over adjacent intervals.
+#[test]
+fn integral_additivity() {
+    let root = Rng::seed_from_u64(0xDE5_0001);
+    for case in 0..CASES {
+        let mut rng = root.split_u64(case as u64);
+        let samples = gen_samples(&mut rng);
+        let cut = rng.range_u64(0, 10_000);
         let mut tl = Timeline::new();
         for &(ms, v) in &samples {
             tl.record(SimTime::from_millis(ms), v);
@@ -26,32 +35,47 @@ proptest! {
         let (a, b) = if mid <= hi { (mid, hi) } else { (hi, mid) };
         let whole = tl.integral(lo, b.max(hi));
         let split = tl.integral(lo, a) + tl.integral(a, b.max(hi));
-        prop_assert!((whole - split).abs() < 1e-9 * whole.abs().max(1.0));
+        assert!(
+            (whole - split).abs() < 1e-9 * whole.abs().max(1.0),
+            "case {case}: {whole} vs {split}"
+        );
     }
+}
 
-    /// The integral equals the sum over recorded segments computed naively.
-    #[test]
-    fn integral_matches_naive(samples in gen_samples()) {
+/// The integral equals the sum over recorded segments computed naively.
+#[test]
+fn integral_matches_naive() {
+    let root = Rng::seed_from_u64(0xDE5_0002);
+    for case in 0..CASES {
+        let mut rng = root.split_u64(case as u64);
+        let samples = gen_samples(&mut rng);
         let mut tl = Timeline::new();
         for &(ms, v) in &samples {
             tl.record(SimTime::from_millis(ms), v);
         }
         let end = SimTime::from_millis(20_000);
         let fast = tl.integral(SimTime::ZERO, end);
-        // Naive: step through milliseconds... too slow; step through the
-        // recorded sample points instead.
+        // Naive: step through the recorded sample points.
         let mut naive = 0.0;
         for w in samples.windows(2) {
             naive += w[0].1 * (w[1].0 - w[0].0) as f64 / 1000.0;
         }
         let last = samples.last().unwrap();
         naive += last.1 * (20_000 - last.0) as f64 / 1000.0;
-        prop_assert!((fast - naive).abs() < 1e-6 * naive.abs().max(1.0), "{fast} vs {naive}");
+        assert!(
+            (fast - naive).abs() < 1e-6 * naive.abs().max(1.0),
+            "case {case}: {fast} vs {naive}"
+        );
     }
+}
 
-    /// Mean lies within [min, max] of the recorded values.
-    #[test]
-    fn mean_is_bounded(samples in gen_samples()) {
+/// Mean lies within [min, max] of the recorded values.
+#[test]
+fn mean_is_bounded() {
+    let root = Rng::seed_from_u64(0xDE5_0003);
+    for case in 0..CASES {
+        let mut rng = root.split_u64(case as u64);
+        let samples = gen_samples(&mut rng);
         let mut tl = Timeline::new();
         for &(ms, v) in &samples {
             tl.record(SimTime::from_millis(ms), v);
@@ -61,13 +85,24 @@ proptest! {
         let mean = tl.mean(start, end);
         let lo = samples.iter().map(|s| s.1).fold(f64::INFINITY, f64::min);
         let hi = samples.iter().map(|s| s.1).fold(0.0f64, f64::max);
-        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9, "mean {mean} outside [{lo},{hi}]");
+        assert!(
+            mean >= lo - 1e-9 && mean <= hi + 1e-9,
+            "case {case}: mean {mean} outside [{lo},{hi}]"
+        );
     }
+}
 
-    /// BusyIntegral windows telescope: consecutive take_window averages,
-    /// weighted by their spans, reconstruct the total integral.
-    #[test]
-    fn busy_windows_telescope(changes in prop::collection::vec((1u64..500, 0usize..16), 1..30)) {
+/// BusyIntegral windows telescope: consecutive take_window averages,
+/// weighted by their spans, reconstruct the total integral.
+#[test]
+fn busy_windows_telescope() {
+    let root = Rng::seed_from_u64(0xDE5_0004);
+    for case in 0..CASES {
+        let mut rng = root.split_u64(case as u64);
+        let n = rng.range_usize(1, 30);
+        let changes: Vec<(u64, usize)> = (0..n)
+            .map(|_| (rng.range_u64(1, 500), rng.range_usize(0, 16)))
+            .collect();
         let mut b = BusyIntegral::new();
         let mut now = SimTime::ZERO;
         let mut reconstructed = 0.0;
@@ -85,7 +120,9 @@ proptest! {
         let avg = b.take_window(end);
         reconstructed += avg * (end - last_window_end).as_secs_f64();
         let total = b.total(end);
-        prop_assert!((reconstructed - total).abs() < 1e-9 * total.max(1.0),
-            "windows {reconstructed} vs total {total}");
+        assert!(
+            (reconstructed - total).abs() < 1e-9 * total.max(1.0),
+            "case {case}: windows {reconstructed} vs total {total}"
+        );
     }
 }

@@ -1,10 +1,9 @@
 //! Per-node core ownership/lending state machine (LeWI + DROM).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A worker process on the node (apprank main process or helper rank).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ProcId(pub usize);
 
 impl fmt::Debug for ProcId {

@@ -1,9 +1,10 @@
-//! Property tests: under arbitrary interleavings of acquire / release /
+//! Randomized tests: under arbitrary interleavings of acquire / release /
 //! set_ownership, the node never loses or duplicates a core, never lets
 //! two processes use one core, and always converges when drained.
+//! Seeded `tlb-rng` loops stand in for proptest (no registry deps).
 
-use proptest::prelude::*;
 use tlb_dlb::{NodeDlb, ProcId};
+use tlb_rng::Rng;
 
 fn check_global_invariants(node: &NodeDlb, procs: usize, holding: &[Vec<usize>]) {
     node.check_invariants().unwrap();
@@ -31,22 +32,13 @@ fn check_global_invariants(node: &NodeDlb, procs: usize, holding: &[Vec<usize>])
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn random_ops_preserve_invariants(
-        procs in 2usize..5,
-        ops_seed in any::<u64>(),
-    ) {
+#[test]
+fn random_ops_preserve_invariants() {
+    let root = Rng::seed_from_u64(0xD1B_0001);
+    for case in 0..64 {
+        let mut rng = root.split_u64(case as u64);
+        let procs = rng.range_usize(2, 5);
         let cores = 8usize;
-        // Derive an op sequence deterministically from the seed via the
-        // strategy's own value tree is awkward; instead generate ops inline.
-        let mut rng_state = ops_seed;
-        let mut next = || {
-            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (rng_state >> 33) as usize
-        };
         let mut counts = vec![1usize; procs];
         let mut left = cores - procs;
         let mut i = 0;
@@ -59,17 +51,17 @@ proptest! {
         let mut holding: Vec<Vec<usize>> = vec![Vec::new(); procs];
 
         for _ in 0..200 {
-            match next() % 4 {
+            match rng.range_u64(0, 4) {
                 0 => {
-                    let p = next() % procs;
+                    let p = rng.range_usize(0, procs);
                     if let Some(c) = node.acquire(ProcId(p)) {
                         holding[p].push(c);
                     }
                 }
                 1 => {
-                    let p = next() % procs;
+                    let p = rng.range_usize(0, procs);
                     if !holding[p].is_empty() {
-                        let idx = next() % holding[p].len();
+                        let idx = rng.range_usize(0, holding[p].len());
                         let c = holding[p].swap_remove(idx);
                         node.release(ProcId(p), c).unwrap();
                     }
@@ -79,11 +71,15 @@ proptest! {
                     let mut v = vec![1usize; procs];
                     let mut left = cores - procs;
                     while left > 0 {
-                        v[next() % procs] += 1;
+                        v[rng.range_usize(0, procs)] += 1;
                         left -= 1;
                     }
                     node.set_ownership(&v).unwrap();
-                    prop_assert_eq!(node.target_ownership()[..procs].iter().sum::<usize>(), cores);
+                    assert_eq!(
+                        node.target_ownership()[..procs].iter().sum::<usize>(),
+                        cores,
+                        "case {case}"
+                    );
                 }
                 _ => {
                     let on = node.lewi_enabled();
@@ -103,14 +99,20 @@ proptest! {
         check_global_invariants(&node, procs, &holding);
         let target = node.target_ownership();
         let actual: Vec<usize> = (0..procs).map(|p| node.owned_count(ProcId(p))).collect();
-        prop_assert_eq!(&actual[..], &target[..procs], "deferred transfers not applied after drain");
-        prop_assert_eq!(node.busy_count(), 0);
+        assert_eq!(
+            &actual[..],
+            &target[..procs],
+            "case {case}: deferred transfers not applied after drain"
+        );
+        assert_eq!(node.busy_count(), 0, "case {case}");
     }
+}
 
-    /// With LeWI on and a single active process, it can always use every
-    /// core of the node (full-node utilisation of an imbalanced load).
-    #[test]
-    fn single_active_process_gets_whole_node(procs in 2usize..5) {
+/// With LeWI on and a single active process, it can always use every
+/// core of the node (full-node utilisation of an imbalanced load).
+#[test]
+fn single_active_process_gets_whole_node() {
+    for procs in 2usize..5 {
         let cores = 8usize;
         let mut counts = vec![1usize; procs];
         counts[0] = cores - (procs - 1);
@@ -120,7 +122,7 @@ proptest! {
         while node.acquire(ProcId(active)).is_some() {
             got += 1;
         }
-        prop_assert_eq!(got, cores);
-        prop_assert_eq!(node.used_count(ProcId(active)), cores);
+        assert_eq!(got, cores);
+        assert_eq!(node.used_count(ProcId(active)), cores);
     }
 }

@@ -3,9 +3,18 @@
 
 #![allow(clippy::needless_range_loop)] // index loops touch several arrays at once
 use crate::graph::{BipartiteGraph, ExpanderConfig, ExpanderError};
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use tlb_rng::Rng;
+
+/// Screen one candidate: generate, check connectivity, score by the
+/// (sampled or exact) isoperimetric number.
+fn screen_candidate(config: &ExpanderConfig, rng: Rng) -> Option<(f64, BipartiteGraph)> {
+    let g = generate_random_from(config, rng).ok()?;
+    if !g.is_connected() {
+        return None;
+    }
+    let iso = g.isoperimetric_number();
+    Some((iso, g))
+}
 
 /// Top-level generation: draw `config.candidates` random graphs, screen by
 /// connectivity (always) and the isoperimetric number (cheap enough up to a
@@ -13,25 +22,62 @@ use rand_chacha::ChaCha8Rng;
 /// deterministic circulant construction when the random search fails — e.g.
 /// when the shape is so constrained that almost all random matchings have
 /// multi-edges.
+///
+/// Candidates are screened in parallel (scoped threads, one per candidate
+/// up to the machine's parallelism); each candidate derives its own RNG
+/// substream via [`Rng::split_u64`], so results are identical to the
+/// serial screening regardless of thread count or completion order: the
+/// winner is the highest isoperimetric number, ties broken by lowest
+/// candidate index (the serial "first best wins" rule).
 pub(crate) fn generate(config: &ExpanderConfig) -> Result<BipartiteGraph, ExpanderError> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    generate_with_workers(config, workers)
+}
+
+/// [`BipartiteGraph::generate`] with an explicit screening thread count
+/// (1 = serial). Results are identical for every `workers` value; the
+/// knob exists for scaling measurements (`perf_smoke`) and tests.
+pub fn generate_with_workers(
+    config: &ExpanderConfig,
+    workers: usize,
+) -> Result<BipartiteGraph, ExpanderError> {
     config.validate()?;
     if config.degree == 1 {
         // Baseline: no offloading, the graph is just the home placement.
         return generate_circulant(config, &[]);
     }
 
-    let mut best: Option<(f64, BipartiteGraph)> = None;
-    for candidate in 0..config.candidates {
-        let seed = config
-            .seed
-            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(candidate as u64 + 1));
-        let Ok(g) = generate_random(config, seed) else {
-            continue;
-        };
-        if !g.is_connected() {
-            continue;
+    let root = Rng::seed_from_u64(config.seed);
+    let workers = workers.min(config.candidates).max(1);
+    let mut results: Vec<Option<(f64, BipartiteGraph)>> = Vec::new();
+    if workers <= 1 || config.candidates <= 1 {
+        for candidate in 0..config.candidates {
+            results.push(screen_candidate(config, root.split_u64(candidate as u64)));
         }
-        let iso = g.isoperimetric_number();
+    } else {
+        results.resize_with(config.candidates, || None);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots = std::sync::Mutex::new(&mut results);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let candidate = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if candidate >= config.candidates {
+                        return;
+                    }
+                    let r = screen_candidate(config, root.split_u64(candidate as u64));
+                    slots.lock().unwrap()[candidate] = r;
+                });
+            }
+        });
+    }
+    let mut best: Option<(f64, BipartiteGraph)> = None;
+    // Reduce in candidate order: ties keep the earliest candidate, exactly
+    // as the serial loop's strict `iso > best` comparison did.
+    for r in results.into_iter().flatten() {
+        let (iso, g) = r;
         if best.as_ref().is_none_or(|(b, _)| iso > *b) {
             best = Some((iso, g));
         }
@@ -67,11 +113,19 @@ pub fn generate_random(
     config: &ExpanderConfig,
     seed: u64,
 ) -> Result<BipartiteGraph, ExpanderError> {
+    generate_random_from(config, Rng::seed_from_u64(seed))
+}
+
+/// [`generate_random`] driven by an already-derived RNG stream (the
+/// parallel candidate screening hands each candidate its own substream).
+fn generate_random_from(
+    config: &ExpanderConfig,
+    mut rng: Rng,
+) -> Result<BipartiteGraph, ExpanderError> {
     config.validate()?;
     let per_node = config.appranks_per_node();
     let helper_slots_per_node = config.node_degree() - per_node;
     let helpers_per_apprank = config.degree - 1;
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
 
     const MAX_ATTEMPTS: usize = 64;
     'attempt: for _ in 0..MAX_ATTEMPTS {
@@ -79,7 +133,7 @@ pub fn generate_random(
         let mut pool: Vec<usize> = (0..config.nodes)
             .flat_map(|n| std::iter::repeat_n(n, helper_slots_per_node))
             .collect();
-        pool.shuffle(&mut rng);
+        rng.shuffle(&mut pool);
 
         let mut adj: Vec<Vec<usize>> = (0..config.appranks)
             .map(|a| vec![BipartiteGraph::expected_home(config, a)])
@@ -167,10 +221,10 @@ pub fn generate_circulant(
 /// where the circulant fallback is connected).
 pub(crate) fn _generate_connected(
     config: &ExpanderConfig,
-    mut rng: impl Rng,
+    rng: &mut Rng,
 ) -> Result<BipartiteGraph, ExpanderError> {
     for _ in 0..32 {
-        let g = generate_random(config, rng.gen())?;
+        let g = generate_random(config, rng.next_u64())?;
         if g.is_connected() {
             return Ok(g);
         }

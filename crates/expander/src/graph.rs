@@ -1,13 +1,12 @@
 //! The bipartite apprank↔node graph and its configuration.
 
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
 use std::io;
 use std::path::Path;
 
 /// Parameters for generating an expander layout.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ExpanderConfig {
     /// Number of application ranks.
     pub appranks: usize,
@@ -147,7 +146,7 @@ impl From<io::Error> for ExpanderError {
 /// * every node hosts exactly `degree * appranks_per_node` worker processes;
 /// * adjacency lists are sorted after the home entry (deterministic
 ///   iteration order for the scheduler).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct BipartiteGraph {
     config: ExpanderConfig,
     /// `adj[a]` = nodes on which apprank `a` may execute; `adj[a][0]` is the
@@ -354,20 +353,67 @@ impl BipartiteGraph {
 
     /// Serialise to a JSON file so the graph can be reused across runs.
     pub fn save_json(&self, path: &Path) -> Result<(), ExpanderError> {
-        let json =
-            serde_json::to_string_pretty(self).map_err(|e| ExpanderError::Io(e.to_string()))?;
-        std::fs::write(path, json)?;
+        let c = &self.config;
+        let config = tlb_json::Value::object(vec![
+            ("appranks", c.appranks.into()),
+            ("nodes", c.nodes.into()),
+            ("degree", c.degree.into()),
+            ("seed", c.seed.into()),
+            ("candidates", c.candidates.into()),
+            ("min_expansion", c.min_expansion.into()),
+        ]);
+        let adj: Vec<tlb_json::Value> = self
+            .adj
+            .iter()
+            .map(|row| tlb_json::Value::from(row.clone()))
+            .collect();
+        let doc = tlb_json::Value::object(vec![
+            ("config", config),
+            ("adj", tlb_json::Value::Array(adj)),
+        ]);
+        std::fs::write(path, doc.to_string_pretty())?;
         Ok(())
     }
 
     /// Load a previously saved graph, re-checking invariants.
     pub fn load_json(path: &Path) -> Result<Self, ExpanderError> {
         let json = std::fs::read_to_string(path)?;
-        let g: BipartiteGraph =
-            serde_json::from_str(&json).map_err(|e| ExpanderError::Io(e.to_string()))?;
-        g.config.validate()?;
-        g.check()?;
-        Ok(g)
+        let doc =
+            tlb_json::parse(&json).map_err(|e| ExpanderError::Io(format!("json parse: {e}")))?;
+        let bad = |what: &str| ExpanderError::Io(format!("malformed graph file: {what}"));
+        let c = doc.get("config");
+        let config = ExpanderConfig {
+            appranks: c
+                .get("appranks")
+                .as_usize()
+                .ok_or_else(|| bad("appranks"))?,
+            nodes: c.get("nodes").as_usize().ok_or_else(|| bad("nodes"))?,
+            degree: c.get("degree").as_usize().ok_or_else(|| bad("degree"))?,
+            seed: c.get("seed").as_u64().ok_or_else(|| bad("seed"))?,
+            candidates: c
+                .get("candidates")
+                .as_usize()
+                .ok_or_else(|| bad("candidates"))?,
+            min_expansion: c
+                .get("min_expansion")
+                .as_f64()
+                .ok_or_else(|| bad("min_expansion"))?,
+        };
+        let adj = doc
+            .get("adj")
+            .as_array()
+            .ok_or_else(|| bad("adj"))?
+            .iter()
+            .map(|row| {
+                row.as_array()
+                    .ok_or_else(|| bad("adj row"))?
+                    .iter()
+                    .map(|v| v.as_usize().ok_or_else(|| bad("adj entry")))
+                    .collect::<Result<Vec<usize>, _>>()
+            })
+            .collect::<Result<Vec<Vec<usize>>, _>>()?;
+        // `from_adjacency` rebuilds `hosted` and re-checks every invariant.
+        Self::from_adjacency(config, adj)
     }
 }
 

@@ -4,9 +4,7 @@
 
 #![allow(clippy::needless_range_loop)] // index loops touch several arrays at once
 use crate::BipartiteGraph;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use tlb_rng::Rng;
 
 /// Exact isoperimetric number by exhaustive subset enumeration.
 ///
@@ -62,7 +60,7 @@ pub fn isoperimetric_exact(g: &BipartiteGraph) -> f64 {
 pub fn isoperimetric_sampled(g: &BipartiteGraph, seed: u64, samples: usize) -> f64 {
     let a_total = g.appranks();
     let half = (a_total / 2).max(1);
-    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+    let mut rng = Rng::seed_from_u64(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
     let mut best = f64::INFINITY;
 
     // Greedy growth from every apprank (deterministic part).
@@ -110,7 +108,7 @@ pub fn isoperimetric_sampled(g: &BipartiteGraph, seed: u64, samples: usize) -> f
     let mut order: Vec<usize> = (0..a_total).collect();
     let rounds = samples / half.max(1) + 1;
     for _ in 0..rounds {
-        order.shuffle(&mut rng);
+        rng.shuffle(&mut order);
         let mut nbhd = vec![false; g.nodes()];
         let mut nbhd_size = 0usize;
         for (i, &a) in order.iter().take(half).enumerate() {

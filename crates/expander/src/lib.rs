@@ -39,6 +39,6 @@ mod generate;
 mod graph;
 mod isoperimetric;
 
-pub use generate::{generate_circulant, generate_random};
+pub use generate::{generate_circulant, generate_random, generate_with_workers};
 pub use graph::{BipartiteGraph, ExpanderConfig, ExpanderError};
 pub use isoperimetric::{isoperimetric_exact, isoperimetric_sampled};

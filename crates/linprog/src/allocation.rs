@@ -24,10 +24,9 @@
 #![allow(clippy::needless_range_loop)] // index loops touch several arrays at once
 use crate::maxflow::FlowNetwork;
 use crate::simplex::{LinearProgram, LpError, Relation};
-use serde::{Deserialize, Serialize};
 
 /// An instance of the core allocation program.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct AllocationProblem {
     /// Estimated work per apprank (busy-core·seconds over the measurement
     /// window). Non-negative.
@@ -113,7 +112,7 @@ impl AllocationProblem {
 }
 
 /// One worker's integer core ownership.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct WorkerAllocation {
     /// The apprank the worker belongs to.
     pub apprank: usize,
@@ -124,7 +123,7 @@ pub struct WorkerAllocation {
 }
 
 /// Solution of the allocation program.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct AllocationSolution {
     /// Optimal `max_a work_a / cores_a` bound (continuous relaxation).
     pub objective: f64,
@@ -784,15 +783,14 @@ mod tests {
 
     #[test]
     fn random_instances_lp_flow_agree() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1234);
+        let mut rng = tlb_rng::Rng::seed_from_u64(1234);
         for case in 0..40 {
-            let nodes = rng.gen_range(2..7);
-            let per = rng.gen_range(1..3usize);
+            let nodes = rng.range_usize(2, 7);
+            let per = rng.range_usize(1, 3);
             let appranks = nodes * per;
-            let degree = rng.gen_range(1..=nodes.min(3));
-            let cores = rng.gen_range((per * degree).max(2)..16);
-            let work: Vec<f64> = (0..appranks).map(|_| rng.gen_range(0.0..50.0)).collect();
+            let degree = rng.range_usize(1, nodes.min(3) + 1);
+            let cores = rng.range_usize((per * degree).max(2), 16);
+            let work: Vec<f64> = (0..appranks).map(|_| rng.range_f64(0.0, 50.0)).collect();
             let p =
                 AllocationProblem::new(work, ring_adjacency(appranks, nodes, degree), cores, nodes);
             let lp = solve_lp(&p).unwrap();

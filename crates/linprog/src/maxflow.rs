@@ -218,20 +218,19 @@ mod tests {
 
     #[test]
     fn random_networks_satisfy_cut_bound() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let mut rng = tlb_rng::Rng::seed_from_u64(7);
         for _ in 0..50 {
-            let n = rng.gen_range(4..10);
+            let n = rng.range_usize(4, 10);
             let mut f = FlowNetwork::new(n);
             let mut out_cap0 = 0.0;
             let mut in_capn = 0.0;
-            for _ in 0..rng.gen_range(5..25) {
-                let u = rng.gen_range(0..n);
-                let v = rng.gen_range(0..n);
+            for _ in 0..rng.range_usize(5, 25) {
+                let u = rng.range_usize(0, n);
+                let v = rng.range_usize(0, n);
                 if u == v {
                     continue;
                 }
-                let c = rng.gen_range(0.0..5.0);
+                let c = rng.range_f64(0.0, 5.0);
                 f.add_edge(u, v, c);
                 if u == 0 {
                     out_cap0 += c;

@@ -518,20 +518,19 @@ mod tests {
     fn random_lps_match_bruteforce_vertices() {
         // 2-variable random LPs: compare against brute-force over
         // constraint-intersection vertices.
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        let mut rng = tlb_rng::Rng::seed_from_u64(99);
         for _case in 0..200 {
-            let n_cons = rng.gen_range(2..6);
+            let n_cons = rng.range_usize(2, 6);
             let mut lp = LinearProgram::new(2);
-            let c = [rng.gen_range(0.1..2.0), rng.gen_range(0.1..2.0)];
+            let c = [rng.range_f64(0.1, 2.0), rng.range_f64(0.1, 2.0)];
             lp.set_objective(0, c[0]).set_objective(1, c[1]);
             let mut cons: Vec<(f64, f64, f64)> = Vec::new();
             for _ in 0..n_cons {
                 // a x + b y >= r with a,b >= 0 keeps the LP feasible+bounded.
                 let (a, b, r) = (
-                    rng.gen_range(0.0..2.0f64),
-                    rng.gen_range(0.0..2.0f64),
-                    rng.gen_range(0.5..4.0f64),
+                    rng.range_f64(0.0, 2.0),
+                    rng.range_f64(0.0, 2.0),
+                    rng.range_f64(0.5, 4.0),
                 );
                 if a + b < 0.1 {
                     continue;

@@ -1,0 +1,152 @@
+//! In-tree work-distribution queues (std-only).
+//!
+//! The pool previously used `crossbeam-deque`; to keep the workspace free
+//! of registry dependencies it now uses these small mutex-guarded queues.
+//! The tasks this runtime schedules are compute kernels (CG sweeps, force
+//! blocks) whose bodies run for microseconds to milliseconds, so a short
+//! critical section around a `VecDeque` is far below measurement noise —
+//! and the data-parallel hot loops bypass queues entirely via
+//! [`crate::Pool::parallel_for`]'s atomic chunk counter.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// A worker's local FIFO queue. Push and pop at the owner's end; thieves
+/// take from the same order (FIFO preserves submission order, which the
+/// pool's tests rely on for cache-affinity heuristics, not correctness).
+pub(crate) struct WorkerQueue<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> WorkerQueue<T> {
+    pub(crate) fn new() -> Self {
+        WorkerQueue {
+            inner: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Push a job onto the owner's queue.
+    pub(crate) fn push(&self, item: T) {
+        self.inner.lock().unwrap().push_back(item);
+    }
+
+    /// Pop the next job in FIFO order.
+    pub(crate) fn pop(&self) -> Option<T> {
+        self.inner.lock().unwrap().pop_front()
+    }
+
+    /// A handle other workers use to steal from this queue.
+    pub(crate) fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// Steal-side handle to a [`WorkerQueue`].
+pub(crate) struct Stealer<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Stealer<T> {
+    /// Take one job from the victim's queue.
+    pub(crate) fn steal(&self) -> Option<T> {
+        self.inner.lock().unwrap().pop_front()
+    }
+}
+
+/// The global injection queue: tasks submitted from outside any worker
+/// (initially ready tasks, spawned children overflowing the local queue).
+pub(crate) struct Injector<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    pub(crate) fn new() -> Self {
+        Injector {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Enqueue a job.
+    pub(crate) fn push(&self, item: T) {
+        self.inner.lock().unwrap().push_back(item);
+    }
+
+    /// Take one job.
+    pub(crate) fn steal(&self) -> Option<T> {
+        self.inner.lock().unwrap().pop_front()
+    }
+
+    /// Take one job and move up to `batch` more into `local`, amortising
+    /// injector contention the way crossbeam's `steal_batch_and_pop` does.
+    pub(crate) fn steal_batch_and_pop(&self, local: &WorkerQueue<T>, batch: usize) -> Option<T> {
+        let mut q = self.inner.lock().unwrap();
+        let first = q.pop_front()?;
+        if batch > 0 && !q.is_empty() {
+            let take = batch.min(q.len());
+            let mut l = local.inner.lock().unwrap();
+            for _ in 0..take {
+                l.push_back(q.pop_front().expect("len checked"));
+            }
+        }
+        Some(first)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let q = WorkerQueue::new();
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        assert_eq!(q.pop(), Some(1));
+        let s = q.stealer();
+        assert_eq!(s.steal(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+        assert_eq!(s.steal(), None);
+    }
+
+    #[test]
+    fn injector_batch_moves_to_local() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let local = WorkerQueue::new();
+        let first = inj.steal_batch_and_pop(&local, 4);
+        assert_eq!(first, Some(0));
+        // 1..=4 moved to the local queue, 5.. remain in the injector.
+        assert_eq!(local.pop(), Some(1));
+        assert_eq!(local.pop(), Some(2));
+        assert_eq!(inj.steal(), Some(5));
+    }
+
+    #[test]
+    fn concurrent_pushes_all_arrive() {
+        let inj = Arc::new(Injector::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let inj = Arc::clone(&inj);
+                std::thread::spawn(move || {
+                    for i in 0..250 {
+                        inj.push(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut count = 0;
+        while inj.steal().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 1000);
+    }
+}

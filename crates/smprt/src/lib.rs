@@ -9,9 +9,13 @@
 //!
 //! Components:
 //!
-//! * [`Pool`] — a work-stealing thread pool (crossbeam deques + a global
-//!   injector) whose active-worker limit can be raised or lowered at any
-//!   time; surplus workers park and wake without busy-waiting.
+//! * [`Pool`] — a work-stealing thread pool (in-tree std-only deques + a
+//!   global injector) whose active-worker limit can be raised or lowered
+//!   at any time; surplus workers park and wake without busy-waiting.
+//! * [`Pool::parallel_for`] — the data-parallel fast path the application
+//!   kernels run on: an atomic chunk counter shared by the caller and the
+//!   active workers, with chunk boundaries independent of thread count so
+//!   kernels can build bitwise-reproducible reductions on top.
 //! * [`GraphRun`] — a task graph plus one closure per task; [`Pool::run`]
 //!   executes it respecting all dependencies and reports per-worker
 //!   statistics.
@@ -19,8 +23,8 @@
 //!   [`tlb_dlb::NodeDlb`]: when one pool runs out of work its cores are
 //!   lent to the other, and reclaimed on demand — shared-memory LeWI with
 //!   real threads.
-//! * [`parallel_for`] — a small data-parallel helper used by the
-//!   application kernels.
+//! * [`parallel_for`] — a small scoped-thread data-parallel helper for
+//!   one-shot use outside a pool.
 //!
 //! # Example
 //!
@@ -47,6 +51,7 @@
 //! ```
 
 mod coupler;
+mod deque;
 mod par;
 mod pool;
 mod run;

@@ -1,10 +1,9 @@
 //! The malleable work-stealing thread pool.
 
+use crate::deque::{Injector, Stealer, WorkerQueue};
 use crate::run::{Body, GraphRun};
-use crossbeam::deque::{Injector, Steal, Stealer, Worker as Deque};
-use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
 use tlb_tasking::{TaskDef, TaskGraph, TaskId};
@@ -34,6 +33,24 @@ struct ActiveRun {
     panic: Option<Box<dyn std::any::Any + Send + 'static>>,
 }
 
+/// One `parallel_for` operation in flight: a chunk counter the caller and
+/// every active worker pull from. The body pointer is only dereferenced
+/// for chunks claimed with `start < n`, and `parallel_for` does not return
+/// until `done == n`, so the borrow it erases outlives every call.
+struct DpJob {
+    next: AtomicUsize,
+    done: AtomicUsize,
+    n: usize,
+    chunk: usize,
+    body: *const (dyn Fn(usize) + Sync),
+}
+
+// SAFETY: `body` points at a `Sync` closure owned by the `parallel_for`
+// caller, which blocks until all chunk executions complete; the raw
+// pointer is never dereferenced after that (claims see `start >= n`).
+unsafe impl Send for DpJob {}
+unsafe impl Sync for DpJob {}
+
 struct Shared {
     injector: Injector<Job>,
     stealers: Vec<Stealer<Job>>,
@@ -42,8 +59,18 @@ struct Shared {
     /// Bumped on every job push so sleeping workers re-check for work.
     work_epoch: AtomicU64,
     state: Mutex<Option<ActiveRun>>,
+    /// The in-flight data-parallel operation, if any.
+    dp: Mutex<Option<Arc<DpJob>>>,
     work_cv: Condvar,
     done_cv: Condvar,
+}
+
+impl Shared {
+    fn lock_state(&self) -> MutexGuard<'_, Option<ActiveRun>> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 }
 
 /// A work-stealing pool over `threads` OS threads whose *active* worker
@@ -58,13 +85,15 @@ pub struct Pool {
     threads: usize,
     /// Serialises concurrent `run` calls.
     run_gate: Mutex<()>,
+    /// Serialises concurrent `parallel_for` calls (one chunk counter).
+    dp_gate: Mutex<()>,
 }
 
 impl Pool {
     /// Spawn a pool with `threads` workers, all initially active.
     pub fn new(threads: usize) -> Self {
         assert!(threads > 0, "pool needs at least one thread");
-        let deques: Vec<Deque<Job>> = (0..threads).map(|_| Deque::new_fifo()).collect();
+        let deques: Vec<WorkerQueue<Job>> = (0..threads).map(|_| WorkerQueue::new()).collect();
         let stealers = deques.iter().map(|d| d.stealer()).collect();
         let shared = Arc::new(Shared {
             injector: Injector::new(),
@@ -73,6 +102,7 @@ impl Pool {
             shutdown: AtomicBool::new(false),
             work_epoch: AtomicU64::new(0),
             state: Mutex::new(None),
+            dp: Mutex::new(None),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
         });
@@ -92,6 +122,7 @@ impl Pool {
             handles,
             threads,
             run_gate: Mutex::new(()),
+            dp_gate: Mutex::new(()),
         }
     }
 
@@ -111,7 +142,7 @@ impl Pool {
     pub fn set_active_threads(&self, n: usize) {
         let n = n.clamp(1, self.threads);
         self.shared.active_limit.store(n, Ordering::Relaxed);
-        let _guard = self.shared.state.lock();
+        let _guard = self.shared.lock_state();
         self.shared.work_cv.notify_all();
     }
 
@@ -119,14 +150,94 @@ impl Pool {
     /// executing, or zero when the pool is idle. This is the demand signal
     /// the LeWI coupler polls.
     pub fn load(&self) -> usize {
-        self.shared.state.lock().as_ref().map_or(0, |a| a.remaining)
+        self.shared.lock_state().as_ref().map_or(0, |a| a.remaining)
+    }
+
+    /// Run `body(i)` for every `i in 0..n` across the pool's *active*
+    /// workers plus the calling thread, dealing indices in chunks of
+    /// `chunk` from an atomic counter.
+    ///
+    /// This is the data-parallel fast path the application kernels (CG
+    /// sweeps, Barnes–Hut force blocks) run inside: no task graph, no
+    /// queue traffic — one `fetch_add` per chunk. It composes with
+    /// malleability: workers above [`Pool::set_active_threads`]'s limit
+    /// stay parked, and because the caller always participates the loop
+    /// completes even if every worker is parked or busy. Concurrent
+    /// `parallel_for` calls are serialised; a graph [`Pool::run`] may
+    /// proceed concurrently (workers interleave both kinds of work).
+    ///
+    /// Chunk boundaries depend only on `n` and `chunk`, never on the
+    /// thread count, which is what lets kernels build bitwise-reproducible
+    /// reductions on top (fixed per-chunk partials, summed in order).
+    pub fn parallel_for<F>(&self, n: usize, chunk: usize, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        assert!(chunk > 0, "chunk must be positive");
+        if n == 0 {
+            return;
+        }
+        let body_ref: &(dyn Fn(usize) + Sync) = &body;
+        if n <= chunk {
+            for i in 0..n {
+                body_ref(i);
+            }
+            return;
+        }
+        let _gate = self
+            .dp_gate
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // SAFETY: erase the borrow's lifetime to store it in the shared
+        // slot; see the invariant documented on `DpJob`.
+        let body_ptr: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(body_ref) };
+        let job = Arc::new(DpJob {
+            next: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            n,
+            chunk,
+            body: body_ptr,
+        });
+        *self
+            .shared
+            .dp
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(Arc::clone(&job));
+        self.shared.work_epoch.fetch_add(1, Ordering::Release);
+        {
+            let _guard = self.shared.lock_state();
+            self.shared.work_cv.notify_all();
+        }
+        // The caller is always a participant, so progress never depends
+        // on worker availability.
+        run_dp_chunks(&job, body_ref);
+        // Tail wait: workers may still be finishing chunks they claimed.
+        if job.done.load(Ordering::Acquire) < n {
+            let mut guard = self.shared.lock_state();
+            while job.done.load(Ordering::Acquire) < n {
+                let (g, _) = self
+                    .shared
+                    .done_cv
+                    .wait_timeout(guard, Duration::from_micros(200))
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                guard = g;
+            }
+        }
+        *self
+            .shared
+            .dp
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
     }
 
     /// Execute a [`GraphRun`] to completion and return statistics.
     ///
     /// Concurrent `run` calls from different threads are serialised.
     pub fn run(&self, run: GraphRun) -> RunStats {
-        let _gate = self.run_gate.lock();
+        let _gate = self
+            .run_gate
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let started = std::time::Instant::now();
         let GraphRun { graph, mut bodies } = run;
         let total = graph.len();
@@ -137,7 +248,7 @@ impl Pool {
             };
         }
         {
-            let mut state = self.shared.state.lock();
+            let mut state = self.shared.lock_state();
             debug_assert!(state.is_none(), "run gate should prevent overlap");
             let mut active = ActiveRun {
                 remaining: total,
@@ -162,11 +273,16 @@ impl Pool {
             self.shared.work_cv.notify_all();
         }
         // Wait for completion.
-        let mut state = self.shared.state.lock();
+        let mut state = self.shared.lock_state();
         while state.as_ref().is_some_and(|a| a.remaining > 0) {
-            self.shared.done_cv.wait(&mut state);
+            state = self
+                .shared
+                .done_cv
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
         let mut finished = state.take().expect("run vanished");
+        drop(state);
         if let Some(payload) = finished.panic.take() {
             // A task body panicked: surface it on the caller, exactly as
             // a panicking closure would in a scoped-thread API.
@@ -187,7 +303,7 @@ impl Drop for Pool {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Relaxed);
         {
-            let _guard = self.shared.state.lock();
+            let _guard = self.shared.lock_state();
             self.shared.work_cv.notify_all();
         }
         for h in self.handles.drain(..) {
@@ -196,62 +312,102 @@ impl Drop for Pool {
     }
 }
 
-fn find_job(index: usize, deque: &Deque<Job>, shared: &Shared) -> Option<(Job, bool)> {
+/// Pull chunks off a data-parallel job until the counter is exhausted.
+/// Returns whether any chunk was executed. Notifies `done_cv` when this
+/// call completes the final indices.
+fn run_dp_chunks(job: &DpJob, body: &(dyn Fn(usize) + Sync)) -> bool {
+    let mut did_any = false;
+    loop {
+        let start = job.next.fetch_add(job.chunk, Ordering::Relaxed);
+        if start >= job.n {
+            return did_any;
+        }
+        did_any = true;
+        let end = (start + job.chunk).min(job.n);
+        for i in start..end {
+            body(i);
+        }
+        job.done.fetch_add(end - start, Ordering::Release);
+    }
+}
+
+/// Worker-side participation in an in-flight `parallel_for`, if one is
+/// published. Returns whether any chunk was executed.
+fn try_dp_work(shared: &Shared) -> bool {
+    let job = shared
+        .dp
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone();
+    let Some(job) = job else {
+        return false;
+    };
+    // SAFETY: chunks are only claimed while `next < n`; the publishing
+    // `parallel_for` frame is alive until all such chunks complete.
+    let body = unsafe { &*job.body };
+    let did = run_dp_chunks(&job, body);
+    if did && job.done.load(Ordering::Acquire) >= job.n {
+        let _guard = shared.lock_state();
+        shared.done_cv.notify_all();
+    }
+    did
+}
+
+fn find_job(index: usize, deque: &WorkerQueue<Job>, shared: &Shared) -> Option<(Job, bool)> {
     if let Some(job) = deque.pop() {
         return Some((job, false));
     }
-    loop {
-        match shared.injector.steal_batch_and_pop(deque) {
-            Steal::Success(job) => return Some((job, false)),
-            Steal::Empty => break,
-            Steal::Retry => continue,
-        }
+    if let Some(job) = shared.injector.steal_batch_and_pop(deque, 4) {
+        return Some((job, false));
     }
     for (i, stealer) in shared.stealers.iter().enumerate() {
         if i == index {
             continue;
         }
-        loop {
-            match stealer.steal() {
-                Steal::Success(job) => return Some((job, true)),
-                Steal::Empty => break,
-                Steal::Retry => continue,
-            }
+        if let Some(job) = stealer.steal() {
+            return Some((job, true));
         }
     }
     None
 }
 
-fn worker_loop(index: usize, deque: Deque<Job>, shared: Arc<Shared>) {
+fn worker_loop(index: usize, deque: WorkerQueue<Job>, shared: Arc<Shared>) {
     loop {
         if shared.shutdown.load(Ordering::Relaxed) {
             return;
         }
         // Malleability: parked while above the active limit.
         if index >= shared.active_limit.load(Ordering::Relaxed) {
-            let mut state = shared.state.lock();
+            let state = shared.lock_state();
             if shared.shutdown.load(Ordering::Relaxed) {
                 return;
             }
             if index >= shared.active_limit.load(Ordering::Relaxed) {
-                shared
+                let _ = shared
                     .work_cv
-                    .wait_for(&mut state, Duration::from_millis(5));
+                    .wait_timeout(state, Duration::from_millis(5))
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
             continue;
         }
         let epoch = shared.work_epoch.load(Ordering::Acquire);
+        // Data-parallel work takes priority: it is the latency-sensitive
+        // inner loop of a kernel the caller is actively waiting on.
+        if try_dp_work(&shared) {
+            continue;
+        }
         let Some((job, stolen)) = find_job(index, &deque, &shared) else {
             // No work visible: sleep unless new work arrived since we
             // started searching (epoch check avoids missed wakeups).
-            let mut state = shared.state.lock();
+            let state = shared.lock_state();
             if shared.shutdown.load(Ordering::Relaxed) {
                 return;
             }
             if shared.work_epoch.load(Ordering::Acquire) == epoch {
-                shared
+                let _ = shared
                     .work_cv
-                    .wait_for(&mut state, Duration::from_millis(1));
+                    .wait_timeout(state, Duration::from_millis(1))
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
             continue;
         };
@@ -265,7 +421,7 @@ fn worker_loop(index: usize, deque: Deque<Job>, shared: Arc<Shared>) {
 /// local deque).
 fn execute_job(
     index: usize,
-    deque: Option<&Deque<Job>>,
+    deque: Option<&WorkerQueue<Job>>,
     shared: &Arc<Shared>,
     job: Job,
     stolen: bool,
@@ -281,7 +437,7 @@ fn execute_job(
     // the payload, and count the task as executed so the run drains.
     let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&ctx))).err();
     // Mark complete, release successors, gather their bodies.
-    let mut state = shared.state.lock();
+    let mut state = shared.lock_state();
     let active = state.as_mut().expect("job without active run");
     if let Some(payload) = panic {
         if active.panic.is_none() {
@@ -314,11 +470,11 @@ fn execute_job(
     drop(state);
     if pushed {
         shared.work_epoch.fetch_add(1, Ordering::Release);
-        let _guard = shared.state.lock();
+        let _guard = shared.lock_state();
         shared.work_cv.notify_all();
     }
     if done {
-        let _guard = shared.state.lock();
+        let _guard = shared.lock_state();
         shared.done_cv.notify_all();
     }
 }
@@ -353,7 +509,7 @@ impl TaskCtx {
         body: impl FnOnce(&TaskCtx) + Send + 'static,
     ) -> TaskId {
         let def = def.child_of(self.task);
-        let mut state = self.shared.state.lock();
+        let mut state = self.shared.lock_state();
         let active = state.as_mut().expect("spawn outside a run");
         let id = active.graph.submit(def).expect("parent is running");
         debug_assert_eq!(id.raw() as usize, active.bodies.len());
@@ -367,7 +523,7 @@ impl TaskCtx {
         }
         drop(state);
         self.shared.work_epoch.fetch_add(1, Ordering::Release);
-        let _guard = self.shared.state.lock();
+        let _guard = self.shared.lock_state();
         self.shared.work_cv.notify_all();
         id
     }
@@ -379,7 +535,7 @@ impl TaskCtx {
     pub fn taskwait(&self) {
         loop {
             {
-                let state = self.shared.state.lock();
+                let state = self.shared.lock_state();
                 let active = state.as_ref().expect("taskwait outside a run");
                 if active.graph.pending_children(Some(self.task)) == 0 {
                     return;
@@ -397,20 +553,12 @@ impl TaskCtx {
 /// Steal from the injector or any worker's deque (used by helping waits,
 /// which have no local deque of their own).
 fn find_job_anywhere(shared: &Shared) -> Option<Job> {
-    loop {
-        match shared.injector.steal() {
-            Steal::Success(job) => return Some(job),
-            Steal::Empty => break,
-            Steal::Retry => continue,
-        }
+    if let Some(job) = shared.injector.steal() {
+        return Some(job);
     }
     for stealer in shared.stealers.iter() {
-        loop {
-            match stealer.steal() {
-                Steal::Success(job) => return Some(job),
-                Steal::Empty => break,
-                Steal::Retry => continue,
-            }
+        if let Some(job) = stealer.steal() {
+            return Some(job);
         }
     }
     None
@@ -459,12 +607,16 @@ mod tests {
         for i in 0..50u32 {
             let log = Arc::clone(&log);
             run.task(TaskDef::new("step").reads_writes(r), move || {
-                log.lock().push(i);
+                log.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push(i);
             })
             .unwrap();
         }
         pool.run(run);
-        let log = log.lock();
+        let log = log
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         assert_eq!(*log, (0..50).collect::<Vec<_>>());
     }
 
@@ -610,5 +762,55 @@ mod tests {
         assert_eq!(pool.active_threads(), 1);
         pool.set_active_threads(99);
         assert_eq!(pool.active_threads(), 2);
+    }
+
+    #[test]
+    fn pool_parallel_for_covers_every_index_once() {
+        let pool = Pool::new(4);
+        let hits: Vec<AtomicUsize> = (0..5000).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(5000, 64, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn pool_parallel_for_small_n_runs_inline() {
+        let pool = Pool::new(4);
+        let sum = AtomicUsize::new(0);
+        pool.parallel_for(3, 16, |i| {
+            sum.fetch_add(i + 1, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn pool_parallel_for_sequential_calls() {
+        let pool = Pool::new(2);
+        for _ in 0..50 {
+            let sum = AtomicUsize::new(0);
+            pool.parallel_for(100, 8, |i| {
+                sum.fetch_add(i, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 99 * 100 / 2);
+        }
+    }
+
+    #[test]
+    fn pool_parallel_for_uses_multiple_threads() {
+        let pool = Pool::new(4);
+        let participants = Mutex::new(std::collections::HashSet::new());
+        pool.parallel_for(256, 1, |_| {
+            participants
+                .lock()
+                .unwrap()
+                .insert(std::thread::current().id());
+            std::thread::sleep(Duration::from_micros(200));
+        });
+        let n = participants
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len();
+        assert!(n > 1, "only {n} thread(s) participated");
     }
 }

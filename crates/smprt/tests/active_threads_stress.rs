@@ -1,0 +1,73 @@
+//! Stress: DLB-style `set_active_threads` reconfiguration racing with
+//! `parallel_for`. The paper's runtime grows and shrinks each process's
+//! core allotment while compute is in flight (LeWI lends cores away,
+//! DROM reclaims them); the pool must never lose or duplicate an index
+//! no matter when the limit changes.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use tlb_smprt::Pool;
+
+#[test]
+fn set_active_threads_racing_parallel_for_loses_no_work() {
+    const N: usize = 20_000;
+    const ROUNDS: usize = 30;
+
+    let pool = Arc::new(Pool::new(8));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Controller: hammer the active limit up and down, as DLB would on
+    // every lend/reclaim, while the main thread runs parallel loops.
+    let controller = {
+        let pool = Arc::clone(&pool);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut k = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                // Sweep 1..=8 including the all-parked extreme (the caller
+                // still makes progress because it participates).
+                pool.set_active_threads(1 + (k % 8));
+                k = k.wrapping_add(1);
+                std::thread::yield_now();
+            }
+            pool.set_active_threads(8);
+        })
+    };
+
+    for round in 0..ROUNDS {
+        let hits: Vec<AtomicUsize> = (0..N).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(N, 64, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            let c = h.load(Ordering::Relaxed);
+            assert_eq!(c, 1, "round {round}: index {i} executed {c} times");
+        }
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    controller.join().unwrap();
+}
+
+#[test]
+fn shrink_to_one_mid_flight_still_completes() {
+    const N: usize = 50_000;
+    let pool = Pool::new(8);
+    let count = AtomicUsize::new(0);
+    // Shrink to a single worker from inside the loop body: the remaining
+    // chunks must still all run (on the caller if need be).
+    pool.parallel_for(N, 32, |i| {
+        if i == 1000 {
+            pool.set_active_threads(1);
+        }
+        count.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(count.load(Ordering::Relaxed), N);
+    pool.set_active_threads(8);
+    // And the pool is still usable at full width afterwards.
+    let again = AtomicUsize::new(0);
+    pool.parallel_for(N, 32, |_| {
+        again.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(again.load(Ordering::Relaxed), N);
+}

@@ -1,11 +1,10 @@
 //! Task definitions: the Rust equivalent of `#pragma oss task`.
 
 use crate::DataRegion;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Opaque task identifier, unique within one [`crate::TaskGraph`].
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TaskId(pub(crate) u64);
 
 impl TaskId {
@@ -22,7 +21,7 @@ impl fmt::Debug for TaskId {
 }
 
 /// How a task uses a data region — the `in`/`out`/`inout` of the pragma.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum AccessMode {
     /// Read-only (`in`): concurrent with other readers.
     In,
@@ -46,7 +45,7 @@ impl AccessMode {
 }
 
 /// One declared access of a task.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Access {
     /// The region touched.
     pub region: DataRegion,
@@ -63,7 +62,7 @@ impl Access {
 }
 
 /// Lifecycle of a task inside the graph.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TaskState {
     /// Submitted, predecessors outstanding.
     Blocked,
@@ -77,7 +76,7 @@ pub enum TaskState {
 
 /// Definition of a task prior to submission — the pragma annotation plus
 /// the runtime hints our executors use.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TaskDef {
     /// Human-readable label (kernel name); shows up in traces.
     pub label: String,

@@ -1,8 +1,9 @@
-//! Property tests: the incremental dependency computation must match a
+//! Randomized tests: the incremental dependency computation must match a
 //! brute-force oracle, and every execution schedule must respect program
-//! order semantics.
+//! order semantics. Uses seeded `tlb-rng` loops (the workspace carries no
+//! registry dependencies, so no proptest).
 
-use proptest::prelude::*;
+use tlb_rng::Rng;
 use tlb_tasking::{Access, AccessMode, DataRegion, TaskDef, TaskGraph};
 
 /// A compact generated access: (base bucket, length bucket, mode).
@@ -13,20 +14,26 @@ struct GenAccess {
     mode: AccessMode,
 }
 
-fn gen_access() -> impl Strategy<Value = GenAccess> {
-    (0usize..20, 1usize..8, 0u8..3).prop_map(|(base, len, m)| GenAccess {
-        base: base * 4,
-        len: len * 4,
-        mode: match m {
+fn gen_access(rng: &mut Rng) -> GenAccess {
+    GenAccess {
+        base: rng.range_usize(0, 20) * 4,
+        len: rng.range_usize(1, 8) * 4,
+        mode: match rng.range_u64(0, 3) {
             0 => AccessMode::In,
             1 => AccessMode::Out,
             _ => AccessMode::InOut,
         },
-    })
+    }
 }
 
-fn gen_tasks() -> impl Strategy<Value = Vec<Vec<GenAccess>>> {
-    prop::collection::vec(prop::collection::vec(gen_access(), 1..4), 1..25)
+fn gen_tasks(rng: &mut Rng) -> Vec<Vec<GenAccess>> {
+    let n_tasks = rng.range_usize(1, 25);
+    (0..n_tasks)
+        .map(|_| {
+            let n_acc = rng.range_usize(1, 4);
+            (0..n_acc).map(|_| gen_access(rng)).collect()
+        })
+        .collect()
 }
 
 /// Brute-force oracle: task j depends on i < j iff (no intermediate
@@ -71,14 +78,17 @@ fn build_graph(tasks: &[Vec<GenAccess>]) -> (TaskGraph, Vec<tlb_tasking::TaskId>
     (g, ids)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: usize = 128;
 
-    /// The graph's predecessor sets equal the brute-force conflict oracle.
-    #[test]
-    fn dependencies_match_oracle(tasks in gen_tasks()) {
+/// The graph's predecessor sets equal the brute-force conflict oracle.
+#[test]
+fn dependencies_match_oracle() {
+    let root = Rng::seed_from_u64(0xDE9_0001);
+    for case in 0..CASES {
+        let mut rng = root.split_u64(case as u64);
+        let tasks = gen_tasks(&mut rng);
         let (g, ids) = build_graph(&tasks);
-        let expected = oracle_edges(&tasks);
+        let mut expected = oracle_edges(&tasks);
         let mut actual = Vec::new();
         for (j, &id) in ids.iter().enumerate() {
             for p in g.predecessors(id) {
@@ -86,52 +96,85 @@ proptest! {
             }
         }
         actual.sort_unstable();
-        let mut expected = expected;
         expected.sort_unstable();
-        prop_assert_eq!(actual, expected);
+        assert_eq!(actual, expected, "case {case}");
     }
+}
 
-    /// Greedy execution always drains the graph (no deadlock), and every
-    /// task runs after all its predecessors.
-    #[test]
-    fn greedy_execution_respects_order(tasks in gen_tasks(), pick_last in any::<bool>()) {
+/// Greedy execution always drains the graph (no deadlock), and every
+/// task runs after all its predecessors.
+#[test]
+fn greedy_execution_respects_order() {
+    let root = Rng::seed_from_u64(0xDE9_0002);
+    for case in 0..CASES {
+        let mut rng = root.split_u64(case as u64);
+        let tasks = gen_tasks(&mut rng);
+        let pick_last = rng.chance(0.5);
         let (mut g, ids) = build_graph(&tasks);
         let mut completed_at = vec![usize::MAX; ids.len()];
         let mut step = 0;
         loop {
             let ready = g.ready();
-            if ready.is_empty() { break; }
-            let t = if pick_last { *ready.last().unwrap() } else { ready[0] };
+            if ready.is_empty() {
+                break;
+            }
+            let t = if pick_last {
+                *ready.last().unwrap()
+            } else {
+                ready[0]
+            };
             g.start(t).unwrap();
             g.complete(t).unwrap();
             completed_at[t.raw() as usize] = step;
             step += 1;
         }
-        prop_assert!(g.all_complete(), "graph deadlocked");
+        assert!(g.all_complete(), "case {case}: graph deadlocked");
         for (j, &id) in ids.iter().enumerate() {
             for p in g.predecessors(id) {
-                prop_assert!(
+                assert!(
                     completed_at[p.raw() as usize] < completed_at[j],
-                    "task {} ran before its predecessor {}", j, p.raw()
+                    "case {case}: task {} ran before its predecessor {}",
+                    j,
+                    p.raw()
                 );
             }
         }
     }
+}
 
-    /// Critical path is at most total cost and at least the max single cost.
-    #[test]
-    fn critical_path_bounds(tasks in gen_tasks()) {
+/// Critical path is at most total cost and at least the max single cost.
+#[test]
+fn critical_path_bounds() {
+    let root = Rng::seed_from_u64(0xDE9_0003);
+    for case in 0..CASES {
+        let mut rng = root.split_u64(case as u64);
+        let tasks = gen_tasks(&mut rng);
         let (g, _) = build_graph(&tasks);
         let cp = g.critical_path();
-        prop_assert!(cp <= g.total_cost() + 1e-9);
-        prop_assert!(cp >= 1.0 - 1e-9); // all costs are 1.0 by default
+        assert!(cp <= g.total_cost() + 1e-9, "case {case}");
+        assert!(cp >= 1.0 - 1e-9, "case {case}"); // all costs are 1.0 by default
     }
+}
 
-    /// Access conflicts are symmetric.
-    #[test]
-    fn conflict_symmetry(a in gen_access(), b in gen_access()) {
-        let aa = Access { region: DataRegion::new(a.base, a.len), mode: a.mode };
-        let bb = Access { region: DataRegion::new(b.base, b.len), mode: b.mode };
-        prop_assert_eq!(aa.conflicts_with(&bb), bb.conflicts_with(&aa));
+/// Access conflicts are symmetric.
+#[test]
+fn conflict_symmetry() {
+    let mut rng = Rng::seed_from_u64(0xDE9_0004);
+    for case in 0..1024 {
+        let a = gen_access(&mut rng);
+        let b = gen_access(&mut rng);
+        let aa = Access {
+            region: DataRegion::new(a.base, a.len),
+            mode: a.mode,
+        };
+        let bb = Access {
+            region: DataRegion::new(b.base, b.len),
+            mode: b.mode,
+        };
+        assert_eq!(
+            aa.conflicts_with(&bb),
+            bb.conflicts_with(&aa),
+            "case {case}"
+        );
     }
 }

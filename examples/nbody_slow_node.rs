@@ -5,8 +5,6 @@
 //!
 //! Run with: `cargo run --release --example nbody_slow_node`
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 use tlb::apps::nbody::{
     direct_accelerations, orb_partition, Body, NBodyConfig, NBodyWorkload, Octree,
 };
@@ -16,17 +14,17 @@ use tlb::smprt::parallel_for;
 
 fn main() {
     // --- Real kernel: one Barnes–Hut step on this machine. ---
-    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let mut rng = tlb::core::rng::Rng::seed_from_u64(11);
     let n = 20_000;
     let bodies: Vec<Body> = (0..n)
         .map(|_| {
             Body::at(
                 [
-                    rng.gen_range(-1.0..1.0),
-                    rng.gen_range(-1.0..1.0),
-                    rng.gen_range(-1.0..1.0),
+                    rng.range_f64(-1.0, 1.0),
+                    rng.range_f64(-1.0, 1.0),
+                    rng.range_f64(-1.0, 1.0),
                 ],
-                rng.gen_range(0.5..2.0),
+                rng.range_f64(0.5, 2.0),
             )
         })
         .collect();

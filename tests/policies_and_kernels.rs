@@ -95,15 +95,14 @@ mod parking_lot_stub {
 /// to the direct sum.
 #[test]
 fn nbody_orb_and_forces_roundtrip() {
-    use rand::{Rng, SeedableRng};
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+    let mut rng = tlb::core::rng::Rng::seed_from_u64(3);
     let bodies: Vec<Body> = (0..600)
         .map(|_| {
             Body::at(
                 [
-                    rng.gen_range(-1.0..1.0),
-                    rng.gen_range(-1.0..1.0),
-                    rng.gen_range(-1.0..1.0),
+                    rng.range_f64(-1.0, 1.0),
+                    rng.range_f64(-1.0, 1.0),
+                    rng.range_f64(-1.0, 1.0),
                 ],
                 1.0,
             )
