@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Offline CI gate: format, build, tier-1 tests, perf smoke.
+# Offline CI gate: format, build, tier-1 tests, perf + trace smokes.
 # The workspace is hermetic (no registry deps), so everything here runs
 # with no network access. Mirrors .github/workflows/ci.yml.
 set -euo pipefail
@@ -16,5 +16,8 @@ cargo test --workspace -q --offline
 
 echo "== perf smoke (--quick)"
 cargo run --release --offline -p tlb-bench --bin perf_smoke -- --quick
+
+echo "== trace smoke (--quick)"
+cargo run --release --offline -p tlb-bench --bin trace_smoke -- --quick
 
 echo "CI gate passed."

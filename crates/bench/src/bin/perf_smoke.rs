@@ -30,6 +30,7 @@ use tlb_expander::{generate_with_workers, ExpanderConfig};
 use tlb_json::Value;
 use tlb_rng::Rng;
 use tlb_smprt::Pool;
+use tlb_trace::TraceConfig;
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 
@@ -191,6 +192,89 @@ fn cluster_sim_step(effort: Effort, reps: usize) -> (f64, String) {
     )
 }
 
+/// Time the same simulation at three instrumentation levels and grab the
+/// counter registry from a fully traced run:
+///
+/// * `disabled_ms`  — no tracing at all (`run_opts(.., false)`);
+/// * `timelines_ms` — Paraver-style timelines only, event families off;
+/// * `events_ms`    — timelines plus the full structured event log.
+///
+/// The event stream carries virtual time only, so the events-vs-timelines
+/// delta is buffering + counter bumps; the target is <3% but the hard
+/// gate is deliberately loose (hosts running this smoke are noisy and
+/// often single-core) — exact numbers land in the JSON.
+fn trace_overhead(effort: Effort, reps: usize) -> (f64, f64, f64, Value, String) {
+    let nodes = effort.pick(8, 4);
+    let platform = Platform::mn4(nodes);
+    let cfg = SyntheticConfig::new(nodes * 2, 2.0);
+    let balance = BalanceConfig::offloading(4.min(nodes), DromPolicy::Global);
+    let run = |trace: bool, families: Option<TraceConfig>| {
+        let wl = synthetic_workload(&cfg, &platform);
+        ClusterSim::run_trace_cfg(&platform, &balance, wl, trace, families).unwrap()
+    };
+    let disabled_ms = time_ms(reps, || run(false, None));
+    let timelines_ms = time_ms(reps, || run(true, Some(TraceConfig::off())));
+    let events_ms = time_ms(reps, || run(true, None));
+    let counters = run(true, None).trace.counters.to_json();
+    (
+        disabled_ms,
+        timelines_ms,
+        events_ms,
+        counters,
+        format!(
+            "{nodes} nodes, synthetic imbalance 2.0, degree {}",
+            4.min(nodes)
+        ),
+    )
+}
+
+/// Run the named parallel regions once on a profiling-enabled pool and
+/// dump real wall-clock per `parallel_for` region plus the park/steal
+/// counters.
+fn pool_regions(effort: Effort) -> Value {
+    let pool = Pool::new(4);
+    pool.set_profiling(true);
+    let n = effort.pick(8_000, 2_000);
+    let mut rng = Rng::seed_from_u64(0xBE7C_0002);
+    let bodies: Vec<Body> = (0..n)
+        .map(|_| {
+            Body::at(
+                [
+                    rng.range_f64(-1.0, 1.0),
+                    rng.range_f64(-1.0, 1.0),
+                    rng.range_f64(-1.0, 1.0),
+                ],
+                rng.range_f64(0.5, 2.0),
+            )
+        })
+        .collect();
+    let tree = Octree::build(&bodies, 0.5);
+    std::hint::black_box(tree.accelerations(&bodies, Some(&pool)));
+    std::hint::black_box(MicroProblem::new(effort.pick(16, 10), true).solve_on(&pool));
+    let prof = pool.profile();
+    Value::object(vec![
+        (
+            "regions",
+            Value::Array(
+                prof.regions
+                    .iter()
+                    .map(|r| {
+                        Value::object(vec![
+                            ("name", r.name.as_str().into()),
+                            ("calls", r.calls.into()),
+                            ("indices", r.indices.into()),
+                            ("wall_ms", (r.wall.as_secs_f64() * 1e3).into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("malleability_parks", prof.malleability_parks.into()),
+        ("idle_parks", prof.idle_parks.into()),
+        ("steals", prof.steals.into()),
+    ])
+}
+
 fn repo_root() -> PathBuf {
     std::env::var_os("CARGO_MANIFEST_DIR")
         .map(|d| PathBuf::from(d).join("../.."))
@@ -231,6 +315,23 @@ fn main() {
     let (sim_ms, sim_size) = cluster_sim_step(effort, reps);
     println!("cluster-sim-step [{sim_size}]: {sim_ms:.2} ms (serial DES, baseline only)");
 
+    let (disabled_ms, timelines_ms, events_ms, counters, trace_size) = trace_overhead(effort, reps);
+    let overhead_pct = 100.0 * (events_ms - timelines_ms) / timelines_ms;
+    println!(
+        "trace-overhead [{trace_size}]: disabled {disabled_ms:.2} ms, timelines \
+         {timelines_ms:.2} ms, +events {events_ms:.2} ms ({overhead_pct:+.1}%, target <3%)"
+    );
+    let regions = pool_regions(effort);
+    for r in regions.get("regions").as_array().into_iter().flatten() {
+        println!(
+            "   pool region {:<16} {} calls, {} indices, {:.2} ms wall",
+            r.get("name").as_str().unwrap_or("?"),
+            r.get("calls").as_u64().unwrap_or(0),
+            r.get("indices").as_u64().unwrap_or(0),
+            r.get("wall_ms").as_f64().unwrap_or(0.0),
+        );
+    }
+
     let doc = Value::object(vec![
         ("bench", "perf_smoke".into()),
         ("quick", (effort == Effort::Quick).into()),
@@ -254,6 +355,19 @@ fn main() {
                 ),
             ]),
         ),
+        (
+            "trace_overhead",
+            Value::object(vec![
+                ("size", trace_size.as_str().into()),
+                ("disabled_ms", disabled_ms.into()),
+                ("timelines_only_ms", timelines_ms.into()),
+                ("with_events_ms", events_ms.into()),
+                ("event_overhead_pct", overhead_pct.into()),
+                ("target_pct", 3.0.into()),
+            ]),
+        ),
+        ("counters", counters),
+        ("pool_profile", regions),
     ]);
     let path = repo_root().join("BENCH_perf_smoke.json");
     std::fs::write(&path, doc.to_string_pretty()).expect("write BENCH_perf_smoke.json");
@@ -265,6 +379,12 @@ fn main() {
             eprintln!("FAIL: {} parallel output differs from serial", k.name);
             failed = true;
         }
+    }
+    // Loose hard gate on tracing overhead (noisy hosts): the precise
+    // number is in the JSON; the 3% target is advisory, 50% is a bug.
+    if events_ms > timelines_ms * 1.5 {
+        eprintln!("FAIL: event-tracing overhead {overhead_pct:.1}% exceeds the 50% hard gate");
+        failed = true;
     }
     if failed {
         std::process::exit(1);

@@ -5,7 +5,8 @@
 //! tlb-run --app micropp --nodes 8 --appranks-per-node 2 \
 //!         --degree 4 --policy global --iterations 10 \
 //!         [--machine mn4|nord3|ideal] [--slow-node 0] [--lewi off]
-//!         [--trace-csv out.csv] [--json]
+//!         [--trace-csv out.csv] [--chrome out.json] [--json]
+//! tlb-run trace --app nbody --nodes 4   # traced run, Chrome JSON export
 //! ```
 
 use std::fmt;
@@ -63,6 +64,10 @@ pub struct Args {
     pub seed: u64,
     /// Write the trace as CSV here.
     pub trace_csv: Option<String>,
+    /// Write the trace as Chrome trace-event JSON here.
+    pub chrome: Option<String>,
+    /// `trace` subcommand: force tracing on and default the Chrome export.
+    pub trace_mode: bool,
     /// Emit the report as JSON instead of text.
     pub json: bool,
 }
@@ -82,6 +87,8 @@ impl Default for Args {
             imbalance: 2.0,
             seed: 1,
             trace_csv: None,
+            chrome: None,
+            trace_mode: false,
             json: false,
         }
     }
@@ -100,7 +107,12 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 /// Usage text.
-pub const USAGE: &str = "usage: tlb-run [options]
+pub const USAGE: &str = "usage: tlb-run [trace] [options]
+  trace                                   subcommand: record the structured
+                                          event trace and write a Chrome
+                                          trace-event JSON (default
+                                          tlb_trace.chrome.json; open in
+                                          Perfetto / chrome://tracing)
   --app micropp|nbody|synthetic|stencil   workload (default synthetic)
   --nodes N                               node count (default 4)
   --appranks-per-node N                   (default 1)
@@ -113,13 +125,18 @@ pub const USAGE: &str = "usage: tlb-run [options]
   --imbalance X                           synthetic imbalance (default 2.0)
   --seed S                                expander seed (default 1)
   --trace-csv PATH                        dump the trace as CSV
+  --chrome PATH                           dump the trace as Chrome JSON
   --json                                  print the report as JSON
   --help                                  this text";
 
 /// Parse an argument list (without the program name).
 pub fn parse_args<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, ParseError> {
     let mut args = Args::default();
-    let mut it = argv.into_iter();
+    let mut it = argv.into_iter().peekable();
+    if it.peek().map(String::as_str) == Some("trace") {
+        it.next();
+        args.trace_mode = true;
+    }
     let missing = |flag: &str| ParseError(format!("{flag} needs a value"));
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -173,6 +190,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, Parse
             "--trace-csv" => {
                 args.trace_csv = Some(it.next().ok_or_else(|| missing("--trace-csv"))?)
             }
+            "--chrome" => args.chrome = Some(it.next().ok_or_else(|| missing("--chrome"))?),
             "--json" => args.json = true,
             "--help" | "-h" => return Err(ParseError(USAGE.to_string())),
             other => return Err(ParseError(format!("unknown flag '{other}'\n{USAGE}"))),
@@ -222,12 +240,20 @@ pub fn build_config(args: &Args) -> BalanceConfig {
     cfg
 }
 
+/// The Chrome trace-event output path implied by the arguments, if any:
+/// an explicit `--chrome PATH`, or the default name in `trace` mode.
+pub fn chrome_path(args: &Args) -> Option<String> {
+    args.chrome
+        .clone()
+        .or_else(|| args.trace_mode.then(|| "tlb_trace.chrome.json".to_string()))
+}
+
 /// Build the workload and run; returns the report plus the perfect-balance
 /// bound in seconds per iteration.
 pub fn run(args: &Args) -> Result<(SimReport, f64), String> {
     let platform = build_platform(args);
     let appranks = args.nodes * args.appranks_per_node;
-    let trace = args.trace_csv.is_some();
+    let trace = args.trace_mode || args.trace_csv.is_some() || args.chrome.is_some();
 
     let (report, per_iter_work) = match args.app {
         App::Synthetic => {
@@ -292,6 +318,10 @@ pub fn run(args: &Args) -> Result<(SimReport, f64), String> {
         tlb_cluster::save_trace_csv(&report.trace, std::path::Path::new(path))
             .map_err(|e| format!("writing {path}: {e}"))?;
     }
+    if let Some(path) = chrome_path(args) {
+        tlb_cluster::save_trace_chrome(&report.trace, std::path::Path::new(&path))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+    }
     Ok((report, perfect))
 }
 
@@ -333,13 +363,23 @@ pub fn format_text(args: &Args, report: &SimReport, perfect: f64) -> String {
         "solver runs:         {} ({} total)",
         report.solver_runs, report.solver_time
     );
+    if report.trace.enabled && !report.trace.counters.is_empty() {
+        let _ = writeln!(out, "counters:");
+        for (name, value) in report.trace.counters.sorted_counts() {
+            let _ = writeln!(out, "  {name:<28} {value}");
+        }
+        for (name, value) in report.trace.counters.sorted_gauges() {
+            let _ = writeln!(out, "  {name:<28} {value:.3}");
+        }
+        let _ = writeln!(out, "trace events:        {}", report.trace.log.len());
+    }
     out
 }
 
 /// A JSON-ready summary of a run (the full trace is exported separately).
 pub fn format_json(args: &Args, report: &SimReport, perfect: f64) -> String {
     use tlb_json::Value;
-    Value::object(vec![
+    let mut fields = vec![
         ("app", format!("{:?}", args.app).into()),
         ("nodes", args.nodes.into()),
         ("appranks", (args.nodes * args.appranks_per_node).into()),
@@ -366,8 +406,12 @@ pub fn format_json(args: &Args, report: &SimReport, perfect: f64) -> String {
                     .collect(),
             ),
         ),
-    ])
-    .to_string_compact()
+    ];
+    if report.trace.enabled {
+        fields.push(("trace_events", report.trace.log.len().into()));
+        fields.push(("counters", report.trace.counters.to_json()));
+    }
+    Value::object(fields).to_string_compact()
 }
 
 /// Keep `SpecWorkload` in the public surface for config-driven runs.
@@ -450,6 +494,53 @@ mod tests {
         let json = format_json(&a, &report, perfect);
         let parsed = tlb_json::parse(&json).unwrap();
         assert_eq!(parsed.get("nodes").as_usize(), Some(4));
+    }
+
+    #[test]
+    fn trace_subcommand_parses_and_defaults_chrome() {
+        let a = args("trace --nodes 2 --degree 2").unwrap();
+        assert!(a.trace_mode);
+        assert_eq!(chrome_path(&a).as_deref(), Some("tlb_trace.chrome.json"));
+        let b = args("trace --chrome my.json").unwrap();
+        assert_eq!(chrome_path(&b).as_deref(), Some("my.json"));
+        // "trace" is only a subcommand in leading position.
+        assert!(args("--nodes 2 trace").is_err());
+        let c = args("--nodes 2 --degree 2").unwrap();
+        assert!(!c.trace_mode);
+        assert_eq!(chrome_path(&c), None);
+    }
+
+    #[test]
+    fn traced_run_writes_chrome_and_reports_counters() {
+        let dir = std::env::temp_dir().join("tlb_cli_chrome_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.chrome.json");
+        let mut a = args("trace --nodes 2 --degree 2 --iterations 2 --machine ideal").unwrap();
+        a.chrome = Some(path.to_string_lossy().into_owned());
+        a.json = true;
+        let (report, perfect) = run(&a).unwrap();
+        let chrome = std::fs::read_to_string(&path).unwrap();
+        let parsed = tlb_json::parse(&chrome).unwrap();
+        assert!(!parsed.get("traceEvents").as_array().unwrap().is_empty());
+        let text = format_text(&a, &report, perfect);
+        assert!(text.contains("counters:"));
+        assert!(text.contains("tasks_completed"));
+        let json = tlb_json::parse(&format_json(&a, &report, perfect)).unwrap();
+        let counts = json.get("counters").get("counters");
+        assert_eq!(
+            counts.get("tasks_completed").as_u64(),
+            Some(report.total_tasks as u64)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn untraced_run_reports_no_counters() {
+        let a = args("--nodes 2 --degree 2 --iterations 2 --machine ideal").unwrap();
+        let (report, perfect) = run(&a).unwrap();
+        assert!(!format_text(&a, &report, perfect).contains("counters:"));
+        let json = tlb_json::parse(&format_json(&a, &report, perfect)).unwrap();
+        assert!(json.get("counters").is_null());
     }
 
     #[test]

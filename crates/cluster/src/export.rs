@@ -34,20 +34,42 @@ pub fn trace_to_csv(trace: &Trace) -> String {
             emit("owned", node, proc, trace.worker_apprank[node][proc], tl);
         }
     }
+    // Fields that do not apply to a row carry a `-1` sentinel rather than
+    // an empty string, so numeric CSV readers never see mixed dtypes.
     for (node, tl) in trace.node_busy.iter().enumerate() {
         for s in tl.samples() {
             let _ = writeln!(
                 out,
-                "node_busy,{node},,,{:.9},{}",
+                "node_busy,{node},-1,-1,{:.9},{}",
                 s.at.as_secs_f64(),
                 s.value
             );
         }
     }
     for (i, t) in trace.iteration_ends.iter().enumerate() {
-        let _ = writeln!(out, "iteration_end,,,,{:.9},{i}", t.as_secs_f64());
+        let _ = writeln!(out, "iteration_end,-1,-1,-1,{:.9},{i}", t.as_secs_f64());
+    }
+    for ev in trace.log.merged() {
+        let (kind, node, proc, apprank, value) = ev.csv_fields();
+        let _ = writeln!(
+            out,
+            "{kind},{node},{proc},{apprank},{:.9},{value}",
+            ev.at.as_secs_f64()
+        );
     }
     out
+}
+
+/// Export the structured event log as Chrome trace-event JSON (one
+/// process track per node, one thread per worker; loadable in Perfetto
+/// or `chrome://tracing`).
+pub fn trace_to_chrome(trace: &Trace) -> String {
+    tlb_trace::chrome_trace_string(&trace.log.merged(), &trace.worker_apprank)
+}
+
+/// Write [`trace_to_chrome`] to a file.
+pub fn save_trace_chrome(trace: &Trace, path: &Path) -> io::Result<()> {
+    std::fs::write(path, trace_to_chrome(trace))
 }
 
 /// Write [`trace_to_csv`] to a file.
@@ -192,6 +214,95 @@ mod tests {
     #[test]
     fn away_fraction_empty_is_zero() {
         assert_eq!(away_fraction(&[vec![0.0, 0.0]], &[0]), 0.0);
+    }
+
+    fn push_task_pair(t: &mut Trace) {
+        use tlb_trace::{EventKind, TaskKey, TraceLog};
+        let key = TaskKey {
+            iteration: 0,
+            apprank: 0,
+            task: 3,
+        };
+        t.log.push(
+            TraceLog::node_stream(0),
+            SimTime::ZERO,
+            EventKind::TaskStarted {
+                key,
+                node: 0,
+                proc: 0,
+                stolen: false,
+            },
+        );
+        t.log.push(
+            TraceLog::node_stream(0),
+            SimTime::from_secs(1),
+            EventKind::TaskCompleted {
+                key,
+                node: 0,
+                proc: 0,
+            },
+        );
+    }
+
+    #[test]
+    fn csv_uses_sentinels_and_includes_event_rows() {
+        let mut t = sample_trace();
+        push_task_pair(&mut t);
+        let csv = trace_to_csv(&t);
+        // Rows without a proc/apprank carry -1, never an empty field.
+        assert!(csv.contains("node_busy,0,-1,-1,"), "{csv}");
+        assert!(csv.contains("iteration_end,-1,-1,-1,"), "{csv}");
+        // Structured events join the same long format.
+        assert!(csv.contains("task_started,0,0,0,"), "{csv}");
+        assert!(csv.contains("task_completed,0,0,0,"), "{csv}");
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), 6, "bad row: {line}");
+            assert!(!line.contains(",,"), "empty field in: {line}");
+        }
+    }
+
+    #[test]
+    fn chrome_export_round_trips() {
+        let mut t = sample_trace();
+        push_task_pair(&mut t);
+        let s = trace_to_chrome(&t);
+        let doc = tlb_json::parse(&s).expect("chrome export must parse");
+        let events = doc.get("traceEvents").as_array().unwrap();
+        let x: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").as_str() == Some("X"))
+            .collect();
+        assert_eq!(x.len(), 1, "one complete event per started/completed pair");
+        assert_eq!(x[0].get("dur").as_f64(), Some(1_000_000.0));
+        // One process_name per node plus the global track.
+        let procs = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").as_str() == Some("M") && e.get("name").as_str() == Some("process_name")
+            })
+            .count();
+        assert_eq!(procs, 1 + t.worker_apprank.len());
+        // Disk round-trip is byte-identical.
+        let dir = std::env::temp_dir().join("tlb_export_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        save_trace_chrome(&t, &path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), s);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn disabled_trace_exports_headers_only() {
+        let g = generate_circulant(&ExpanderConfig::new(2, 2, 2), &[1]).unwrap();
+        let layout = ProcessLayout::new(&g, 4);
+        let t = Trace::new(&layout, false);
+        assert_eq!(trace_to_csv(&t), "kind,node,proc,apprank,time_s,value\n");
+        let doc = tlb_json::parse(&trace_to_chrome(&t)).unwrap();
+        let events = doc.get("traceEvents").as_array().unwrap();
+        assert!(!events.is_empty(), "track metadata still present");
+        for e in events {
+            assert_eq!(e.get("ph").as_str(), Some("M"), "non-metadata event");
+        }
     }
 
     #[test]

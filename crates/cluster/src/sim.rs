@@ -7,14 +7,15 @@ use crate::{SimReport, TaskSpec, Trace, Workload};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use tlb_core::{
-    choose_node, BalanceConfig, CandidateState, DromPolicy, GlobalPolicy, LocalPolicy, Placement,
-    Platform, ProcessLayout, StealGate, WorkSignal,
+    choose_node_explained, BalanceConfig, CandidateState, ChoiceReason, DromPolicy, GlobalPolicy,
+    LocalPolicy, Placement, Platform, ProcessLayout, StealGate, WorkSignal,
 };
 use tlb_des::{Ctx, SimTime, Simulator, World};
-use tlb_dlb::{NodeDlb, ProcId, Talp};
+use tlb_dlb::{DlbEvent, NodeDlb, ProcId, Talp};
 use tlb_expander::{BipartiteGraph, ExpanderConfig, ExpanderError};
 use tlb_linprog::LpError;
 use tlb_tasking::{TaskDef, TaskGraph, TaskId};
+use tlb_trace::{DecisionReason, EventKind, TaskKey, TraceLog, GLOBAL_STREAM};
 
 /// Errors from setting up or running a simulation.
 #[derive(Debug)]
@@ -187,6 +188,22 @@ impl ClusterSim {
         workload: W,
         trace: bool,
     ) -> Result<SimReport, SimError> {
+        ClusterSim::run_trace_cfg(platform, config, workload, trace, None)
+    }
+
+    /// Run with an explicit event-family selection. `trace` gates the
+    /// Paraver-style timelines as in [`ClusterSim::run_opts`]; when it is
+    /// on, `families` (default [`TraceConfig::all`]) picks which of the
+    /// structured event/counter families record — `TraceConfig::off()`
+    /// keeps the timelines but silences the event log, which is how the
+    /// perf smoke isolates the event subsystem's cost.
+    pub fn run_trace_cfg<W: Workload>(
+        platform: &Platform,
+        config: &BalanceConfig,
+        workload: W,
+        trace: bool,
+        families: Option<tlb_trace::TraceConfig>,
+    ) -> Result<SimReport, SimError> {
         let appranks = workload.appranks();
         if appranks == 0 {
             return Err(SimError::Shape("workload has no appranks".into()));
@@ -235,12 +252,21 @@ impl ClusterSim {
         }
         let platform = &platform;
 
-        let dlbs: Vec<NodeDlb> = (0..platform.nodes)
+        let mut dlbs: Vec<NodeDlb> = (0..platform.nodes)
             .map(|n| {
                 let counts = layout.initial_ownership(n);
                 NodeDlb::with_counts(counts, config.lewi)
             })
             .collect();
+        let mut trace_rec = Trace::new(&layout, trace);
+        if let (true, Some(f)) = (trace, families) {
+            trace_rec.config = f;
+        }
+        if trace && trace_rec.config.dlb {
+            for d in dlbs.iter_mut() {
+                d.set_recording(true);
+            }
+        }
         let talps: Vec<Talp> = (0..platform.nodes)
             .map(|n| Talp::new(layout.workers_on(n).len()))
             .collect();
@@ -251,7 +277,6 @@ impl ClusterSim {
         let global_policy =
             (config.drom == DromPolicy::Global).then(|| GlobalPolicy::new(&graph, platform));
 
-        let trace_rec = Trace::new(&layout, trace);
         let apprank_states = (0..appranks)
             .map(|a| ApprankState {
                 graph: TaskGraph::new(),
@@ -389,10 +414,174 @@ impl<W: Workload> State<W> {
         self.trace.record_node_busy(now, node, busy);
     }
 
+    /// True when counters are being collected.
+    fn counters_on(&self) -> bool {
+        self.trace.enabled && self.trace.config.counters
+    }
+
+    /// True when task-lifecycle events are being recorded.
+    fn lifecycle_on(&self) -> bool {
+        self.trace.enabled && self.trace.config.lifecycle
+    }
+
+    /// Trace identity of a task in the current iteration.
+    fn task_key(&self, apprank: usize, tid: TaskId) -> TaskKey {
+        TaskKey {
+            iteration: self.iteration as u32,
+            apprank: apprank as u32,
+            task: tid.raw() as u32,
+        }
+    }
+
+    /// Drain `node`'s DLB event buffer into its trace stream, stamping
+    /// each record with `now` (the DLB layer itself is time-free).
+    fn pump_dlb(&mut self, now: SimTime, node: usize) {
+        if !self.trace.enabled {
+            return;
+        }
+        for ev in self.dlbs[node].drain_events() {
+            let kind = match ev {
+                DlbEvent::Borrowed { proc, core, owner } => {
+                    if self.trace.config.counters {
+                        self.trace.counters.inc("lewi_lends");
+                    }
+                    EventKind::LewiBorrow {
+                        node: node as u32,
+                        proc: proc.0 as u32,
+                        core: core as u32,
+                        owner: owner.0 as u32,
+                    }
+                }
+                DlbEvent::ReclaimPosted {
+                    core,
+                    owner,
+                    borrower,
+                } => {
+                    if self.trace.config.counters {
+                        self.trace.counters.inc("lewi_reclaims");
+                    }
+                    EventKind::LewiReclaim {
+                        node: node as u32,
+                        core: core as u32,
+                        owner: owner.0 as u32,
+                        borrower: borrower.0 as u32,
+                    }
+                }
+                DlbEvent::TransferApplied { core, from, to } => {
+                    if self.trace.config.counters {
+                        self.trace.counters.inc("drom_transfers");
+                    }
+                    EventKind::DromTransfer {
+                        node: node as u32,
+                        core: core as u32,
+                        from: from.0 as u32,
+                        to: to.0 as u32,
+                    }
+                }
+                DlbEvent::OwnershipSet { counts } => {
+                    if self.trace.config.counters {
+                        self.trace.counters.inc("drom_ownership_sets");
+                    }
+                    EventKind::DromOwnership {
+                        node: node as u32,
+                        counts,
+                    }
+                }
+            };
+            if self.trace.config.dlb {
+                self.trace.log.push(TraceLog::node_stream(node), now, kind);
+            }
+        }
+    }
+
+    /// Record a task leaving its home node (eagerly or via stealing).
+    fn note_offload(
+        &mut self,
+        now: SimTime,
+        apprank: usize,
+        inst: &Inst,
+        slot: usize,
+        stolen: bool,
+    ) {
+        if self.counters_on() {
+            self.trace.counters.inc("tasks_offloaded");
+        }
+        if self.lifecycle_on() {
+            let key = self.task_key(apprank, inst.tid);
+            let from_node = self.adjacency[apprank][0];
+            let to_node = self.node_of(apprank, slot);
+            self.trace.log.push(
+                TraceLog::node_stream(from_node),
+                now,
+                EventKind::TaskOffloaded {
+                    key,
+                    from_node: from_node as u32,
+                    to_node: to_node as u32,
+                    stolen,
+                },
+            );
+        }
+    }
+
+    /// Record a successful steal of a held task by `(node, proc)`.
+    fn note_steal(
+        &mut self,
+        now: SimTime,
+        apprank: usize,
+        inst: &Inst,
+        slot: usize,
+        node: usize,
+        proc: usize,
+    ) {
+        if self.counters_on() {
+            self.trace.counters.inc("tasks_stolen");
+        }
+        if self.lifecycle_on() {
+            let key = self.task_key(apprank, inst.tid);
+            let home = self.adjacency[apprank][0];
+            let home_proc = ProcId(self.layout.proc_of(apprank, 0));
+            let chosen_queued = self.appranks[apprank].workers[slot].load();
+            let chosen_owned = self.dlbs[node].owned_count(ProcId(proc));
+            let ev = EventKind::SchedDecision {
+                key,
+                reason: DecisionReason::Stolen,
+                chosen_node: node as i32,
+                home_node: home as u32,
+                home_queued: self.appranks[apprank].workers[0].load() as u32,
+                home_owned: self.dlbs[home].owned_count(home_proc) as u32,
+                chosen_queued: chosen_queued as i32,
+                chosen_owned: chosen_owned as i32,
+            };
+            self.trace.log.push(TraceLog::node_stream(node), now, ev);
+        }
+    }
+
     /// The tentative scheduling decision for a ready task (§5.5).
     /// Returns the chosen slot, or `None` to hold the task.
-    fn decide(&self, apprank: usize, offloadable: bool) -> Option<usize> {
+    fn decide(&mut self, now: SimTime, apprank: usize, inst: &Inst) -> Option<usize> {
+        let offloadable = self.appranks[apprank].specs[inst.tid.raw() as usize].offloadable;
         if !offloadable || self.adjacency[apprank].len() == 1 {
+            // Degenerate decision: the home worker is the only candidate.
+            if self.counters_on() {
+                self.trace.counters.inc("sched_decisions");
+            }
+            if self.lifecycle_on() {
+                let key = self.task_key(apprank, inst.tid);
+                let home = self.adjacency[apprank][0];
+                let queued = self.appranks[apprank].workers[0].load();
+                let owned = self.dlbs[home].owned_count(ProcId(self.layout.proc_of(apprank, 0)));
+                let ev = EventKind::SchedDecision {
+                    key,
+                    reason: DecisionReason::LocalityHit,
+                    chosen_node: home as i32,
+                    home_node: home as u32,
+                    home_queued: queued as u32,
+                    home_owned: owned as u32,
+                    chosen_queued: queued as i32,
+                    chosen_owned: owned as i32,
+                };
+                self.trace.log.push(TraceLog::node_stream(home), now, ev);
+            }
             return Some(0);
         }
         let ranks = &self.appranks[apprank];
@@ -411,15 +600,52 @@ impl<W: Workload> State<W> {
                 }
             })
             .collect();
-        match choose_node(
+        let (placement, reason) = choose_node_explained(
             &candidates,
             0,
             self.config.queue_depth_per_core,
             self.config.count_borrowed_cores,
-        ) {
+        );
+        let slot = match placement {
             Placement::Worker(k) => Some(k),
             Placement::Hold => None,
+        };
+        if self.counters_on() {
+            self.trace.counters.inc("sched_decisions");
+            if slot.is_none() {
+                self.trace.counters.inc("tasks_held");
+            }
         }
+        if self.lifecycle_on() {
+            let key = self.task_key(apprank, inst.tid);
+            let home = candidates[0];
+            let (chosen_node, chosen_queued, chosen_owned) = match slot {
+                Some(k) => (
+                    candidates[k].node as i32,
+                    candidates[k].queued_tasks as i32,
+                    candidates[k].owned_cores as i32,
+                ),
+                None => (-1, -1, -1),
+            };
+            let ev = EventKind::SchedDecision {
+                key,
+                reason: match reason {
+                    ChoiceReason::LocalityHit => DecisionReason::LocalityHit,
+                    ChoiceReason::AdjacentSpill => DecisionReason::AdjacentSpill,
+                    ChoiceReason::Saturated => DecisionReason::Queued,
+                },
+                chosen_node,
+                home_node: home.node as u32,
+                home_queued: home.queued_tasks as u32,
+                home_owned: home.owned_cores as u32,
+                chosen_queued,
+                chosen_owned,
+            };
+            self.trace
+                .log
+                .push(TraceLog::node_stream(home.node), now, ev);
+        }
+        slot
     }
 
     /// Dispatch a ready task: either send it (scheduling its arrival after
@@ -440,10 +666,12 @@ impl<W: Workload> State<W> {
                 }
             }
         }
-        let offloadable = self.appranks[apprank].specs[inst.tid.raw() as usize].offloadable;
-        match self.decide(apprank, offloadable) {
+        match self.decide(ctx.now(), apprank, &inst) {
             Some(slot) => {
                 self.appranks[apprank].workers[slot].in_flight += 1;
+                if slot != 0 {
+                    self.note_offload(ctx.now(), apprank, &inst, slot, false);
+                }
                 let delay = if slot == 0 {
                     SimTime::ZERO
                 } else {
@@ -470,10 +698,12 @@ impl<W: Workload> State<W> {
                 let Some(inst) = self.appranks[a].hold.pop_front() else {
                     break;
                 };
-                let offloadable = self.appranks[a].specs[inst.tid.raw() as usize].offloadable;
-                match self.decide(a, offloadable) {
+                match self.decide(ctx.now(), a, &inst) {
                     Some(slot) => {
                         self.appranks[a].workers[slot].in_flight += 1;
+                        if slot != 0 {
+                            self.note_offload(ctx.now(), a, &inst, slot, false);
+                        }
                         let delay = if slot == 0 {
                             SimTime::ZERO
                         } else {
@@ -525,6 +755,9 @@ impl<W: Workload> State<W> {
             if !has_queued && !may_steal {
                 break;
             }
+            if !has_queued && self.counters_on() {
+                self.trace.counters.inc("steal_attempts");
+            }
             let Some(core) = self.dlbs[node].acquire(proc) else {
                 break;
             };
@@ -567,6 +800,27 @@ impl<W: Workload> State<W> {
                 self.offloaded_tasks += 1;
             }
             let now = ctx.now();
+            if self.trace.enabled {
+                if stolen {
+                    self.note_steal(now, apprank, &inst, slot, node, proc.0);
+                    if slot != 0 {
+                        self.note_offload(now, apprank, &inst, slot, true);
+                    }
+                }
+                if self.trace.config.counters {
+                    self.trace.counters.inc("tasks_started");
+                }
+                if self.trace.config.lifecycle {
+                    let key = self.task_key(apprank, inst.tid);
+                    let ev = EventKind::TaskStarted {
+                        key,
+                        node: node as u32,
+                        proc: proc.0 as u32,
+                        stolen,
+                    };
+                    self.trace.log.push(TraceLog::node_stream(node), now, ev);
+                }
+            }
             self.talps[node].set_busy(proc.0, now, self.dlbs[node].used_count(proc));
             ctx.schedule_in(
                 dur,
@@ -578,6 +832,7 @@ impl<W: Workload> State<W> {
                 },
             );
         }
+        self.pump_dlb(ctx.now(), node);
     }
 
     /// Give every worker on `node` a chance to start tasks (a core was
@@ -637,11 +892,37 @@ impl<W: Workload> State<W> {
                     .graph
                     .submit(def)
                     .expect("top-level submit cannot fail");
+                if self.counters_on() {
+                    self.trace.counters.inc("tasks_created");
+                }
+                if self.lifecycle_on() {
+                    let key = self.task_key(a, tid);
+                    let home = self.adjacency[a][0];
+                    let ev = EventKind::TaskCreated {
+                        key,
+                        cost: spec.duration,
+                    };
+                    self.trace
+                        .log
+                        .push(TraceLog::node_stream(home), ctx.now(), ev);
+                }
                 let now_ready = self.appranks[a].graph.ready_count();
                 if now_ready == was_ready {
                     // Blocked on an earlier task's accesses: dispatched
                     // when its predecessors complete.
                     continue;
+                }
+                if self.counters_on() {
+                    self.trace.counters.inc("tasks_ready");
+                }
+                if self.lifecycle_on() {
+                    let key = self.task_key(a, tid);
+                    let home = self.adjacency[a][0];
+                    self.trace.log.push(
+                        TraceLog::node_stream(home),
+                        ctx.now(),
+                        EventKind::TaskReady { key },
+                    );
                 }
                 ready.push(Inst {
                     tid,
@@ -677,6 +958,15 @@ impl<W: Workload> State<W> {
         self.iteration_times
             .push(end.saturating_sub(self.iteration_start));
         self.trace.mark_iteration_end(end);
+        if self.counters_on() {
+            self.trace.counters.inc("iterations_completed");
+        }
+        if self.lifecycle_on() {
+            let ev = EventKind::IterationEnd {
+                iteration: self.iteration as u32,
+            };
+            self.trace.log.push(GLOBAL_STREAM, end, ev);
+        }
         let rank_seconds: Vec<f64> = self
             .rank_finish
             .iter()
@@ -708,6 +998,19 @@ impl<W: Workload> State<W> {
             .expect("running task's core must be held");
         let now = ctx.now();
         self.talps[node].set_busy(proc.0, now, self.dlbs[node].used_count(proc));
+        if self.counters_on() {
+            self.trace.counters.inc("tasks_completed");
+        }
+        if self.lifecycle_on() {
+            let key = self.task_key(apprank, tid);
+            let ev = EventKind::TaskCompleted {
+                key,
+                node: node as u32,
+                proc: proc.0 as u32,
+            };
+            self.trace.log.push(TraceLog::node_stream(node), now, ev);
+        }
+        self.pump_dlb(now, node);
         if let Some(crate::MpiOp::Send { to, tag, bytes }) =
             self.appranks[apprank].specs[tid.raw() as usize].mpi
         {
@@ -729,6 +1032,18 @@ impl<W: Workload> State<W> {
             .complete(tid)
             .expect("running task completes");
         for succ in newly_ready {
+            if self.counters_on() {
+                self.trace.counters.inc("tasks_ready");
+            }
+            if self.lifecycle_on() {
+                let key = self.task_key(apprank, succ);
+                let home = self.adjacency[apprank][0];
+                self.trace.log.push(
+                    TraceLog::node_stream(home),
+                    now,
+                    EventKind::TaskReady { key },
+                );
+            }
             let spec = &self.appranks[apprank].specs[succ.raw() as usize];
             let inst = Inst {
                 tid: succ,
@@ -760,6 +1075,16 @@ impl<W: Workload> State<W> {
         let now = ctx.now();
         for node in 0..self.platform.nodes {
             let busy = self.talps[node].take_all_windows(now);
+            if self.counters_on() {
+                self.trace.counters.inc("talp_windows");
+            }
+            if self.trace.enabled && self.trace.config.dlb {
+                let ev = EventKind::TalpWindow {
+                    node: node as u32,
+                    busy: busy.clone(),
+                };
+                self.trace.log.push(TraceLog::node_stream(node), now, ev);
+            }
             let current: Vec<usize> = (0..busy.len())
                 .map(|p| self.dlbs[node].owned_count(ProcId(p)))
                 .collect();
@@ -767,6 +1092,7 @@ impl<W: Workload> State<W> {
             self.dlbs[node]
                 .set_ownership(&counts)
                 .expect("local policy produces valid counts");
+            self.pump_dlb(now, node);
         }
         self.drain_holds(ctx);
         for node in 0..self.platform.nodes {
@@ -790,6 +1116,9 @@ impl<W: Workload> State<W> {
             return;
         }
         let now = ctx.now();
+        // Real (wall-clock) solve time is a gauge, never an event payload:
+        // the event stream must stay bit-identical across runs.
+        let wall_start = self.trace.enabled.then(std::time::Instant::now);
         // Demand per apprank since the last tick. The paper's signal is the
         // TALP busy-core integral; we add still-pending work so the solver
         // sees demand, not just history. The `CreatedWork` signal instead
@@ -859,6 +1188,30 @@ impl<W: Workload> State<W> {
         let cost = self.solver_cost();
         self.solver_runs += 1;
         self.solver_time += cost;
+        if let Some(t0) = wall_start {
+            self.trace
+                .counters
+                .add_gauge("solver_wall_ms", t0.elapsed().as_secs_f64() * 1e3);
+        }
+        if self.counters_on() {
+            self.trace.counters.inc("solver_invocations");
+            self.trace
+                .counters
+                .add("solver_simplex_iterations", solution.iterations as u64);
+            self.trace
+                .counters
+                .add_gauge("solver_modelled_ms", cost.as_secs_f64() * 1e3);
+        }
+        if self.trace.enabled && self.trace.config.solver {
+            let ev = EventKind::SolverInvoked(Box::new(tlb_trace::SolverRecord {
+                demand: work.clone(),
+                cores: solution.cores.iter().map(|row| row.iter().sum()).collect(),
+                simplex_iterations: solution.iterations,
+                objective: solution.objective,
+                modelled_cost: cost,
+            }));
+            self.trace.log.push(GLOBAL_STREAM, now, ev);
+        }
         ctx.schedule_in(cost, Ev::ApplyOwnership { per_node });
         ctx.schedule_in(self.config.global_period, Ev::GlobalTick);
     }
@@ -938,6 +1291,18 @@ impl<W: Workload> State<W> {
             policy.add_edge(apprank, node);
         }
         self.spawned_helpers += 1;
+        if self.counters_on() {
+            self.trace.counters.inc("helpers_spawned");
+        }
+        if self.trace.enabled && self.trace.config.solver {
+            let ev = EventKind::HelperSpawned {
+                apprank: apprank as u32,
+                node: node as u32,
+            };
+            self.trace
+                .log
+                .push(TraceLog::node_stream(node), ctx.now(), ev);
+        }
         self.record_node(ctx.now(), node);
     }
 
@@ -949,6 +1314,7 @@ impl<W: Workload> State<W> {
             self.dlbs[node]
                 .set_ownership(counts)
                 .expect("solver produces valid counts");
+            self.pump_dlb(ctx.now(), node);
         }
         self.drain_holds(ctx);
         for node in 0..self.platform.nodes {
@@ -1466,6 +1832,76 @@ mod tests {
             r.makespan.as_secs_f64() >= bound - 1e-9,
             "makespan {} below physical bound {bound}",
             r.makespan
+        );
+    }
+
+    #[test]
+    fn trace_events_cover_task_lifecycle() {
+        use std::collections::HashSet;
+        use tlb_trace::EventKind as K;
+        let heavy: Vec<TaskSpec> = (0..60).map(|_| TaskSpec::compute(0.05)).collect();
+        let light: Vec<TaskSpec> = (0..10).map(|_| TaskSpec::compute(0.05)).collect();
+        let wl = SpecWorkload::iterated(vec![heavy, light], 2);
+        let p = Platform::homogeneous(2, 4);
+        let mut cfg = BalanceConfig::offloading(2, DromPolicy::Global);
+        cfg.lewi = true;
+        cfg.global_period = SimTime::from_millis(500);
+        let r = ClusterSim::run(&p, &cfg, wl.clone()).unwrap();
+        let log = &r.trace.log;
+        // Exactly one created/ready/started/completed per task.
+        for pred in [
+            (&|k: &K| matches!(k, K::TaskCreated { .. })) as &dyn Fn(&K) -> bool,
+            &|k: &K| matches!(k, K::TaskReady { .. }),
+            &|k: &K| matches!(k, K::TaskStarted { .. }),
+            &|k: &K| matches!(k, K::TaskCompleted { .. }),
+        ] {
+            assert_eq!(log.count(pred), r.total_tasks);
+        }
+        let started: HashSet<_> = log
+            .merged()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                K::TaskStarted { key, .. } => Some(*key),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(started.len(), r.total_tasks, "duplicate start keys");
+        // Every task got at least one scheduling decision; offloads and
+        // iteration boundaries are recorded; the solver left a record.
+        assert!(log.count(|k| matches!(k, K::SchedDecision { .. })) >= r.total_tasks);
+        assert_eq!(
+            log.count(|k| matches!(k, K::TaskOffloaded { .. })),
+            r.offloaded_tasks
+        );
+        assert_eq!(log.count(|k| matches!(k, K::IterationEnd { .. })), 2);
+        assert!(log.count(|k| matches!(k, K::SolverInvoked { .. })) >= 1);
+        // Counters agree with the report's own bookkeeping.
+        let c = &r.trace.counters;
+        assert_eq!(c.count("tasks_started"), r.total_tasks as u64);
+        assert_eq!(c.count("tasks_completed"), r.total_tasks as u64);
+        assert_eq!(c.count("tasks_offloaded"), r.offloaded_tasks as u64);
+        assert_eq!(c.count("solver_invocations"), r.solver_runs as u64);
+        assert_eq!(c.count("iterations_completed"), 2);
+        // Disabled tracing records nothing at all.
+        let off = ClusterSim::run_opts(&p, &cfg, wl, false).unwrap();
+        assert!(off.trace.log.is_empty());
+        assert!(off.trace.counters.is_empty());
+    }
+
+    #[test]
+    fn trace_event_stream_is_deterministic() {
+        let heavy: Vec<TaskSpec> = (0..40).map(|_| TaskSpec::compute(0.02)).collect();
+        let light: Vec<TaskSpec> = (0..10).map(|_| TaskSpec::compute(0.02)).collect();
+        let wl = SpecWorkload::iterated(vec![heavy, light], 2);
+        let p = Platform::homogeneous(2, 4);
+        let mut cfg = BalanceConfig::offloading(2, DromPolicy::Global);
+        cfg.lewi = true;
+        let a = ClusterSim::run(&p, &cfg, wl.clone()).unwrap();
+        let b = ClusterSim::run(&p, &cfg, wl).unwrap();
+        assert_eq!(a.trace.log.merged(), b.trace.log.merged());
+        assert_eq!(
+            a.trace.counters.sorted_counts(),
+            b.trace.counters.sorted_counts()
         );
     }
 

@@ -1,7 +1,9 @@
-//! Paraver-style trace recording: the timelines behind Figs. 5, 9 and 11.
+//! Paraver-style trace recording: the timelines behind Figs. 5, 9 and 11,
+//! plus the structured event log and counters registry (`tlb-trace`).
 
 use tlb_core::ProcessLayout;
 use tlb_des::{SimTime, Timeline};
+use tlb_trace::{Counters, TraceConfig, TraceLog};
 
 /// Recorded timelines of one simulation.
 ///
@@ -21,6 +23,12 @@ pub struct Trace {
     pub worker_apprank: Vec<Vec<usize>>,
     /// Virtual times at which each iteration ended (all appranks done).
     pub iteration_ends: Vec<SimTime>,
+    /// Structured event log (task lifecycle, DLB, solver records).
+    pub log: TraceLog,
+    /// Runtime counters and gauges, dumped into every run report.
+    pub counters: Counters,
+    /// Which event families record.
+    pub config: TraceConfig,
     /// Whether recording was enabled (large sweeps disable it).
     pub enabled: bool,
 }
@@ -42,6 +50,13 @@ impl Trace {
                 .map(|n| layout.workers_on(n).iter().map(|w| w.apprank).collect())
                 .collect(),
             iteration_ends: Vec::new(),
+            log: TraceLog::new(),
+            counters: Counters::new(),
+            config: if enabled {
+                TraceConfig::all()
+            } else {
+                TraceConfig::off()
+            },
             enabled,
         }
     }
@@ -77,7 +92,9 @@ impl Trace {
 
     /// Mark an iteration boundary.
     pub fn mark_iteration_end(&mut self, at: SimTime) {
-        self.iteration_ends.push(at);
+        if self.enabled {
+            self.iteration_ends.push(at);
+        }
     }
 
     /// Busy cores an apprank had on a node at time `t` (0 if it has no
@@ -94,7 +111,9 @@ impl Trace {
     /// Node-imbalance series (Fig. 11): resample every node's busy-core
     /// timeline onto `points` instants over `[0, end]` using a trailing
     /// mean over `window`, then compute `max/mean` across nodes per
-    /// instant. Returns `(seconds, imbalance)` pairs.
+    /// instant. Zero-width windows (at `t = 0`, or everywhere when
+    /// `window` is zero) report the instantaneous value rather than an
+    /// artificially widened mean. Returns `(seconds, imbalance)` pairs.
     pub fn node_imbalance_series(
         &self,
         end: SimTime,
@@ -110,7 +129,7 @@ impl Trace {
             let loads: Vec<f64> = self
                 .node_busy
                 .iter()
-                .map(|tl| tl.mean(from, t.max(SimTime::from_nanos(1))))
+                .map(|tl| tl.mean_or_instant(from, t))
                 .collect();
             out.push((t.as_secs_f64(), tlb_core::node_imbalance(&loads)));
         }
@@ -158,6 +177,25 @@ mod tests {
         assert_eq!(series.len(), 5);
         for (_, imb) in &series[1..] {
             assert!((imb - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_width_windows_report_instantaneous_imbalance() {
+        // Regression: the old `t.max(1ns)` guard silently widened the
+        // first window and returned 0.0 for every zero-width window at
+        // t ≥ 1ns (window = 0 → mean over [t, t) = 0). The series must
+        // instead report the value that *holds* at each instant.
+        let l = layout();
+        let mut t = Trace::new(&l, true);
+        t.record_node_busy(SimTime::ZERO, 0, 4);
+        t.record_node_busy(SimTime::ZERO, 1, 2);
+        let series = t.node_imbalance_series(SimTime::from_secs(1), SimTime::ZERO, 3);
+        assert_eq!(series.len(), 3);
+        for (secs, imb) in &series {
+            // Imbalance of loads [4, 2] is max/mean = 4/3 at every point,
+            // including t = 0.
+            assert!((imb - 4.0 / 3.0).abs() < 1e-9, "t={secs}: imbalance {imb}");
         }
     }
 

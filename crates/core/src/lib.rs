@@ -43,4 +43,7 @@ pub use config::{
 pub use layout::{ProcessLayout, WorkerRef};
 pub use metrics::{imbalance, node_imbalance, perfect_time, Loads};
 pub use policy::{GlobalPolicy, LocalPolicy};
-pub use sched::{choose_node, CandidateState, Placement, QUEUE_DEPTH_PER_CORE};
+pub use sched::{
+    choose_node, choose_node_explained, CandidateState, ChoiceReason, Placement,
+    QUEUE_DEPTH_PER_CORE,
+};

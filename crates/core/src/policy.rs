@@ -171,6 +171,7 @@ impl GlobalPolicy {
                 .iter()
                 .map(|adj| vec![1usize; adj.len()])
                 .collect(),
+            iterations: 0,
         };
         let mut group_start = 0;
         while group_start < nodes {
@@ -217,6 +218,7 @@ impl GlobalPolicy {
                 GlobalSolverKind::Flow => solve_flow(&sub, 1e-6)?,
             };
             combined.objective = combined.objective.max(sol.objective);
+            combined.iterations += sol.iterations;
             for (i, (a, slots)) in owners.iter().enumerate() {
                 for (j, &k) in slots.iter().enumerate() {
                     combined.work_share[*a][k] = sol.work_share[i][j];

@@ -57,6 +57,19 @@ pub enum Placement {
     Hold,
 }
 
+/// Why [`choose_node`] placed (or held) a task — the taxonomy the trace
+/// layer records for every decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChoiceReason {
+    /// The preferred (locality-best) candidate was under the threshold.
+    LocalityHit,
+    /// Preferred was saturated; spilled to the least-pressured adjacent
+    /// candidate under the threshold.
+    AdjacentSpill,
+    /// Every candidate was saturated: the task is queued for stealing.
+    Saturated,
+}
+
 /// Make the tentative scheduling decision for a newly ready task
 /// (paper §5.5): prefer `preferred` (the locality-best candidate, index
 /// into `candidates`) if it is under the queue-depth threshold, otherwise
@@ -70,9 +83,19 @@ pub fn choose_node(
     depth: usize,
     count_borrowed: bool,
 ) -> Placement {
+    choose_node_explained(candidates, preferred, depth, count_borrowed).0
+}
+
+/// [`choose_node`] plus the [`ChoiceReason`] that justified the outcome.
+pub fn choose_node_explained(
+    candidates: &[CandidateState],
+    preferred: usize,
+    depth: usize,
+    count_borrowed: bool,
+) -> (Placement, ChoiceReason) {
     assert!(preferred < candidates.len(), "preferred index out of range");
     if candidates[preferred].below_threshold(depth, count_borrowed) {
-        return Placement::Worker(preferred);
+        return (Placement::Worker(preferred), ChoiceReason::LocalityHit);
     }
     let mut best: Option<(f64, usize)> = None;
     for (i, c) in candidates.iter().enumerate() {
@@ -85,8 +108,8 @@ pub fn choose_node(
         }
     }
     match best {
-        Some((_, i)) => Placement::Worker(i),
-        None => Placement::Hold,
+        Some((_, i)) => (Placement::Worker(i), ChoiceReason::AdjacentSpill),
+        None => (Placement::Hold, ChoiceReason::Saturated),
     }
 }
 
@@ -145,6 +168,25 @@ mod tests {
         let cands = [cand(0, 1, 1), cand(1, 0, 1)];
         assert_eq!(choose_node(&cands, 0, 1, false), Placement::Worker(1));
         assert_eq!(choose_node(&cands, 0, 2, false), Placement::Worker(0));
+    }
+
+    #[test]
+    fn explained_reasons_match_placements() {
+        let spill = [cand(0, 4, 2), cand(1, 1, 2)];
+        assert_eq!(
+            choose_node_explained(&spill, 0, 2, false),
+            (Placement::Worker(1), ChoiceReason::AdjacentSpill)
+        );
+        let local = [cand(0, 1, 2), cand(1, 0, 2)];
+        assert_eq!(
+            choose_node_explained(&local, 0, 2, false),
+            (Placement::Worker(0), ChoiceReason::LocalityHit)
+        );
+        let full = [cand(0, 4, 2), cand(1, 4, 2)];
+        assert_eq!(
+            choose_node_explained(&full, 0, 2, false),
+            (Placement::Hold, ChoiceReason::Saturated)
+        );
     }
 
     #[test]

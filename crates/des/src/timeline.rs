@@ -105,6 +105,23 @@ impl Timeline {
         self.integral(from, to) / span
     }
 
+    /// Time-weighted mean over `[from, to)`, degrading to the
+    /// *instantaneous* value at `to` when the window has zero width.
+    ///
+    /// [`Timeline::mean`] returns 0.0 for zero-width windows, which is
+    /// the wrong answer for trailing-window resampling (a window that
+    /// collapses at `t = 0`, or a zero-length window anywhere, should
+    /// report the value that holds at `t`, not pretend the series is
+    /// idle). Callers that sample with `from = t - window` should use
+    /// this instead of widening the window artificially.
+    pub fn mean_or_instant(&self, from: SimTime, to: SimTime) -> f64 {
+        if to == from {
+            self.value_at(to).unwrap_or(0.0)
+        } else {
+            self.mean(from, to)
+        }
+    }
+
     /// Resample onto a uniform grid of `n` points covering `[from, to]`,
     /// producing `(time_seconds, value)` pairs for plotting.
     pub fn resample(&self, from: SimTime, to: SimTime, n: usize) -> Vec<(f64, f64)> {
@@ -183,6 +200,24 @@ mod tests {
     fn integral_before_first_sample_is_zero() {
         let t = tl(&[(100, 5.0)]);
         assert_eq!(t.integral(SimTime::ZERO, SimTime::from_millis(100)), 0.0);
+    }
+
+    #[test]
+    fn mean_or_instant_zero_width_returns_instantaneous() {
+        let t = tl(&[(0, 4.0), (10, 2.0)]);
+        // Plain mean collapses to 0.0 on zero-width windows...
+        assert_eq!(t.mean(SimTime::ZERO, SimTime::ZERO), 0.0);
+        // ...mean_or_instant reports the value that holds there.
+        assert_eq!(t.mean_or_instant(SimTime::ZERO, SimTime::ZERO), 4.0);
+        let at = SimTime::from_millis(15);
+        assert_eq!(t.mean_or_instant(at, at), 2.0);
+        // Before the first sample the series is zero.
+        let empty = Timeline::new();
+        assert_eq!(empty.mean_or_instant(SimTime::ZERO, SimTime::ZERO), 0.0);
+        // Non-degenerate windows match the plain mean.
+        let from = SimTime::ZERO;
+        let to = SimTime::from_millis(20);
+        assert_eq!(t.mean_or_instant(from, to), t.mean(from, to));
     }
 
     #[test]

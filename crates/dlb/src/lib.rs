@@ -46,5 +46,5 @@
 mod node;
 mod talp;
 
-pub use node::{CoreState, DlbError, NodeDlb, ProcId};
+pub use node::{CoreState, DlbError, DlbEvent, NodeDlb, ProcId};
 pub use talp::Talp;

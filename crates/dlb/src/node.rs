@@ -60,6 +60,37 @@ struct Core {
     transfer_to: Option<ProcId>,
 }
 
+/// One observable DLB state transition, buffered for tracing.
+///
+/// `NodeDlb` knows nothing about virtual time or trace streams; it just
+/// appends transitions (when recording is on) and the simulation drains
+/// them with [`NodeDlb::drain_events`], attaching timestamps itself.
+/// This keeps `tlb-dlb` dependency-free so `tlb-smprt` can keep using it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DlbEvent {
+    /// LeWI: `proc` borrowed idle `core` lent by `owner`.
+    Borrowed {
+        proc: ProcId,
+        core: usize,
+        owner: ProcId,
+    },
+    /// LeWI: `owner` posted a reclaim on `core`, used by `borrower`.
+    ReclaimPosted {
+        core: usize,
+        owner: ProcId,
+        borrower: ProcId,
+    },
+    /// DROM: deferred transfer of `core` from `from` to `to` applied at
+    /// release.
+    TransferApplied {
+        core: usize,
+        from: ProcId,
+        to: ProcId,
+    },
+    /// DROM: ownership transaction targeting `counts[p]` cores per proc.
+    OwnershipSet { counts: Vec<usize> },
+}
+
 /// DLB state for the cores of one node.
 ///
 /// All methods are O(cores); nodes have at most a few dozen cores so no
@@ -69,6 +100,8 @@ pub struct NodeDlb {
     cores: Vec<Core>,
     lewi: bool,
     num_procs: usize,
+    record: bool,
+    events: Vec<DlbEvent>,
 }
 
 impl NodeDlb {
@@ -90,6 +123,28 @@ impl NodeDlb {
                 .collect(),
             lewi,
             num_procs,
+            record: false,
+            events: Vec::new(),
+        }
+    }
+
+    /// Enable/disable transition recording (off by default; enabling it
+    /// is the only way [`NodeDlb::drain_events`] ever returns anything).
+    pub fn set_recording(&mut self, on: bool) {
+        self.record = on;
+        if !on {
+            self.events.clear();
+        }
+    }
+
+    /// Take all buffered transitions, in the order they occurred.
+    pub fn drain_events(&mut self) -> Vec<DlbEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn log(&mut self, ev: DlbEvent) {
+        if self.record {
+            self.events.push(ev);
         }
     }
 
@@ -183,14 +238,29 @@ impl NodeDlb {
                 .position(|c| c.user.is_none() && !c.reclaim && c.transfer_to.is_none())
             {
                 self.cores[i].user = Some(proc);
+                let owner = self.cores[i].owner;
+                self.log(DlbEvent::Borrowed {
+                    proc,
+                    core: i,
+                    owner,
+                });
                 return Some(i);
             }
         }
         // Nothing free: reclaim our lent-out cores.
-        for c in self.cores.iter_mut() {
-            if c.owner == proc && c.user.is_some_and(|u| u != proc) {
+        let mut posted = Vec::new();
+        for (i, c) in self.cores.iter_mut().enumerate() {
+            if c.owner == proc && c.user.is_some_and(|u| u != proc) && !c.reclaim {
                 c.reclaim = true;
+                posted.push((i, c.user.expect("borrowed core has a user")));
             }
+        }
+        for (core, borrower) in posted {
+            self.log(DlbEvent::ReclaimPosted {
+                core,
+                owner: proc,
+                borrower,
+            });
         }
         None
     }
@@ -204,8 +274,10 @@ impl NodeDlb {
         }
         c.user = None;
         if let Some(to) = c.transfer_to.take() {
+            let from = c.owner;
             c.owner = to;
             c.reclaim = false;
+            self.log(DlbEvent::TransferApplied { core, from, to });
         } else if c.reclaim {
             // The borrower returned it; it is now an idle owned core.
             c.reclaim = false;
@@ -287,6 +359,9 @@ impl NodeDlb {
                 need[recv] -= 1;
             }
         }
+        self.log(DlbEvent::OwnershipSet {
+            counts: counts.to_vec(),
+        });
         Ok(())
     }
 
@@ -585,6 +660,66 @@ mod tests {
     fn add_process_panics_when_full() {
         let mut n = NodeDlb::with_counts(&[1, 1], true);
         n.add_process();
+    }
+
+    #[test]
+    fn events_record_borrow_reclaim_transfer_and_ownership() {
+        let mut n = two_proc_node(true);
+        n.set_recording(true);
+        n.acquire(ProcId(0)).unwrap();
+        n.acquire(ProcId(0)).unwrap();
+        let b1 = n.acquire(ProcId(0)).unwrap(); // borrow from P1
+        let b2 = n.acquire(ProcId(0)).unwrap(); // borrow P1's other core
+        let evs = n.drain_events();
+        assert_eq!(
+            evs.iter()
+                .filter(|e| matches!(
+                    e,
+                    DlbEvent::Borrowed {
+                        proc: ProcId(0),
+                        owner: ProcId(1),
+                        ..
+                    }
+                ))
+                .count(),
+            2
+        );
+        // Nothing free for P1: reclaims are posted on both borrowed cores.
+        assert_eq!(n.acquire(ProcId(1)), None);
+        let evs = n.drain_events();
+        for core in [b1, b2] {
+            assert!(evs.iter().any(
+                |e| matches!(e, DlbEvent::ReclaimPosted { owner: ProcId(1), borrower: ProcId(0), core: c } if *c == core)
+            ));
+        }
+        // DROM ownership transaction; the busy donor core transfers on
+        // release.
+        n.set_ownership(&[1, 3]).unwrap();
+        let evs = n.drain_events();
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, DlbEvent::OwnershipSet { counts } if counts == &vec![1, 3])));
+        n.release(ProcId(0), 0).unwrap();
+        let evs = n.drain_events();
+        assert!(evs.iter().any(|e| matches!(
+            e,
+            DlbEvent::TransferApplied {
+                from: ProcId(0),
+                to: ProcId(1),
+                ..
+            }
+        )));
+        n.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn recording_off_buffers_nothing() {
+        let mut n = two_proc_node(true);
+        n.acquire(ProcId(0)).unwrap();
+        n.acquire(ProcId(0)).unwrap();
+        n.acquire(ProcId(0)).unwrap();
+        n.set_ownership(&[3, 1]).unwrap();
+        assert!(n.drain_events().is_empty());
     }
 
     #[test]

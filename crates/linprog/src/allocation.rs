@@ -133,6 +133,10 @@ pub struct AllocationSolution {
     /// `adjacency[a][k]`; every worker owns ≥ 1 and node sums equal the
     /// node capacities.
     pub cores: Vec<Vec<usize>>,
+    /// Simplex pivot count that produced this solution (0 for the flow
+    /// solver and the degenerate no-work paths) — surfaced in traces to
+    /// ground the §5.4.2 solver-cost model in observed effort.
+    pub iterations: usize,
 }
 
 impl AllocationSolution {
@@ -215,6 +219,7 @@ pub fn solve_lp(problem: &AllocationProblem) -> Result<AllocationSolution, LpErr
             objective: 0.0,
             work_share,
             cores,
+            iterations: 0,
         });
     }
     let appranks = problem.appranks();
@@ -313,6 +318,7 @@ pub fn solve_lp(problem: &AllocationProblem) -> Result<AllocationSolution, LpErr
         objective,
         work_share,
         cores,
+        iterations: sol.iterations,
     })
 }
 
@@ -399,6 +405,7 @@ pub fn solve_flow(problem: &AllocationProblem, tol: f64) -> Result<AllocationSol
             objective: 0.0,
             work_share,
             cores,
+            iterations: 0,
         });
     }
 
@@ -497,6 +504,7 @@ pub fn solve_flow(problem: &AllocationProblem, tol: f64) -> Result<AllocationSol
         objective: hi,
         work_share,
         cores,
+        iterations: 0,
     })
 }
 

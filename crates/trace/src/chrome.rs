@@ -1,0 +1,392 @@
+//! Chrome trace-event JSON export (Perfetto / `chrome://tracing`).
+//!
+//! Mapping: `pid` = node, `tid` = worker proc on that node (instants
+//! without a worker use tid 0). Task executions become "X" complete
+//! events paired from started/completed; everything else becomes an "i"
+//! instant carrying its payload in `args`. Timestamps are virtual
+//! nanoseconds converted to the format's microseconds, so the output is
+//! bitwise-identical across runs, hosts, and thread counts.
+
+use crate::event::{Event, EventKind, TaskKey};
+use std::collections::HashMap;
+use tlb_des::SimTime;
+use tlb_json::Value;
+
+/// Global-track pid used for solver / iteration instants.
+const GLOBAL_PID: i64 = -1;
+
+fn micros(t: SimTime) -> Value {
+    Value::Float(t.as_nanos() as f64 / 1000.0)
+}
+
+fn key_args(key: &TaskKey) -> Vec<(String, Value)> {
+    vec![
+        ("iteration".to_string(), Value::Int(key.iteration as i64)),
+        ("apprank".to_string(), Value::Int(key.apprank as i64)),
+        ("task".to_string(), Value::Int(key.task as i64)),
+    ]
+}
+
+fn instant(name: String, at: SimTime, pid: i64, tid: i64, args: Vec<(String, Value)>) -> Value {
+    Value::Object(vec![
+        ("name".to_string(), Value::Str(name)),
+        ("ph".to_string(), Value::from("i")),
+        ("ts".to_string(), micros(at)),
+        ("pid".to_string(), Value::Int(pid)),
+        ("tid".to_string(), Value::Int(tid)),
+        ("s".to_string(), Value::from("t")),
+        ("args".to_string(), Value::Object(args)),
+    ])
+}
+
+fn metadata(name: &str, pid: i64, tid: Option<i64>, label: String) -> Value {
+    let mut fields = vec![
+        ("name".to_string(), Value::from(name)),
+        ("ph".to_string(), Value::from("M")),
+        ("pid".to_string(), Value::Int(pid)),
+    ];
+    if let Some(tid) = tid {
+        fields.push(("tid".to_string(), Value::Int(tid)));
+    }
+    fields.push((
+        "args".to_string(),
+        Value::Object(vec![("name".to_string(), Value::Str(label))]),
+    ));
+    Value::Object(fields)
+}
+
+/// Build the Chrome trace-event JSON document for `events` (which must
+/// already be in the canonical merged order). `worker_apprank[node][proc]`
+/// labels the per-worker tracks; it may be empty, in which case only the
+/// events themselves are emitted.
+pub fn chrome_trace(events: &[Event], worker_apprank: &[Vec<usize>]) -> Value {
+    let mut out: Vec<Value> = Vec::new();
+    // Track metadata first: one process per node plus the global track.
+    if !worker_apprank.is_empty() {
+        out.push(metadata(
+            "process_name",
+            GLOBAL_PID,
+            None,
+            "global".to_string(),
+        ));
+        for (node, workers) in worker_apprank.iter().enumerate() {
+            out.push(metadata(
+                "process_name",
+                node as i64,
+                None,
+                format!("node {node}"),
+            ));
+            for (proc, apprank) in workers.iter().enumerate() {
+                out.push(metadata(
+                    "thread_name",
+                    node as i64,
+                    Some(proc as i64),
+                    format!("proc {proc} (apprank {apprank})"),
+                ));
+            }
+        }
+    }
+    // Pair started/completed into "X" complete events; everything else
+    // becomes an instant. The map is only ever looked up by key, never
+    // iterated, so it cannot leak nondeterminism into the output.
+    let mut open: HashMap<TaskKey, (SimTime, u32, u32, bool)> = HashMap::new();
+    for ev in events {
+        match &ev.kind {
+            EventKind::TaskStarted {
+                key,
+                node,
+                proc,
+                stolen,
+            } => {
+                open.insert(*key, (ev.at, *node, *proc, *stolen));
+            }
+            EventKind::TaskCompleted { key, node, proc } => {
+                let (start, snode, sproc, stolen) =
+                    open.remove(key).unwrap_or((ev.at, *node, *proc, false));
+                let mut args = key_args(key);
+                args.push(("stolen".to_string(), Value::Bool(stolen)));
+                debug_assert_eq!((snode, sproc), (*node, *proc));
+                out.push(Value::Object(vec![
+                    (
+                        "name".to_string(),
+                        Value::Str(format!("a{}.i{}.t{}", key.apprank, key.iteration, key.task)),
+                    ),
+                    ("ph".to_string(), Value::from("X")),
+                    ("ts".to_string(), micros(start)),
+                    (
+                        "dur".to_string(),
+                        Value::Float(ev.at.saturating_sub(start).as_nanos() as f64 / 1000.0),
+                    ),
+                    ("pid".to_string(), Value::Int(*node as i64)),
+                    ("tid".to_string(), Value::Int(*proc as i64)),
+                    ("args".to_string(), Value::Object(args)),
+                ]));
+            }
+            EventKind::TaskCreated { key, cost } => {
+                let mut args = key_args(key);
+                args.push(("cost_s".to_string(), Value::Float(*cost)));
+                out.push(instant(
+                    "task_created".to_string(),
+                    ev.at,
+                    GLOBAL_PID,
+                    0,
+                    args,
+                ));
+            }
+            EventKind::TaskReady { key } => {
+                out.push(instant(
+                    "task_ready".to_string(),
+                    ev.at,
+                    GLOBAL_PID,
+                    0,
+                    key_args(key),
+                ));
+            }
+            EventKind::SchedDecision {
+                key,
+                reason,
+                chosen_node,
+                home_node,
+                home_queued,
+                home_owned,
+                chosen_queued,
+                chosen_owned,
+            } => {
+                let mut args = key_args(key);
+                args.push(("reason".to_string(), Value::from(reason.name())));
+                args.push(("chosen_node".to_string(), Value::Int(*chosen_node as i64)));
+                args.push(("home_queued".to_string(), Value::from(*home_queued)));
+                args.push(("home_owned".to_string(), Value::from(*home_owned)));
+                args.push((
+                    "chosen_queued".to_string(),
+                    Value::Int(*chosen_queued as i64),
+                ));
+                args.push(("chosen_owned".to_string(), Value::Int(*chosen_owned as i64)));
+                out.push(instant(
+                    format!("decision:{}", reason.name()),
+                    ev.at,
+                    *home_node as i64,
+                    0,
+                    args,
+                ));
+            }
+            EventKind::TaskOffloaded {
+                key,
+                from_node,
+                to_node,
+                stolen,
+            } => {
+                let mut args = key_args(key);
+                args.push(("from_node".to_string(), Value::from(*from_node)));
+                args.push(("to_node".to_string(), Value::from(*to_node)));
+                args.push(("stolen".to_string(), Value::Bool(*stolen)));
+                out.push(instant(
+                    "task_offloaded".to_string(),
+                    ev.at,
+                    *to_node as i64,
+                    0,
+                    args,
+                ));
+            }
+            EventKind::LewiBorrow {
+                node,
+                proc,
+                core,
+                owner,
+            } => {
+                out.push(instant(
+                    "lewi_borrow".to_string(),
+                    ev.at,
+                    *node as i64,
+                    *proc as i64,
+                    vec![
+                        ("core".to_string(), Value::from(*core)),
+                        ("owner".to_string(), Value::from(*owner)),
+                    ],
+                ));
+            }
+            EventKind::LewiReclaim {
+                node,
+                core,
+                owner,
+                borrower,
+            } => {
+                out.push(instant(
+                    "lewi_reclaim".to_string(),
+                    ev.at,
+                    *node as i64,
+                    *owner as i64,
+                    vec![
+                        ("core".to_string(), Value::from(*core)),
+                        ("borrower".to_string(), Value::from(*borrower)),
+                    ],
+                ));
+            }
+            EventKind::DromTransfer {
+                node,
+                core,
+                from,
+                to,
+            } => {
+                out.push(instant(
+                    "drom_transfer".to_string(),
+                    ev.at,
+                    *node as i64,
+                    *to as i64,
+                    vec![
+                        ("core".to_string(), Value::from(*core)),
+                        ("from".to_string(), Value::from(*from)),
+                    ],
+                ));
+            }
+            EventKind::DromOwnership { node, counts } => {
+                let counts_json: Vec<Value> = counts.iter().map(|&c| Value::from(c)).collect();
+                out.push(instant(
+                    "drom_ownership".to_string(),
+                    ev.at,
+                    *node as i64,
+                    0,
+                    vec![("counts".to_string(), Value::Array(counts_json))],
+                ));
+            }
+            EventKind::TalpWindow { node, busy } => {
+                let busy_json: Vec<Value> = busy.iter().map(|&b| Value::Float(b)).collect();
+                out.push(instant(
+                    "talp_window".to_string(),
+                    ev.at,
+                    *node as i64,
+                    0,
+                    vec![("busy_core_s".to_string(), Value::Array(busy_json))],
+                ));
+            }
+            EventKind::SolverInvoked(rec) => {
+                let demand_json: Vec<Value> = rec.demand.iter().map(|&d| Value::Float(d)).collect();
+                let cores_json: Vec<Value> = rec.cores.iter().map(|&c| Value::from(c)).collect();
+                out.push(instant(
+                    "solver_invoked".to_string(),
+                    ev.at,
+                    GLOBAL_PID,
+                    0,
+                    vec![
+                        ("demand".to_string(), Value::Array(demand_json)),
+                        ("cores".to_string(), Value::Array(cores_json)),
+                        (
+                            "simplex_iterations".to_string(),
+                            Value::from(rec.simplex_iterations),
+                        ),
+                        ("objective".to_string(), Value::Float(rec.objective)),
+                        ("modelled_cost_us".to_string(), micros(rec.modelled_cost)),
+                    ],
+                ));
+            }
+            EventKind::HelperSpawned { apprank, node } => {
+                out.push(instant(
+                    "helper_spawned".to_string(),
+                    ev.at,
+                    *node as i64,
+                    0,
+                    vec![("apprank".to_string(), Value::from(*apprank))],
+                ));
+            }
+            EventKind::IterationEnd { iteration } => {
+                out.push(instant(
+                    "iteration_end".to_string(),
+                    ev.at,
+                    GLOBAL_PID,
+                    0,
+                    vec![("iteration".to_string(), Value::from(*iteration))],
+                ));
+            }
+        }
+    }
+    Value::Object(vec![("traceEvents".to_string(), Value::Array(out))])
+}
+
+/// [`chrome_trace`] serialised compactly — the canonical on-disk form
+/// used by the bitwise-identity checks.
+pub fn chrome_trace_string(events: &[Event], worker_apprank: &[Vec<usize>]) -> String {
+    chrome_trace(events, worker_apprank).to_string_compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceLog;
+
+    fn key(task: u32) -> TaskKey {
+        TaskKey {
+            iteration: 0,
+            apprank: 1,
+            task,
+        }
+    }
+
+    fn sample_log() -> TraceLog {
+        let mut log = TraceLog::new();
+        log.push(
+            1,
+            SimTime::ZERO,
+            EventKind::TaskStarted {
+                key: key(0),
+                node: 0,
+                proc: 1,
+                stolen: false,
+            },
+        );
+        log.push(
+            1,
+            SimTime::from_millis(5),
+            EventKind::TaskCompleted {
+                key: key(0),
+                node: 0,
+                proc: 1,
+            },
+        );
+        log.push(
+            0,
+            SimTime::from_millis(5),
+            EventKind::IterationEnd { iteration: 0 },
+        );
+        log
+    }
+
+    #[test]
+    fn pairs_start_complete_into_x_events() {
+        let log = sample_log();
+        let doc = chrome_trace(&log.merged(), &[vec![0, 1]]);
+        let events = doc.get("traceEvents").as_array().unwrap();
+        let x: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("ph").as_str() == Some("X"))
+            .collect();
+        assert_eq!(x.len(), 1);
+        assert_eq!(x[0].get("ts").as_f64(), Some(0.0));
+        assert_eq!(x[0].get("dur").as_f64(), Some(5000.0));
+        assert_eq!(x[0].get("pid").as_i64(), Some(0));
+        assert_eq!(x[0].get("tid").as_i64(), Some(1));
+    }
+
+    #[test]
+    fn metadata_labels_every_track() {
+        let log = TraceLog::new();
+        let doc = chrome_trace(&log.merged(), &[vec![0, 1], vec![1]]);
+        let events = doc.get("traceEvents").as_array().unwrap();
+        let meta = events
+            .iter()
+            .filter(|e| e.get("ph").as_str() == Some("M"))
+            .count();
+        // 1 global + 2 process_name + 3 thread_name.
+        assert_eq!(meta, 6);
+        assert_eq!(events.len(), meta, "empty log emits metadata only");
+    }
+
+    #[test]
+    fn output_parses_and_is_stable() {
+        let log = sample_log();
+        let a = chrome_trace_string(&log.merged(), &[vec![0, 1]]);
+        let b = chrome_trace_string(&log.merged(), &[vec![0, 1]]);
+        assert_eq!(a, b);
+        let parsed = tlb_json::parse(&a).expect("chrome trace must be valid JSON");
+        assert!(parsed.get("traceEvents").as_array().is_some());
+    }
+}

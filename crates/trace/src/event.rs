@@ -1,0 +1,390 @@
+//! Event schema and the per-stream buffered log with deterministic merge.
+
+use tlb_des::SimTime;
+
+/// Identity of a task across the whole run. `TaskGraph`s are rebuilt per
+/// iteration, so the raw task id alone is ambiguous — the triple is not.
+///
+/// Fields are `u32`: hot paths copy millions of events into the stream
+/// buffers, so the schema keeps every id narrow (4 G iterations, appranks
+/// or tasks per iteration is far beyond any simulated run).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskKey {
+    /// Iteration the task belongs to (0-based).
+    pub iteration: u32,
+    /// Apprank that created the task.
+    pub apprank: u32,
+    /// Task id inside that iteration's graph.
+    pub task: u32,
+}
+
+/// Why the offload scheduler placed a task where it did (Fig. 5's
+/// decision taxonomy: locality-hit / adjacent-spill / queued / stolen).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecisionReason {
+    /// The home node was under its queue-depth threshold.
+    LocalityHit,
+    /// Home was saturated; spilled to the least-pressured adjacent node.
+    AdjacentSpill,
+    /// Every candidate was saturated; the task went to the hold queue.
+    Queued,
+    /// A previously held task was taken by an idle worker.
+    Stolen,
+}
+
+impl DecisionReason {
+    /// Stable lowercase name used in exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DecisionReason::LocalityHit => "locality_hit",
+            DecisionReason::AdjacentSpill => "adjacent_spill",
+            DecisionReason::Queued => "queued",
+            DecisionReason::Stolen => "stolen",
+        }
+    }
+}
+
+/// Payload of one global-solver invocation: demand vector in, per-apprank
+/// core allocation out, with simplex iteration count and the modelled
+/// (virtual) solve cost charged to the simulation. Boxed inside
+/// [`EventKind`] — solver events are rare and their vectors would
+/// otherwise inflate every buffered event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolverRecord {
+    /// Per-apprank demand (core·seconds of pending work).
+    pub demand: Vec<f64>,
+    /// Cores allocated to each apprank, summed over its nodes.
+    pub cores: Vec<usize>,
+    /// Simplex pivots the allocation took.
+    pub simplex_iterations: usize,
+    /// Objective value of the returned allocation.
+    pub objective: f64,
+    /// Virtual solve cost charged to the hosting node.
+    pub modelled_cost: SimTime,
+}
+
+/// One structured trace event. All payloads are derived from virtual
+/// simulation state only — never wall clocks — so the event stream is
+/// reproducible bit-for-bit. Ids are `u32`/`i32` to keep the enum small:
+/// fine-grained runs buffer hundreds of thousands of these, and the copy
+/// into the stream buffers is the dominant cost of tracing.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// Task submitted to its iteration graph (`cost` = nominal seconds).
+    TaskCreated { key: TaskKey, cost: f64 },
+    /// All dependencies satisfied; the task entered a ready queue.
+    TaskReady { key: TaskKey },
+    /// Offload-scheduler decision, with the core counts that justified
+    /// it. `chosen_node < 0` means the task was held (queued).
+    SchedDecision {
+        key: TaskKey,
+        reason: DecisionReason,
+        chosen_node: i32,
+        home_node: u32,
+        home_queued: u32,
+        home_owned: u32,
+        chosen_queued: i32,
+        chosen_owned: i32,
+    },
+    /// Task sent to a non-home node (eagerly, or late via stealing).
+    TaskOffloaded {
+        key: TaskKey,
+        from_node: u32,
+        to_node: u32,
+        stolen: bool,
+    },
+    /// Task began executing on a core.
+    TaskStarted {
+        key: TaskKey,
+        node: u32,
+        proc: u32,
+        stolen: bool,
+    },
+    /// Task finished executing.
+    TaskCompleted { key: TaskKey, node: u32, proc: u32 },
+    /// LeWI: `proc` borrowed an idle core lent by `owner`.
+    LewiBorrow {
+        node: u32,
+        proc: u32,
+        core: u32,
+        owner: u32,
+    },
+    /// LeWI: `owner` posted a reclaim on a core `borrower` is using.
+    LewiReclaim {
+        node: u32,
+        core: u32,
+        owner: u32,
+        borrower: u32,
+    },
+    /// DROM: a deferred ownership transfer was applied at core release.
+    DromTransfer {
+        node: u32,
+        core: u32,
+        from: u32,
+        to: u32,
+    },
+    /// DROM: an ownership transaction set per-proc core counts on a node.
+    DromOwnership { node: u32, counts: Vec<usize> },
+    /// TALP: per-proc busy-core·second deltas collected on a local tick.
+    TalpWindow { node: u32, busy: Vec<f64> },
+    /// Global solver invocation (boxed payload — see [`SolverRecord`]).
+    SolverInvoked(Box<SolverRecord>),
+    /// A helper process was spawned for `apprank` on `node`.
+    HelperSpawned { apprank: u32, node: u32 },
+    /// All appranks finished iteration `iteration`.
+    IterationEnd { iteration: u32 },
+}
+
+impl EventKind {
+    /// Stable snake_case name used as the CSV `kind` and Chrome event name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::TaskCreated { .. } => "task_created",
+            EventKind::TaskReady { .. } => "task_ready",
+            EventKind::SchedDecision { .. } => "sched_decision",
+            EventKind::TaskOffloaded { .. } => "task_offloaded",
+            EventKind::TaskStarted { .. } => "task_started",
+            EventKind::TaskCompleted { .. } => "task_completed",
+            EventKind::LewiBorrow { .. } => "lewi_borrow",
+            EventKind::LewiReclaim { .. } => "lewi_reclaim",
+            EventKind::DromTransfer { .. } => "drom_transfer",
+            EventKind::DromOwnership { .. } => "drom_ownership",
+            EventKind::TalpWindow { .. } => "talp_window",
+            EventKind::SolverInvoked(..) => "solver_invoked",
+            EventKind::HelperSpawned { .. } => "helper_spawned",
+            EventKind::IterationEnd { .. } => "iteration_end_ev",
+        }
+    }
+}
+
+/// A recorded event with its virtual timestamp and merge key.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Virtual time the event occurred.
+    pub at: SimTime,
+    /// Stream the event was buffered on (0 = global, `1 + node` = node).
+    pub stream: u32,
+    /// Per-stream sequence number (records intra-stream causal order).
+    pub seq: u32,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Project the event onto the long-format CSV schema
+    /// `(kind, node, proc, apprank, value)` with `-1` sentinels for
+    /// fields that do not apply (time is added by the caller).
+    pub fn csv_fields(&self) -> (&'static str, i64, i64, i64, f64) {
+        let name = self.kind.name();
+        match &self.kind {
+            EventKind::TaskCreated { key, cost } => (name, -1, -1, key.apprank as i64, *cost),
+            EventKind::TaskReady { key } => (name, -1, -1, key.apprank as i64, key.task as f64),
+            EventKind::SchedDecision {
+                key,
+                chosen_node,
+                home_node,
+                ..
+            } => {
+                let node = if *chosen_node >= 0 {
+                    *chosen_node as i64
+                } else {
+                    *home_node as i64
+                };
+                (name, node, -1, key.apprank as i64, key.task as f64)
+            }
+            EventKind::TaskOffloaded { key, to_node, .. } => (
+                name,
+                *to_node as i64,
+                -1,
+                key.apprank as i64,
+                key.task as f64,
+            ),
+            EventKind::TaskStarted {
+                key, node, proc, ..
+            } => (
+                name,
+                *node as i64,
+                *proc as i64,
+                key.apprank as i64,
+                key.task as f64,
+            ),
+            EventKind::TaskCompleted { key, node, proc } => (
+                name,
+                *node as i64,
+                *proc as i64,
+                key.apprank as i64,
+                key.task as f64,
+            ),
+            EventKind::LewiBorrow {
+                node, proc, core, ..
+            } => (name, *node as i64, *proc as i64, -1, *core as f64),
+            EventKind::LewiReclaim {
+                node, core, owner, ..
+            } => (name, *node as i64, *owner as i64, -1, *core as f64),
+            EventKind::DromTransfer { node, core, to, .. } => {
+                (name, *node as i64, *to as i64, -1, *core as f64)
+            }
+            EventKind::DromOwnership { node, counts } => (
+                name,
+                *node as i64,
+                -1,
+                -1,
+                counts.iter().sum::<usize>() as f64,
+            ),
+            EventKind::TalpWindow { node, busy } => {
+                (name, *node as i64, -1, -1, busy.iter().sum::<f64>())
+            }
+            EventKind::SolverInvoked(rec) => (name, -1, -1, -1, rec.objective),
+            EventKind::HelperSpawned { apprank, node } => {
+                (name, *node as i64, -1, *apprank as i64, 1.0)
+            }
+            EventKind::IterationEnd { iteration } => (name, -1, -1, -1, *iteration as f64),
+        }
+    }
+}
+
+/// Per-stream buffered event log.
+///
+/// Each producer (the global scheduler, each node) appends to its own
+/// stream in O(1); [`TraceLog::merged`] produces the canonical total
+/// order `(at, stream, seq)`. Because both the virtual timestamps and
+/// the per-stream append order come from the deterministic simulation,
+/// the merged list is identical across runs and thread counts.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceLog {
+    streams: Vec<Vec<Event>>,
+}
+
+/// Stream id for global events (solver, iteration boundaries).
+pub const GLOBAL_STREAM: usize = 0;
+
+impl TraceLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        TraceLog::default()
+    }
+
+    /// Stream id for events originating on `node`.
+    pub fn node_stream(node: usize) -> usize {
+        1 + node
+    }
+
+    /// Append an event to `stream` at virtual time `at`.
+    pub fn push(&mut self, stream: usize, at: SimTime, kind: EventKind) {
+        if self.streams.len() <= stream {
+            self.streams.resize_with(stream + 1, Vec::new);
+        }
+        let seq = self.streams[stream].len() as u32;
+        self.streams[stream].push(Event {
+            at,
+            stream: stream as u32,
+            seq,
+            kind,
+        });
+    }
+
+    /// Total recorded events across all streams.
+    pub fn len(&self) -> usize {
+        self.streams.iter().map(Vec::len).sum()
+    }
+
+    /// True if no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All events in the canonical deterministic order
+    /// `(at, stream, seq)`.
+    pub fn merged(&self) -> Vec<Event> {
+        let mut all: Vec<Event> = self.streams.iter().flatten().cloned().collect();
+        all.sort_by(|a, b| (a.at, a.stream, a.seq).cmp(&(b.at, b.stream, b.seq)));
+        all
+    }
+
+    /// Count events matching a predicate.
+    pub fn count(&self, pred: impl Fn(&EventKind) -> bool) -> usize {
+        self.streams
+            .iter()
+            .flatten()
+            .filter(|e| pred(&e.kind))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(task: u32) -> TaskKey {
+        TaskKey {
+            iteration: 0,
+            apprank: 0,
+            task,
+        }
+    }
+
+    #[test]
+    fn merge_orders_by_time_then_stream_then_seq() {
+        let mut log = TraceLog::new();
+        let t0 = SimTime::ZERO;
+        let t1 = SimTime::from_millis(1);
+        // Push out of time order across streams.
+        log.push(2, t1, EventKind::TaskReady { key: key(3) });
+        log.push(1, t0, EventKind::TaskReady { key: key(1) });
+        log.push(1, t1, EventKind::TaskReady { key: key(2) });
+        log.push(0, t0, EventKind::IterationEnd { iteration: 0 });
+        let merged = log.merged();
+        let order: Vec<(u64, u32, u32)> = merged
+            .iter()
+            .map(|e| (e.at.as_nanos(), e.stream, e.seq))
+            .collect();
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(order, sorted);
+        assert_eq!(merged.len(), 4);
+        assert_eq!(merged[0].stream, 0); // t0 stream0 before t0 stream1
+        assert_eq!(merged[1].stream, 1);
+    }
+
+    #[test]
+    fn seq_preserves_intra_stream_order_at_same_instant() {
+        let mut log = TraceLog::new();
+        for task in 0..10 {
+            log.push(1, SimTime::ZERO, EventKind::TaskReady { key: key(task) });
+        }
+        let merged = log.merged();
+        for (i, e) in merged.iter().enumerate() {
+            match &e.kind {
+                EventKind::TaskReady { key } => assert_eq!(key.task as usize, i),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn csv_fields_use_sentinels() {
+        let ev = Event {
+            at: SimTime::ZERO,
+            stream: 0,
+            seq: 0,
+            kind: EventKind::IterationEnd { iteration: 2 },
+        };
+        let (name, node, proc, apprank, value) = ev.csv_fields();
+        assert_eq!(name, "iteration_end_ev");
+        assert_eq!((node, proc, apprank), (-1, -1, -1));
+        assert_eq!(value, 2.0);
+    }
+
+    #[test]
+    fn count_and_len_agree() {
+        let mut log = TraceLog::new();
+        log.push(0, SimTime::ZERO, EventKind::IterationEnd { iteration: 0 });
+        log.push(3, SimTime::ZERO, EventKind::TaskReady { key: key(0) });
+        assert_eq!(log.len(), 2);
+        assert!(!log.is_empty());
+        assert_eq!(
+            log.count(|k| matches!(k, EventKind::IterationEnd { .. })),
+            1
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! `tlb-trace`: structured, deterministic, low-overhead event tracing
+//! and runtime counters for the whole runtime stack.
+//!
+//! The paper reads every headline result (Figs. 5, 9, 11; the §5.4.2
+//! solver-cost table) off Paraver traces. This crate is our equivalent
+//! telemetry layer: per-task lifecycle events with causal edges, DLB
+//! events (LeWI lend/borrow/reclaim, DROM ownership transactions, TALP
+//! window snapshots), global-solver records, and a counters registry.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** Events carry *virtual* timestamps ([`SimTime`])
+//!    and are buffered per stream with sequence numbers; [`TraceLog::merged`]
+//!    orders them by `(time, stream, seq)`, so the merged event list — and
+//!    therefore every export — is bitwise-identical across smprt thread
+//!    counts and host machines. Anything wall-clock (solver wall time,
+//!    pool region profiles) lives in the [`Counters`] gauges or in bench
+//!    JSON, never in the event stream.
+//! 2. **Near-zero cost when disabled.** Recording is gated behind
+//!    [`TraceConfig`]; a disabled trace takes one branch per would-be
+//!    event and allocates nothing.
+//! 3. **Two export formats**, both via `tlb-json` / plain strings:
+//!    Chrome trace-event JSON ([`chrome::chrome_trace`], loadable in
+//!    Perfetto / `chrome://tracing`) and long-format CSV rows compatible
+//!    with the existing `trace_to_csv` schema ([`Event::csv_fields`]).
+
+mod chrome;
+mod counters;
+mod event;
+
+pub use chrome::{chrome_trace, chrome_trace_string};
+pub use counters::Counters;
+pub use event::{DecisionReason, Event, EventKind, SolverRecord, TaskKey, TraceLog, GLOBAL_STREAM};
+
+/// Which event families a trace records. The sim derives this from its
+/// single `trace: bool` switch today, but the gates are kept separate so
+/// sweeps can, e.g., keep counters while dropping per-task events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Per-task lifecycle events (created/ready/decision/offloaded/
+    /// started/completed).
+    pub lifecycle: bool,
+    /// DLB events: LeWI borrows/reclaims, DROM transactions, TALP windows.
+    pub dlb: bool,
+    /// Global-solver invocation records.
+    pub solver: bool,
+    /// Counters registry updates.
+    pub counters: bool,
+}
+
+impl TraceConfig {
+    /// Everything on.
+    pub fn all() -> Self {
+        TraceConfig {
+            lifecycle: true,
+            dlb: true,
+            solver: true,
+            counters: true,
+        }
+    }
+
+    /// Everything off (the near-zero-cost path for large sweeps).
+    pub fn off() -> Self {
+        TraceConfig {
+            lifecycle: false,
+            dlb: false,
+            solver: false,
+            counters: false,
+        }
+    }
+
+    /// True if any event family records.
+    pub fn any(&self) -> bool {
+        self.lifecycle || self.dlb || self.solver || self.counters
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig::off()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_gates() {
+        assert!(TraceConfig::all().any());
+        assert!(!TraceConfig::off().any());
+        assert_eq!(TraceConfig::default(), TraceConfig::off());
+    }
+}
