@@ -8,6 +8,9 @@ cd "$(dirname "$0")"
 echo "== cargo fmt --check"
 cargo fmt --all --check
 
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
 echo "== tier-1: cargo build --release"
 cargo build --workspace --release --offline
 
@@ -19,5 +22,8 @@ cargo run --release --offline -p tlb-bench --bin perf_smoke -- --quick
 
 echo "== trace smoke (--quick)"
 cargo run --release --offline -p tlb-bench --bin trace_smoke -- --quick
+
+echo "== robustness smoke (--quick)"
+cargo run --release --offline -p tlb-bench --bin robustness_smoke -- --quick
 
 echo "CI gate passed."

@@ -208,8 +208,8 @@ impl MicroProblem {
                 let pp = SendPtr::new(p.as_mut_ptr());
                 for_each_range(pool, dofs, |lo, hi| {
                     // SAFETY: ranges are disjoint; `p` outlives the region.
-                    for i in lo..hi {
-                        unsafe { *pp.get().add(i) = r[i] + beta * *pp.get().add(i) };
+                    for (i, &rv) in (lo..hi).zip(&r[lo..hi]) {
+                        unsafe { *pp.get().add(i) = rv + beta * *pp.get().add(i) };
                     }
                 });
             }

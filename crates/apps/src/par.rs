@@ -117,8 +117,8 @@ mod tests {
         let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
         let pool = Pool::new(4);
         for_each_range(Some(&pool), n, |lo, hi| {
-            for i in lo..hi {
-                hits[i].fetch_add(1, Ordering::Relaxed);
+            for h in &hits[lo..hi] {
+                h.fetch_add(1, Ordering::Relaxed);
             }
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));

@@ -10,7 +10,7 @@
 //! ```
 
 use std::fmt;
-use tlb_cluster::{ClusterSim, SimReport, SpecWorkload, Workload};
+use tlb_cluster::{ClusterSim, FaultPlan, FaultStats, SimReport, SpecWorkload, Workload};
 use tlb_core::{BalanceConfig, DromPolicy, Platform};
 
 /// Which application to run.
@@ -70,6 +70,10 @@ pub struct Args {
     pub trace_mode: bool,
     /// Emit the report as JSON instead of text.
     pub json: bool,
+    /// Fault-injection spec (see [`FaultPlan::parse`]), if any.
+    pub faults: Option<String>,
+    /// Seed for the fault plan's deterministic draws.
+    pub fault_seed: u64,
 }
 
 impl Default for Args {
@@ -90,6 +94,8 @@ impl Default for Args {
             chrome: None,
             trace_mode: false,
             json: false,
+            faults: None,
+            fault_seed: 1,
         }
     }
 }
@@ -127,6 +133,16 @@ pub const USAGE: &str = "usage: tlb-run [trace] [options]
   --trace-csv PATH                        dump the trace as CSV
   --chrome PATH                           dump the trace as Chrome JSON
   --json                                  print the report as JSON
+  --faults SPEC                           inject faults; SPEC is ';'-separated
+                                          clauses kind@time[,k=v...], kinds:
+                                          straggler@T,node=N[,slow=S][,for=D]
+                                          kill@T[,apprank=A,slot=K]
+                                          outage@T[,for=D][,error=timeout|
+                                            infeasible|unbounded]
+                                          loss@T[,for=D][,rate=R][,retries=N]
+                                            [,backoff=B]
+                                          delay@T[,for=D][,extra=X]
+  --fault-seed S                          seed for fault draws (default 1)
   --help                                  this text";
 
 /// Parse an argument list (without the program name).
@@ -192,6 +208,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, Parse
             }
             "--chrome" => args.chrome = Some(it.next().ok_or_else(|| missing("--chrome"))?),
             "--json" => args.json = true,
+            "--faults" => args.faults = Some(it.next().ok_or_else(|| missing("--faults"))?),
+            "--fault-seed" => args.fault_seed = parse_num(&mut it, "--fault-seed")? as u64,
             "--help" | "-h" => return Err(ParseError(USAGE.to_string())),
             other => return Err(ParseError(format!("unknown flag '{other}'\n{USAGE}"))),
         }
@@ -204,6 +222,10 @@ pub fn parse_args<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, Parse
             "degree must be in 1..={} for {} nodes",
             args.nodes, args.nodes
         )));
+    }
+    if let Some(spec) = &args.faults {
+        FaultPlan::parse(spec, args.fault_seed)
+            .map_err(|e| ParseError(format!("--faults: {e}")))?;
     }
     Ok(args)
 }
@@ -254,6 +276,12 @@ pub fn run(args: &Args) -> Result<(SimReport, f64), String> {
     let platform = build_platform(args);
     let appranks = args.nodes * args.appranks_per_node;
     let trace = args.trace_mode || args.trace_csv.is_some() || args.chrome.is_some();
+    let plan = match &args.faults {
+        Some(spec) => {
+            FaultPlan::parse(spec, args.fault_seed).map_err(|e| format!("--faults: {e}"))?
+        }
+        None => FaultPlan::none(),
+    };
 
     let (report, per_iter_work) = match args.app {
         App::Synthetic => {
@@ -262,8 +290,9 @@ pub fn run(args: &Args) -> Result<(SimReport, f64), String> {
             cfg.seed = args.seed;
             let wl = tlb_apps::synthetic::synthetic_workload(&cfg, &platform);
             let work = wl.rank_work(0).iter().sum::<f64>();
-            let r = ClusterSim::run_opts(&platform, &build_config(args), wl, trace)
-                .map_err(|e| e.to_string())?;
+            let r =
+                ClusterSim::run_with_faults(&platform, &build_config(args), wl, trace, None, &plan)
+                    .map_err(|e| e.to_string())?;
             (r, work)
         }
         App::Micropp => {
@@ -272,8 +301,9 @@ pub fn run(args: &Args) -> Result<(SimReport, f64), String> {
             cfg.seed = args.seed;
             let wl = tlb_apps::micropp::micropp_workload(&cfg);
             let work = wl.rank_work(0).iter().sum::<f64>();
-            let r = ClusterSim::run_opts(&platform, &build_config(args), wl, trace)
-                .map_err(|e| e.to_string())?;
+            let r =
+                ClusterSim::run_with_faults(&platform, &build_config(args), wl, trace, None, &plan)
+                    .map_err(|e| e.to_string())?;
             (r, work)
         }
         App::Nbody => {
@@ -286,8 +316,9 @@ pub fn run(args: &Args) -> Result<(SimReport, f64), String> {
                 .map(|r| probe.tasks(r, 0).iter().map(|t| t.duration).sum::<f64>())
                 .sum();
             let wl = tlb_apps::nbody::NBodyWorkload::new(cfg);
-            let r = ClusterSim::run_opts(&platform, &build_config(args), wl, trace)
-                .map_err(|e| e.to_string())?;
+            let r =
+                ClusterSim::run_with_faults(&platform, &build_config(args), wl, trace, None, &plan)
+                    .map_err(|e| e.to_string())?;
             (r, work)
         }
         App::Stencil => {
@@ -307,8 +338,9 @@ pub fn run(args: &Args) -> Result<(SimReport, f64), String> {
                 })
                 .sum::<f64>()
                 * 10.0; // secs_per_row scaled from default 1e-4 to 1e-3
-            let r = ClusterSim::run_opts(&platform, &build_config(args), wl, trace)
-                .map_err(|e| e.to_string())?;
+            let r =
+                ClusterSim::run_with_faults(&platform, &build_config(args), wl, trace, None, &plan)
+                    .map_err(|e| e.to_string())?;
             (r, work)
         }
     };
@@ -363,6 +395,24 @@ pub fn format_text(args: &Args, report: &SimReport, perfect: f64) -> String {
         "solver runs:         {} ({} total)",
         report.solver_runs, report.solver_time
     );
+    let f = &report.faults;
+    if *f != FaultStats::default() {
+        let _ = writeln!(
+            out,
+            "faults:              {} injected, {} recovered, {} absorbed",
+            f.injected, f.recovered, f.absorbed
+        );
+        let _ = writeln!(
+            out,
+            "  workers killed {}, tasks requeued {}, msgs dropped {}, \
+             failovers {}, solver fallbacks {}",
+            f.workers_killed,
+            f.tasks_requeued,
+            f.messages_dropped,
+            f.message_failovers,
+            f.solver_fallbacks
+        );
+    }
     if report.trace.enabled && !report.trace.counters.is_empty() {
         let _ = writeln!(out, "counters:");
         for (name, value) in report.trace.counters.sorted_counts() {
@@ -407,6 +457,22 @@ pub fn format_json(args: &Args, report: &SimReport, perfect: f64) -> String {
             ),
         ),
     ];
+    let f = &report.faults;
+    if *f != FaultStats::default() {
+        fields.push((
+            "faults",
+            Value::object(vec![
+                ("injected", f.injected.into()),
+                ("recovered", f.recovered.into()),
+                ("absorbed", f.absorbed.into()),
+                ("workers_killed", f.workers_killed.into()),
+                ("tasks_requeued", f.tasks_requeued.into()),
+                ("messages_dropped", f.messages_dropped.into()),
+                ("message_failovers", f.message_failovers.into()),
+                ("solver_fallbacks", f.solver_fallbacks.into()),
+            ]),
+        ));
+    }
     if report.trace.enabled {
         fields.push(("trace_events", report.trace.log.len().into()));
         fields.push(("counters", report.trace.counters.to_json()));
@@ -541,6 +607,52 @@ mod tests {
         assert!(!format_text(&a, &report, perfect).contains("counters:"));
         let json = tlb_json::parse(&format_json(&a, &report, perfect)).unwrap();
         assert!(json.get("counters").is_null());
+    }
+
+    #[test]
+    fn fault_flags_parse_and_validate() {
+        let a = args("--faults straggler@0.5,node=1,slow=3 --fault-seed 7").unwrap();
+        assert_eq!(a.faults.as_deref(), Some("straggler@0.5,node=1,slow=3"));
+        assert_eq!(a.fault_seed, 7);
+        // Spec errors are parse errors (exit 2), not run errors.
+        let err = args("--faults nonsense@3").unwrap_err();
+        assert!(err.0.contains("--faults"), "{err}");
+        assert!(args("--faults loss@0,rate=1.5").is_err());
+        assert!(args("--faults").is_err());
+        // Defaults: no plan, seed 1.
+        let d = args("").unwrap();
+        assert_eq!(d.faults, None);
+        assert_eq!(d.fault_seed, 1);
+    }
+
+    #[test]
+    fn faulty_run_reports_fault_stats() {
+        let mut a = args(
+            "--app synthetic --nodes 4 --degree 2 --iterations 3 --machine ideal \
+             --faults straggler@0.2,node=1,slow=3,for=0.5;outage@0.1,for=5",
+        )
+        .unwrap();
+        let (report, perfect) = run(&a).unwrap();
+        let f = &report.faults;
+        assert!(f.injected > 0, "faults should fire: {f:?}");
+        assert_eq!(f.injected, f.recovered + f.absorbed, "{f:?}");
+        let text = format_text(&a, &report, perfect);
+        assert!(text.contains("faults:"), "{text}");
+        a.json = true;
+        let json = tlb_json::parse(&format_json(&a, &report, perfect)).unwrap();
+        assert_eq!(
+            json.get("faults").get("injected").as_usize(),
+            Some(f.injected)
+        );
+
+        // Fault-free runs keep the report clean of fault noise.
+        let clean =
+            args("--app synthetic --nodes 4 --degree 2 --iterations 3 --machine ideal").unwrap();
+        let (r2, p2) = run(&clean).unwrap();
+        assert_eq!(r2.faults, tlb_cluster::FaultStats::default());
+        assert!(!format_text(&clean, &r2, p2).contains("faults:"));
+        let j2 = tlb_json::parse(&format_json(&clean, &r2, p2)).unwrap();
+        assert!(j2.get("faults").is_null());
     }
 
     #[test]

@@ -33,14 +33,25 @@ pub fn allreduce_cost(ranks: usize, bytes: usize, latency: SimTime, bandwidth: f
     per_round * rounds
 }
 
-/// Broadcast of `bytes` from one rank: binomial tree, same round shape.
+/// Broadcast of `bytes` from one rank: binomial tree — `ceil(log2 n)`
+/// rounds, each forwarding the full payload one tree level down. The
+/// formula currently coincides with recursive-doubling allreduce, but the
+/// models are distinct: a bandwidth-optimal allreduce (Rabenseifner)
+/// would change `allreduce_cost` without touching broadcast.
 pub fn bcast_cost(ranks: usize, bytes: usize, latency: SimTime, bandwidth: f64) -> SimTime {
-    allreduce_cost(ranks, bytes, latency, bandwidth)
+    if ranks <= 1 {
+        return SimTime::ZERO;
+    }
+    let rounds = log2_ceil(ranks) as u64;
+    let per_round = latency + SimTime::from_secs_f64(bytes as f64 / bandwidth.max(1.0));
+    per_round * rounds
 }
 
 /// Gather of `bytes_per_rank` from every rank to the root: binomial tree;
-/// the payload doubles every round, so the wire term is dominated by the
-/// final hop carrying half the total.
+/// the payload doubles every round, so the wire term on the root's
+/// critical path is the geometric sum of received payloads — every
+/// rank's contribution except the root's own, which never crosses the
+/// wire: `(n - 1) * bytes_per_rank`.
 pub fn gather_cost(
     ranks: usize,
     bytes_per_rank: usize,
@@ -51,9 +62,8 @@ pub fn gather_cost(
         return SimTime::ZERO;
     }
     let rounds = log2_ceil(ranks) as u64;
-    let total = (ranks * bytes_per_rank) as f64;
-    // Sum of payloads on the root's critical path ≈ total (geometric sum).
-    latency * rounds + SimTime::from_secs_f64(total / bandwidth.max(1.0))
+    let received = ((ranks - 1) * bytes_per_rank) as f64;
+    latency * rounds + SimTime::from_secs_f64(received / bandwidth.max(1.0))
 }
 
 /// Scatter is gather run backwards: identical cost model.
@@ -79,8 +89,10 @@ pub fn reduce_scatter_cost(
         return SimTime::ZERO;
     }
     let rounds = log2_ceil(ranks) as u64;
-    // Geometric payload sum: bytes/2 + bytes/4 + … ≈ bytes.
-    latency * rounds + SimTime::from_secs_f64(bytes as f64 / bandwidth.max(1.0))
+    // Geometric payload sum: bytes/2 + bytes/4 + … + bytes/n
+    // = bytes * (n - 1) / n (exact for power-of-two rank counts).
+    let wire = bytes as f64 * (ranks - 1) as f64 / ranks as f64;
+    latency * rounds + SimTime::from_secs_f64(wire / bandwidth.max(1.0))
 }
 
 #[cfg(test)]
@@ -119,10 +131,39 @@ mod tests {
         let small = gather_cost(8, 1_000, lat, 1e9);
         let big = gather_cost(8, 100_000, lat, 1e9);
         assert!(big > small);
-        // 8 ranks × 100 KB = 800 KB at 1 GB/s = 0.8 ms + 3 latencies.
-        assert_eq!(big, lat * 3 + SimTime::from_micros(800));
+        // The root receives 7 × 100 KB = 700 KB at 1 GB/s = 0.7 ms, over
+        // 3 latency rounds; its own 100 KB never crosses the wire.
+        assert_eq!(big, lat * 3 + SimTime::from_micros(700));
         assert_eq!(scatter_cost(8, 100_000, lat, 1e9), big);
         assert_eq!(gather_cost(1, 100_000, lat, 1e9), SimTime::ZERO);
+    }
+
+    #[test]
+    fn gather_non_power_of_two_ranks() {
+        let lat = SimTime::from_micros(1);
+        // 5 ranks: ceil(log2 5) = 3 rounds; root receives 4 contributions.
+        assert_eq!(
+            gather_cost(5, 100_000, lat, 1e9),
+            lat * 3 + SimTime::from_micros(400)
+        );
+        // 2 ranks: one round, one contribution.
+        assert_eq!(
+            gather_cost(2, 100_000, lat, 1e9),
+            lat + SimTime::from_micros(100)
+        );
+    }
+
+    #[test]
+    fn zero_byte_collectives_are_pure_latency() {
+        let lat = SimTime::from_micros(2);
+        // With nothing on the wire every collective degenerates to its
+        // latency rounds (gather/scatter/reduce-scatter = barrier shape).
+        assert_eq!(allreduce_cost(8, 0, lat, 1e9), lat * 3);
+        assert_eq!(bcast_cost(8, 0, lat, 1e9), lat * 3);
+        assert_eq!(gather_cost(8, 0, lat, 1e9), lat * 3);
+        assert_eq!(scatter_cost(8, 0, lat, 1e9), lat * 3);
+        assert_eq!(reduce_scatter_cost(8, 0, lat, 1e9), lat * 3);
+        assert_eq!(barrier_cost(8, lat), lat * 3);
     }
 
     #[test]
@@ -132,14 +173,28 @@ mod tests {
         let rs = reduce_scatter_cost(16, bytes, lat, 1e9);
         let ar = allreduce_cost(16, bytes, lat, 1e9);
         assert!(rs < ar, "reduce-scatter {rs} vs allreduce {ar}");
+        // Recursive halving moves bytes·(n−1)/n in total: 16 ranks ⇒
+        // 15/16 of the vector plus 4 latency rounds.
+        assert_eq!(
+            reduce_scatter_cost(16, 16_000, lat, 1e9),
+            lat * 4 + SimTime::from_micros(15)
+        );
     }
 
     #[test]
     fn bcast_matches_allreduce_shape() {
+        // Binomial-tree broadcast and recursive-doubling allreduce move
+        // the full payload every round: the models coincide today, and
+        // this test pins that equivalence (it breaks deliberately if
+        // either side adopts a different algorithm).
         let lat = SimTime::from_micros(1);
         assert_eq!(
             bcast_cost(8, 100, lat, 1e9),
             allreduce_cost(8, 100, lat, 1e9)
+        );
+        assert_eq!(
+            bcast_cost(5, 1_000_000, lat, 1e9),
+            allreduce_cost(5, 1_000_000, lat, 1e9)
         );
     }
 }

@@ -39,6 +39,7 @@
 
 mod collective;
 mod export;
+mod fault;
 mod report;
 mod sim;
 mod trace;
@@ -50,6 +51,10 @@ pub use collective::{
 pub use export::{
     away_fraction, node_utilisation, save_trace_chrome, save_trace_csv, trace_to_chrome,
     trace_to_csv, work_matrix, NodeUtilisation,
+};
+pub use fault::{
+    DelayFault, FaultPlan, FaultStats, LossFault, SolverOutageFault, StragglerFault,
+    WorkerKillFault,
 };
 pub use report::SimReport;
 pub use sim::{ClusterSim, SimError};

@@ -1,6 +1,6 @@
 //! Simulation results.
 
-use crate::Trace;
+use crate::{FaultStats, Trace};
 use tlb_des::SimTime;
 
 /// The outcome of one cluster simulation.
@@ -28,6 +28,8 @@ pub struct SimReport {
     /// by `makespan × total physical cores` (the end-of-run report the
     /// paper's TALP module produces, §3.3).
     pub parallel_efficiency: f64,
+    /// Fault/recovery accounting; all zeros when no faults were injected.
+    pub faults: FaultStats,
     /// Recorded timelines.
     pub trace: Trace,
 }

@@ -3,7 +3,7 @@
 #![allow(clippy::while_let_loop)]
 
 use crate::collective::barrier_cost;
-use crate::{SimReport, TaskSpec, Trace, Workload};
+use crate::{FaultPlan, FaultStats, SimReport, TaskSpec, Trace, Workload};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use tlb_core::{
@@ -14,8 +14,9 @@ use tlb_des::{Ctx, SimTime, Simulator, World};
 use tlb_dlb::{DlbEvent, NodeDlb, ProcId, Talp};
 use tlb_expander::{BipartiteGraph, ExpanderConfig, ExpanderError};
 use tlb_linprog::LpError;
+use tlb_rng::Rng;
 use tlb_tasking::{TaskDef, TaskGraph, TaskId};
-use tlb_trace::{DecisionReason, EventKind, TaskKey, TraceLog, GLOBAL_STREAM};
+use tlb_trace::{DecisionReason, EventKind, FallbackReason, TaskKey, TraceLog, GLOBAL_STREAM};
 
 /// Errors from setting up or running a simulation.
 #[derive(Debug)]
@@ -24,8 +25,9 @@ pub enum SimError {
     Shape(String),
     /// Expander graph generation failed.
     Expander(ExpanderError),
-    /// The global allocation program failed (infeasible shapes are caught
-    /// earlier, so this indicates a solver bug).
+    /// The global allocation program is infeasible at setup time (a
+    /// zero-demand probe solve fails). Mid-run solver errors do not
+    /// surface here: they degrade to the local-convergence policy.
     Solver(LpError),
 }
 
@@ -122,6 +124,31 @@ enum Ev {
     ApplyOwnership {
         per_node: Vec<Vec<usize>>,
     },
+    /// Injected fault: a node slows down by `slowdown` for `duration`.
+    FaultStraggler {
+        node: usize,
+        slowdown: f64,
+        duration: SimTime,
+    },
+    /// A straggler burst ends (scheduled by its start event).
+    FaultStragglerEnd {
+        node: usize,
+        slowdown: f64,
+    },
+    /// Injected fault: a helper worker process dies (fail-stop after its
+    /// currently running tasks). `idx` seeds the victim pick when none is
+    /// given explicitly.
+    FaultKill {
+        idx: u64,
+        victim: Option<(usize, usize)>,
+    },
+    /// Injected fault: the global solver starts failing with `error`.
+    FaultOutage {
+        error: LpError,
+        duration: SimTime,
+    },
+    /// A solver outage window closes.
+    FaultOutageEnd,
 }
 
 struct State<W: Workload> {
@@ -165,6 +192,24 @@ struct State<W: Workload> {
     solver_runs: usize,
     solver_time: SimTime,
     spawned_helpers: usize,
+    // Fault injection.
+    fault_plan: FaultPlan,
+    /// Node speed excluding straggler effects (noise- and DVFS-scaled);
+    /// `platform.node_speed` is this times the active straggler factors.
+    base_speed: Vec<f64>,
+    /// Speed multipliers (< 1) of the straggler bursts currently active
+    /// on each node. Empty ⇒ the node runs at `base_speed` exactly.
+    straggler_factors: Vec<Vec<f64>>,
+    /// `dead[a][k]`: the worker at slot `k` of apprank `a` was killed.
+    dead: Vec<Vec<bool>>,
+    /// Nesting count of active solver-outage windows and the error the
+    /// solver reports while any is open.
+    outage_active: usize,
+    outage_error: Option<LpError>,
+    faults: FaultStats,
+    /// First unrecoverable error; set instead of panicking. The DES keeps
+    /// draining its queue (handlers early-return) and the run reports it.
+    error: Option<SimError>,
 }
 
 /// The public simulation driver.
@@ -203,6 +248,33 @@ impl ClusterSim {
         workload: W,
         trace: bool,
         families: Option<tlb_trace::TraceConfig>,
+    ) -> Result<SimReport, SimError> {
+        ClusterSim::run_with_faults(
+            platform,
+            config,
+            workload,
+            trace,
+            families,
+            &FaultPlan::none(),
+        )
+    }
+
+    /// Run under an injected [`FaultPlan`]. An empty plan is byte-for-byte
+    /// identical to [`ClusterSim::run_trace_cfg`]: the fault machinery
+    /// schedules no events and perturbs no decision. With faults active
+    /// the runtime degrades instead of dying — stragglers slow nodes,
+    /// killed workers hand their cores and queued tasks back, dropped
+    /// offload messages retry with backoff and ultimately fail over to
+    /// the home rank, and solver outages fall back to the local
+    /// convergence policy. [`SimReport::faults`] accounts for every
+    /// injection.
+    pub fn run_with_faults<W: Workload>(
+        platform: &Platform,
+        config: &BalanceConfig,
+        workload: W,
+        trace: bool,
+        families: Option<tlb_trace::TraceConfig>,
+        plan: &FaultPlan,
     ) -> Result<SimReport, SimError> {
         let appranks = workload.appranks();
         if appranks == 0 {
@@ -274,8 +346,48 @@ impl ClusterSim {
             .map(|n| vec![0.0; layout.workers_on(n).len()])
             .collect();
 
-        let global_policy =
+        let mut global_policy =
             (config.drom == DromPolicy::Global).then(|| GlobalPolicy::new(&graph, platform));
+        // Setup-time feasibility: a program that cannot be solved for zero
+        // demand can never be solved mid-run. Fail hard here, so the only
+        // solver errors left at run time are transient ones the fallback
+        // ladder absorbs.
+        if let Some(policy) = global_policy.as_mut() {
+            policy
+                .allocate(&vec![0.0; appranks], config.solver)
+                .map_err(SimError::Solver)?;
+        }
+        for s in &plan.stragglers {
+            if s.node >= platform.nodes {
+                return Err(SimError::Shape(format!(
+                    "fault plan: straggler node {} out of range ({} nodes)",
+                    s.node, platform.nodes
+                )));
+            }
+            if s.slowdown.is_nan() || s.slowdown < 1.0 {
+                return Err(SimError::Shape(format!(
+                    "fault plan: straggler slowdown {} must be >= 1",
+                    s.slowdown
+                )));
+            }
+        }
+        for k in &plan.kills {
+            if let Some((a, slot)) = k.victim {
+                if a >= appranks || slot == 0 {
+                    return Err(SimError::Shape(format!(
+                        "fault plan: kill victim (apprank {a}, slot {slot}) is not a helper worker"
+                    )));
+                }
+            }
+        }
+        if let Some(l) = &plan.loss {
+            if !(0.0..1.0).contains(&l.rate) {
+                return Err(SimError::Shape(format!(
+                    "fault plan: loss rate {} must be in [0, 1)",
+                    l.rate
+                )));
+            }
+        }
 
         let apprank_states = (0..appranks)
             .map(|a| ApprankState {
@@ -322,6 +434,16 @@ impl ClusterSim {
             solver_runs: 0,
             solver_time: SimTime::ZERO,
             spawned_helpers: 0,
+            fault_plan: plan.clone(),
+            base_speed: platform.node_speed.clone(),
+            straggler_factors: vec![Vec::new(); platform.nodes],
+            dead: (0..appranks)
+                .map(|a| vec![false; graph.nodes_of(a).len()])
+                .collect(),
+            outage_active: 0,
+            outage_error: None,
+            faults: FaultStats::default(),
+            error: None,
         };
         // Record the initial ownership.
         for n in 0..state.platform.nodes {
@@ -351,7 +473,38 @@ impl ClusterSim {
         if state.config.drom == DromPolicy::Global {
             sim.schedule_at(state.config.global_period, Ev::GlobalTick);
         }
+        for s in &plan.stragglers {
+            sim.schedule_at(
+                s.at,
+                Ev::FaultStraggler {
+                    node: s.node,
+                    slowdown: s.slowdown,
+                    duration: s.duration,
+                },
+            );
+        }
+        for (idx, k) in plan.kills.iter().enumerate() {
+            sim.schedule_at(
+                k.at,
+                Ev::FaultKill {
+                    idx: idx as u64,
+                    victim: k.victim,
+                },
+            );
+        }
+        for o in &plan.outages {
+            sim.schedule_at(
+                o.at,
+                Ev::FaultOutage {
+                    error: o.error.clone(),
+                    duration: o.duration,
+                },
+            );
+        }
         sim.run(&mut state);
+        if let Some(err) = state.error.take() {
+            return Err(err);
+        }
         if !state.finished {
             return Err(SimError::Shape(
                 "simulation deadlocked: unmatched MPI send/recv pairs or an unsatisfiable dependency"
@@ -381,6 +534,7 @@ impl ClusterSim {
             solver_runs: state.solver_runs,
             solver_time: state.solver_time,
             spawned_helpers: state.spawned_helpers,
+            faults: state.faults,
             trace: state.trace,
         })
     }
@@ -422,6 +576,358 @@ impl<W: Workload> State<W> {
     /// True when task-lifecycle events are being recorded.
     fn lifecycle_on(&self) -> bool {
         self.trace.enabled && self.trace.config.lifecycle
+    }
+
+    /// True when fault events are being recorded.
+    fn fault_on(&self) -> bool {
+        self.trace.enabled && self.trace.config.fault
+    }
+
+    /// Record an unrecoverable error instead of panicking. The first error
+    /// wins; subsequent handlers early-return and the run reports it.
+    fn fail(&mut self, err: SimError) {
+        if self.error.is_none() {
+            self.error = Some(err);
+        }
+    }
+
+    /// Recompute a node's effective speed from its base speed and any
+    /// active straggler bursts, and tell the global solver.
+    fn refresh_speed(&mut self, node: usize) {
+        let factor: f64 = self.straggler_factors[node].iter().product();
+        let speed = self.base_speed[node] * factor;
+        self.platform.node_speed[node] = speed;
+        if let Some(policy) = self.global_policy.as_mut() {
+            policy.set_node_speed(node, speed);
+        }
+    }
+
+    /// Send a task back to its home worker after its remote destination
+    /// became unreachable (worker death or offload-message failover). The
+    /// payload pays the return transfer.
+    fn requeue_home(&mut self, ctx: &mut Ctx<Ev>, apprank: usize, inst: Inst) {
+        self.faults.tasks_requeued += 1;
+        if self.counters_on() {
+            self.trace.counters.inc("fault_tasks_requeued");
+        }
+        let delay = self.transfer_time(inst.bytes);
+        self.appranks[apprank].workers[0].in_flight += 1;
+        ctx.schedule_in(
+            delay,
+            Ev::Arrive {
+                apprank,
+                slot: 0,
+                inst,
+            },
+        );
+    }
+
+    /// Ship a dispatched task to its chosen worker, modelling transfer
+    /// time plus any active message-delay/loss faults on the offload
+    /// control path. Drop draws come from a per-task RNG substream keyed
+    /// on `(iteration, apprank, task)`, so the schedule is reproducible
+    /// regardless of what else the simulation does.
+    fn send_task(&mut self, ctx: &mut Ctx<Ev>, apprank: usize, slot: usize, inst: Inst) {
+        self.appranks[apprank].workers[slot].in_flight += 1;
+        if slot == 0 {
+            ctx.schedule_in(
+                SimTime::ZERO,
+                Ev::Arrive {
+                    apprank,
+                    slot,
+                    inst,
+                },
+            );
+            return;
+        }
+        let now = ctx.now();
+        let mut delay = self.transfer_time(inst.bytes);
+        if let Some(d) = &self.fault_plan.delay {
+            if now >= d.from && now < d.until {
+                delay += d.extra;
+            }
+        }
+        let mut dropped = 0u32;
+        let mut failover = false;
+        if let Some(l) = self.fault_plan.loss.clone() {
+            if now >= l.from && now < l.until && l.rate > 0.0 {
+                let key = self.task_key(apprank, inst.tid);
+                let label = ((key.iteration as u64) << 40)
+                    ^ ((key.apprank as u64) << 20)
+                    ^ (key.task as u64);
+                let mut stream = Rng::seed_from_u64(self.fault_plan.seed)
+                    .split("loss")
+                    .split_u64(label);
+                let to_node = self.node_of(apprank, slot) as u32;
+                let home = self.adjacency[apprank][0];
+                loop {
+                    if !stream.chance(l.rate) {
+                        break; // this attempt crosses the wire
+                    }
+                    self.faults.injected += 1;
+                    self.faults.messages_dropped += 1;
+                    if self.counters_on() {
+                        self.trace.counters.inc("fault_messages_dropped");
+                    }
+                    if self.fault_on() {
+                        self.trace.log.push(
+                            TraceLog::node_stream(home),
+                            now,
+                            EventKind::MessageDropped {
+                                key,
+                                to_node,
+                                attempt: dropped,
+                            },
+                        );
+                    }
+                    dropped += 1;
+                    if dropped > l.max_retries {
+                        failover = true;
+                        break;
+                    }
+                    // The retry is the recovery: backoff grows linearly.
+                    self.faults.recovered += 1;
+                    delay += l.backoff.scale(dropped as f64);
+                }
+                if failover {
+                    // Retries exhausted: consciously absorb the fault by
+                    // running the task at home.
+                    self.faults.absorbed += 1;
+                    self.faults.message_failovers += 1;
+                    if self.counters_on() {
+                        self.trace.counters.inc("fault_message_failovers");
+                    }
+                    if self.fault_on() {
+                        self.trace.log.push(
+                            TraceLog::node_stream(home),
+                            now,
+                            EventKind::MessageFailover {
+                                key,
+                                to_node,
+                                attempts: dropped,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        if failover {
+            self.appranks[apprank].workers[slot].in_flight -= 1;
+            self.faults.tasks_requeued += 1;
+            if self.counters_on() {
+                self.trace.counters.inc("fault_tasks_requeued");
+            }
+            self.appranks[apprank].workers[0].in_flight += 1;
+            ctx.schedule_in(
+                delay,
+                Ev::Arrive {
+                    apprank,
+                    slot: 0,
+                    inst,
+                },
+            );
+            return;
+        }
+        self.note_offload(now, apprank, &inst, slot, false);
+        ctx.schedule_in(
+            delay,
+            Ev::Arrive {
+                apprank,
+                slot,
+                inst,
+            },
+        );
+    }
+
+    /// A straggler burst begins: the node's speed drops by `slowdown`.
+    fn handle_straggler(
+        &mut self,
+        ctx: &mut Ctx<Ev>,
+        node: usize,
+        slowdown: f64,
+        duration: SimTime,
+    ) {
+        self.faults.injected += 1;
+        if self.counters_on() {
+            self.trace.counters.inc("fault_stragglers");
+        }
+        if self.finished {
+            // Burst past the end of the run: trivially recovered.
+            self.faults.recovered += 1;
+            return;
+        }
+        self.straggler_factors[node].push(1.0 / slowdown);
+        self.refresh_speed(node);
+        if self.fault_on() {
+            self.trace.log.push(
+                TraceLog::node_stream(node),
+                ctx.now(),
+                EventKind::StragglerStart {
+                    node: node as u32,
+                    factor: slowdown,
+                },
+            );
+        }
+        ctx.schedule_in(duration, Ev::FaultStragglerEnd { node, slowdown });
+        self.drain_holds(ctx);
+        self.try_start_node(ctx, node);
+    }
+
+    /// A straggler burst ends: restore the node's speed.
+    fn handle_straggler_end(&mut self, ctx: &mut Ctx<Ev>, node: usize, slowdown: f64) {
+        let factor = 1.0 / slowdown;
+        if let Some(pos) = self.straggler_factors[node]
+            .iter()
+            .position(|f| f.to_bits() == factor.to_bits())
+        {
+            self.straggler_factors[node].remove(pos);
+        }
+        self.refresh_speed(node);
+        self.faults.recovered += 1;
+        if self.fault_on() {
+            self.trace.log.push(
+                TraceLog::node_stream(node),
+                ctx.now(),
+                EventKind::StragglerEnd { node: node as u32 },
+            );
+        }
+        if !self.finished {
+            self.drain_holds(ctx);
+            self.try_start_node(ctx, node);
+        }
+    }
+
+    /// A worker-kill fault fires. Picks a victim (explicit or seeded) and
+    /// retires it; with no living helper left the fault is absorbed.
+    fn handle_kill(&mut self, ctx: &mut Ctx<Ev>, idx: u64, victim: Option<(usize, usize)>) {
+        self.faults.injected += 1;
+        if self.counters_on() {
+            self.trace.counters.inc("fault_kills");
+        }
+        if self.finished {
+            self.faults.absorbed += 1;
+            return;
+        }
+        let victim = match victim {
+            Some((a, k)) => (a < self.appranks.len()
+                && k >= 1
+                && k < self.adjacency[a].len()
+                && !self.dead[a][k])
+                .then_some((a, k)),
+            None => {
+                let alive: Vec<(usize, usize)> = (0..self.appranks.len())
+                    .flat_map(|a| (1..self.adjacency[a].len()).map(move |k| (a, k)))
+                    .filter(|&(a, k)| !self.dead[a][k])
+                    .collect();
+                if alive.is_empty() {
+                    None
+                } else {
+                    let mut stream = Rng::seed_from_u64(self.fault_plan.seed)
+                        .split("kill")
+                        .split_u64(idx);
+                    Some(alive[stream.u64_below(alive.len() as u64) as usize])
+                }
+            }
+        };
+        let Some((apprank, slot)) = victim else {
+            // Nothing left to kill (or the named victim is already dead):
+            // consciously absorbed.
+            self.faults.absorbed += 1;
+            return;
+        };
+        self.kill_worker(ctx, apprank, slot);
+    }
+
+    /// Retire one helper worker: re-enqueue its queued tasks at home, mark
+    /// in-flight arrivals for redirection, return its DROM-owned cores to
+    /// the node's survivors, and mask it out of the global allocation.
+    /// Tasks already running finish on their held cores (fail-stop after
+    /// the current task), which preserves exact-once execution.
+    fn kill_worker(&mut self, ctx: &mut Ctx<Ev>, apprank: usize, slot: usize) {
+        let now = ctx.now();
+        let node = self.node_of(apprank, slot);
+        let proc = ProcId(self.layout.proc_of(apprank, slot));
+        self.dead[apprank][slot] = true;
+        let queued: Vec<Inst> = self.appranks[apprank].workers[slot]
+            .queued
+            .drain(..)
+            .collect();
+        // The trace event reports everything the death displaces: the
+        // queue drained here plus in-flight payloads the Arrive handler
+        // will bounce home when they land.
+        let requeued = queued.len() + self.appranks[apprank].workers[slot].in_flight;
+        for inst in queued {
+            self.requeue_home(ctx, apprank, inst);
+        }
+        if let Err(e) = self.dlbs[node].retire_process(proc) {
+            self.fail(SimError::Shape(format!(
+                "killing worker (apprank {apprank}, slot {slot}) on node {node}: {e}"
+            )));
+            return;
+        }
+        if let Some(policy) = self.global_policy.as_mut() {
+            policy.retire_worker(apprank, slot);
+        }
+        self.faults.workers_killed += 1;
+        self.faults.recovered += 1;
+        if self.counters_on() {
+            self.trace.counters.inc("fault_workers_killed");
+        }
+        if self.fault_on() {
+            self.trace.log.push(
+                TraceLog::node_stream(node),
+                now,
+                EventKind::WorkerKilled {
+                    apprank: apprank as u32,
+                    node: node as u32,
+                    proc: proc.0 as u32,
+                    requeued: requeued as u32,
+                },
+            );
+        }
+        self.pump_dlb(now, node);
+        // Freed cores may serve the survivors immediately.
+        self.drain_holds(ctx);
+        self.try_start_node(ctx, node);
+    }
+
+    /// A solver outage window opens: every global tick inside it sees the
+    /// injected error and takes the fallback ladder.
+    fn handle_outage(&mut self, ctx: &mut Ctx<Ev>, error: LpError, duration: SimTime) {
+        self.faults.injected += 1;
+        if self.counters_on() {
+            self.trace.counters.inc("fault_outages");
+        }
+        if self.finished {
+            self.faults.recovered += 1;
+            return;
+        }
+        self.outage_active += 1;
+        self.outage_error = Some(error);
+        if self.fault_on() {
+            self.trace.log.push(
+                GLOBAL_STREAM,
+                ctx.now(),
+                EventKind::SolverOutage { active: true },
+            );
+        }
+        ctx.schedule_in(duration, Ev::FaultOutageEnd);
+    }
+
+    /// A solver outage window closes.
+    fn handle_outage_end(&mut self, ctx: &mut Ctx<Ev>) {
+        self.outage_active = self.outage_active.saturating_sub(1);
+        if self.outage_active == 0 {
+            self.outage_error = None;
+        }
+        self.faults.recovered += 1;
+        if self.fault_on() {
+            self.trace.log.push(
+                GLOBAL_STREAM,
+                ctx.now(),
+                EventKind::SolverOutage { active: false },
+            );
+        }
     }
 
     /// Trace identity of a task in the current iteration.
@@ -585,10 +1091,15 @@ impl<W: Workload> State<W> {
             return Some(0);
         }
         let ranks = &self.appranks[apprank];
-        let candidates: Vec<CandidateState> = self.adjacency[apprank]
+        // Dead workers are not candidates; the home worker (slot 0) never
+        // dies, so it stays at candidate index 0.
+        let slots: Vec<usize> = (0..self.adjacency[apprank].len())
+            .filter(|&k| !self.dead[apprank][k])
+            .collect();
+        let candidates: Vec<CandidateState> = slots
             .iter()
-            .enumerate()
-            .map(|(k, &node)| {
+            .map(|&k| {
+                let node = self.adjacency[apprank][k];
                 let proc = ProcId(self.layout.proc_of(apprank, k));
                 let owned = self.dlbs[node].owned_count(proc);
                 let used = self.dlbs[node].used_count(proc);
@@ -606,10 +1117,11 @@ impl<W: Workload> State<W> {
             self.config.queue_depth_per_core,
             self.config.count_borrowed_cores,
         );
-        let slot = match placement {
+        let chosen = match placement {
             Placement::Worker(k) => Some(k),
             Placement::Hold => None,
         };
+        let slot = chosen.map(|k| slots[k]);
         if self.counters_on() {
             self.trace.counters.inc("sched_decisions");
             if slot.is_none() {
@@ -619,7 +1131,7 @@ impl<W: Workload> State<W> {
         if self.lifecycle_on() {
             let key = self.task_key(apprank, inst.tid);
             let home = candidates[0];
-            let (chosen_node, chosen_queued, chosen_owned) = match slot {
+            let (chosen_node, chosen_queued, chosen_owned) = match chosen {
                 Some(k) => (
                     candidates[k].node as i32,
                     candidates[k].queued_tasks as i32,
@@ -661,31 +1173,17 @@ impl<W: Workload> State<W> {
                 }
                 _ => {
                     let prev = self.waiting_recvs.insert(key, inst);
-                    assert!(prev.is_none(), "duplicate recv for message {key:?}");
+                    if prev.is_some() {
+                        self.fail(SimError::Shape(format!(
+                            "duplicate recv for message {key:?}"
+                        )));
+                    }
                     return;
                 }
             }
         }
         match self.decide(ctx.now(), apprank, &inst) {
-            Some(slot) => {
-                self.appranks[apprank].workers[slot].in_flight += 1;
-                if slot != 0 {
-                    self.note_offload(ctx.now(), apprank, &inst, slot, false);
-                }
-                let delay = if slot == 0 {
-                    SimTime::ZERO
-                } else {
-                    self.transfer_time(inst.bytes)
-                };
-                ctx.schedule_in(
-                    delay,
-                    Ev::Arrive {
-                        apprank,
-                        slot,
-                        inst,
-                    },
-                );
-            }
+            Some(slot) => self.send_task(ctx, apprank, slot, inst),
             None => self.appranks[apprank].hold.push_back(inst),
         }
     }
@@ -699,25 +1197,7 @@ impl<W: Workload> State<W> {
                     break;
                 };
                 match self.decide(ctx.now(), a, &inst) {
-                    Some(slot) => {
-                        self.appranks[a].workers[slot].in_flight += 1;
-                        if slot != 0 {
-                            self.note_offload(ctx.now(), a, &inst, slot, false);
-                        }
-                        let delay = if slot == 0 {
-                            SimTime::ZERO
-                        } else {
-                            self.transfer_time(inst.bytes)
-                        };
-                        ctx.schedule_in(
-                            delay,
-                            Ev::Arrive {
-                                apprank: a,
-                                slot,
-                                inst,
-                            },
-                        );
-                    }
+                    Some(slot) => self.send_task(ctx, a, slot, inst),
                     None => {
                         self.appranks[a].hold.push_front(inst);
                         break;
@@ -731,6 +1211,9 @@ impl<W: Workload> State<W> {
     /// queued (already transferred) tasks, then steal from the apprank's
     /// hold queue (paying the transfer inline for remote workers).
     fn try_start_worker(&mut self, ctx: &mut Ctx<Ev>, apprank: usize, slot: usize) {
+        if self.dead[apprank][slot] {
+            return;
+        }
         let node = self.node_of(apprank, slot);
         let proc = ProcId(self.layout.proc_of(apprank, slot));
         let speed = self.platform.node_speed[node];
@@ -792,10 +1275,13 @@ impl<W: Workload> State<W> {
                 }
             }
             self.appranks[apprank].workers[slot].running += 1;
-            self.appranks[apprank]
-                .graph
-                .start(inst.tid)
-                .expect("dispatched task must be ready");
+            if let Err(e) = self.appranks[apprank].graph.start(inst.tid) {
+                self.fail(SimError::Shape(format!(
+                    "apprank {apprank}: dispatched task {} was not ready: {e}",
+                    inst.tid.raw()
+                )));
+                return;
+            }
             if slot != 0 {
                 self.offloaded_tasks += 1;
             }
@@ -877,21 +1363,30 @@ impl<W: Workload> State<W> {
                 .sum::<f64>();
             self.total_tasks += self.appranks[a].total;
             let mut ready = Vec::new();
-            for spec in &self.appranks[a].specs.clone() {
-                assert!(
-                    spec.mpi.is_none() || !spec.offloadable,
-                    "MPI tasks must be non-offloadable (paper §4)"
-                );
+            for (ti, spec) in self.appranks[a].specs.clone().iter().enumerate() {
+                if spec.mpi.is_some() && spec.offloadable {
+                    self.fail(SimError::Shape(format!(
+                        "apprank {a}: iteration {iteration} task {ti} is an MPI task \
+                         marked offloadable; MPI tasks must be non-offloadable (paper §4)"
+                    )));
+                    return;
+                }
                 let mut def = TaskDef::new("task").cost(spec.duration);
                 if !spec.offloadable {
                     def = def.not_offloadable();
                 }
                 def.accesses.extend(spec.accesses.iter().copied());
                 let was_ready = self.appranks[a].graph.ready_count();
-                let tid = self.appranks[a]
-                    .graph
-                    .submit(def)
-                    .expect("top-level submit cannot fail");
+                let tid = match self.appranks[a].graph.submit(def) {
+                    Ok(tid) => tid,
+                    Err(e) => {
+                        self.fail(SimError::Shape(format!(
+                            "apprank {a}: iteration {iteration} task {ti} rejected \
+                             by the task graph: {e}"
+                        )));
+                        return;
+                    }
+                };
                 if self.counters_on() {
                     self.trace.counters.inc("tasks_created");
                 }
@@ -946,11 +1441,13 @@ impl<W: Workload> State<W> {
     }
 
     fn finish_iteration(&mut self, ctx: &mut Ctx<Ev>) {
-        assert!(
-            self.waiting_recvs.is_empty(),
-            "iteration ended with unmatched MPI receives: {:?}",
-            self.waiting_recvs.keys().collect::<Vec<_>>()
-        );
+        if !self.waiting_recvs.is_empty() {
+            self.fail(SimError::Shape(format!(
+                "iteration ended with unmatched MPI receives: {:?}",
+                self.waiting_recvs.keys().collect::<Vec<_>>()
+            )));
+            return;
+        }
         // Unconsumed arrived messages would leak across iterations.
         self.messages.retain(|_, st| *st == MsgState::InFlight);
         let barrier = barrier_cost(self.appranks.len(), self.platform.net_latency);
@@ -993,9 +1490,13 @@ impl<W: Workload> State<W> {
         let node = self.node_of(apprank, slot);
         let proc = ProcId(self.layout.proc_of(apprank, slot));
         self.appranks[apprank].workers[slot].running -= 1;
-        self.dlbs[node]
-            .release(proc, core)
-            .expect("running task's core must be held");
+        if let Err(e) = self.dlbs[node].release(proc, core) {
+            self.fail(SimError::Shape(format!(
+                "releasing core {core} of proc {} on node {node}: {e}",
+                proc.0
+            )));
+            return;
+        }
         let now = ctx.now();
         self.talps[node].set_busy(proc.0, now, self.dlbs[node].used_count(proc));
         if self.counters_on() {
@@ -1016,7 +1517,12 @@ impl<W: Workload> State<W> {
         {
             let key = (apprank, to, tag);
             let prev = self.messages.insert(key, MsgState::InFlight);
-            assert!(prev.is_none(), "duplicate send for message {key:?}");
+            if prev.is_some() {
+                self.fail(SimError::Shape(format!(
+                    "duplicate send for message {key:?}"
+                )));
+                return;
+            }
             let delay = self.transfer_time(bytes);
             ctx.schedule_in(
                 delay,
@@ -1027,10 +1533,16 @@ impl<W: Workload> State<W> {
                 },
             );
         }
-        let newly_ready = self.appranks[apprank]
-            .graph
-            .complete(tid)
-            .expect("running task completes");
+        let newly_ready = match self.appranks[apprank].graph.complete(tid) {
+            Ok(succ) => succ,
+            Err(e) => {
+                self.fail(SimError::Shape(format!(
+                    "apprank {apprank}: completing task {}: {e}",
+                    tid.raw()
+                )));
+                return;
+            }
+        };
         for succ in newly_ready {
             if self.counters_on() {
                 self.trace.counters.inc("tasks_ready");
@@ -1085,13 +1597,35 @@ impl<W: Workload> State<W> {
                 };
                 self.trace.log.push(TraceLog::node_stream(node), now, ev);
             }
-            let current: Vec<usize> = (0..busy.len())
-                .map(|p| self.dlbs[node].owned_count(ProcId(p)))
+            let alive: Vec<usize> = (0..busy.len())
+                .filter(|&p| !self.dlbs[node].is_retired(ProcId(p)))
                 .collect();
-            let counts = LocalPolicy::ownership(self.platform.cores_per_node, &busy, &current);
-            self.dlbs[node]
-                .set_ownership(&counts)
-                .expect("local policy produces valid counts");
+            let counts = if alive.len() == busy.len() {
+                let current: Vec<usize> = (0..busy.len())
+                    .map(|p| self.dlbs[node].owned_count(ProcId(p)))
+                    .collect();
+                LocalPolicy::ownership(self.platform.cores_per_node, &busy, &current)
+            } else {
+                // Retired workers are masked out: the living split the
+                // whole node. Targets (not raw owned counts) seed the
+                // policy so cores still in deferred transfer from the dead
+                // worker count for their receiver.
+                let target = self.dlbs[node].target_ownership();
+                let sub_busy: Vec<f64> = alive.iter().map(|&p| busy[p]).collect();
+                let sub_cur: Vec<usize> = alive.iter().map(|&p| target[p]).collect();
+                let sub = LocalPolicy::ownership(self.platform.cores_per_node, &sub_busy, &sub_cur);
+                let mut counts = vec![0usize; busy.len()];
+                for (i, &p) in alive.iter().enumerate() {
+                    counts[p] = sub[i];
+                }
+                counts
+            };
+            if let Err(e) = self.dlbs[node].set_ownership(&counts) {
+                self.fail(SimError::Shape(format!(
+                    "local policy produced invalid counts for node {node}: {e}"
+                )));
+                return;
+            }
             self.pump_dlb(now, node);
         }
         self.drain_holds(ctx);
@@ -1126,12 +1660,20 @@ impl<W: Workload> State<W> {
         // is free of window-phase error (all appranks share iteration
         // boundaries); it falls back to the busy signal in windows where
         // nothing was created.
+        // Per-proc TALP deltas are kept for the solver-fallback path, which
+        // feeds them to the local convergence policy when the LP fails.
+        let mut deltas: Vec<Vec<f64>> = Vec::with_capacity(self.platform.nodes);
+        for node in 0..self.platform.nodes {
+            let row: Vec<f64> = (0..self.last_total[node].len())
+                .map(|p| self.talps[node].total(p, now) - self.last_total[node][p])
+                .collect();
+            deltas.push(row);
+        }
         let mut work = vec![0.0f64; self.appranks.len()];
         for (a, w) in work.iter_mut().enumerate() {
             for (k, &node) in self.adjacency[a].iter().enumerate() {
                 let p = self.layout.proc_of(a, k);
-                let total = self.talps[node].total(p, now);
-                *w += total - self.last_total[node][p];
+                *w += deltas[node][p];
             }
         }
         for node in 0..self.platform.nodes {
@@ -1161,23 +1703,43 @@ impl<W: Workload> State<W> {
                 work = created;
             }
         }
-        let mut solution = self
-            .global_policy
-            .as_mut()
-            .expect("global tick without policy")
-            .allocate(&work, self.config.solver)
-            .expect("allocation program is feasible by construction");
+        // During an injected outage the solver "runs" but reports the
+        // planned error; otherwise solve for real. Either kind of failure
+        // takes the degradation ladder instead of aborting the run.
+        let injected = (self.outage_active > 0)
+            .then(|| self.outage_error.clone())
+            .flatten();
+        let Some(policy) = self.global_policy.as_mut() else {
+            return;
+        };
+        let result = match injected {
+            Some(err) => Err(err),
+            None => policy.allocate(&work, self.config.solver),
+        };
+        let mut solution = match result {
+            Ok(s) => s,
+            Err(err) => {
+                self.solver_fallback(ctx, now, err, &deltas, wall_start);
+                return;
+            }
+        };
         // Dynamic work spreading (paper §5.2 future work): the solved bound
         // identifies capacity-constrained appranks; spawn helpers for them
         // and re-solve so the new capacity is used immediately.
         if let Some(dynamic) = self.config.dynamic {
             if self.maybe_spawn_helpers(ctx, &work, &solution, dynamic) {
-                solution = self
+                let resolved = self
                     .global_policy
                     .as_mut()
                     .expect("policy exists")
-                    .allocate(&work, self.config.solver)
-                    .expect("allocation remains feasible after spawning");
+                    .allocate(&work, self.config.solver);
+                match resolved {
+                    Ok(s) => solution = s,
+                    Err(err) => {
+                        self.solver_fallback(ctx, now, err, &deltas, wall_start);
+                        return;
+                    }
+                }
             }
         }
         let policy = self
@@ -1211,6 +1773,73 @@ impl<W: Workload> State<W> {
                 modelled_cost: cost,
             }));
             self.trace.log.push(GLOBAL_STREAM, now, ev);
+        }
+        ctx.schedule_in(cost, Ev::ApplyOwnership { per_node });
+        ctx.schedule_in(self.config.global_period, Ev::GlobalTick);
+    }
+
+    /// The global solver failed mid-run (injected outage or a real LP
+    /// error). Degradation ladder instead of aborting: LeWI keeps lending
+    /// idle cores; each node falls back to the local convergence policy on
+    /// this tick's TALP deltas; a node with no measured work keeps its
+    /// last-good allocation (the local policy returns `current` when the
+    /// window is idle). The failed solve still charges its modelled cost —
+    /// a timeout burns the full budget before the runtime gives up on it.
+    fn solver_fallback(
+        &mut self,
+        ctx: &mut Ctx<Ev>,
+        now: SimTime,
+        err: LpError,
+        deltas: &[Vec<f64>],
+        wall_start: Option<std::time::Instant>,
+    ) {
+        self.faults.solver_fallbacks += 1;
+        if self.counters_on() {
+            self.trace.counters.inc("solver_fallbacks");
+        }
+        if self.fault_on() {
+            let reason = match err {
+                LpError::IterationLimit => FallbackReason::IterationLimit,
+                LpError::Infeasible => FallbackReason::Infeasible,
+                LpError::Unbounded => FallbackReason::Unbounded,
+                _ => FallbackReason::Other,
+            };
+            self.trace
+                .log
+                .push(GLOBAL_STREAM, now, EventKind::SolverFallback { reason });
+        }
+        if let Some(t0) = wall_start {
+            self.trace
+                .counters
+                .add_gauge("solver_wall_ms", t0.elapsed().as_secs_f64() * 1e3);
+        }
+        let mut per_node: Vec<Vec<usize>> = Vec::with_capacity(self.platform.nodes);
+        for node in 0..self.platform.nodes {
+            let procs = self.layout.workers_on(node).len();
+            let alive: Vec<usize> = (0..procs)
+                .filter(|&p| !self.dlbs[node].is_retired(ProcId(p)))
+                .collect();
+            let target = self.dlbs[node].target_ownership();
+            // Helpers spawned after the deltas were captured read as zero
+            // demand (they have no measured history yet).
+            let sub_busy: Vec<f64> = alive
+                .iter()
+                .map(|&p| deltas[node].get(p).copied().unwrap_or(0.0))
+                .collect();
+            let sub_cur: Vec<usize> = alive.iter().map(|&p| target[p]).collect();
+            let sub = LocalPolicy::ownership(self.platform.cores_per_node, &sub_busy, &sub_cur);
+            let mut counts = vec![0usize; procs];
+            for (i, &p) in alive.iter().enumerate() {
+                counts[p] = sub[i];
+            }
+            per_node.push(counts);
+        }
+        let cost = self.solver_cost();
+        self.solver_time += cost;
+        if self.counters_on() {
+            self.trace
+                .counters
+                .add_gauge("solver_modelled_ms", cost.as_secs_f64() * 1e3);
         }
         ctx.schedule_in(cost, Ev::ApplyOwnership { per_node });
         ctx.schedule_in(self.config.global_period, Ev::GlobalTick);
@@ -1287,6 +1916,7 @@ impl<W: Workload> State<W> {
         self.adjacency[apprank].push(node);
         debug_assert_eq!(self.adjacency[apprank].len() - 1, slot);
         self.appranks[apprank].workers.push(WorkerState::default());
+        self.dead[apprank].push(false);
         if let Some(policy) = self.global_policy.as_mut() {
             policy.add_edge(apprank, node);
         }
@@ -1311,9 +1941,22 @@ impl<W: Workload> State<W> {
             return;
         }
         for (node, counts) in per_node.iter().enumerate() {
-            self.dlbs[node]
-                .set_ownership(counts)
-                .expect("solver produces valid counts");
+            // An allocation computed before a worker on this node died may
+            // still assign it cores; drop the stale update (the next tick
+            // sees the post-kill state).
+            let stale = counts
+                .iter()
+                .enumerate()
+                .any(|(p, &c)| c > 0 && self.dlbs[node].is_retired(ProcId(p)));
+            if stale {
+                continue;
+            }
+            if let Err(e) = self.dlbs[node].set_ownership(counts) {
+                self.fail(SimError::Shape(format!(
+                    "solver produced invalid counts for node {node}: {e}"
+                )));
+                return;
+            }
             self.pump_dlb(ctx.now(), node);
         }
         self.drain_holds(ctx);
@@ -1327,6 +1970,11 @@ impl<W: Workload> World for State<W> {
     type Event = Ev;
 
     fn handle(&mut self, ctx: &mut Ctx<Ev>, ev: Ev) {
+        if self.error.is_some() {
+            // An unrecoverable error was recorded: drain the queue without
+            // touching state so the run can report it.
+            return;
+        }
         match ev {
             Ev::StartIteration => self.start_iteration(ctx),
             Ev::Arrive {
@@ -1335,6 +1983,12 @@ impl<W: Workload> World for State<W> {
                 inst,
             } => {
                 self.appranks[apprank].workers[slot].in_flight -= 1;
+                if slot != 0 && self.dead[apprank][slot] {
+                    // The destination died while the payload was on the
+                    // wire: bounce it back to the home rank.
+                    self.requeue_home(ctx, apprank, inst);
+                    return;
+                }
                 self.appranks[apprank].workers[slot].queued.push_back(inst);
                 self.try_start_worker(ctx, apprank, slot);
                 let node = self.node_of(apprank, slot);
@@ -1349,10 +2003,10 @@ impl<W: Workload> World for State<W> {
             Ev::MsgDeliver { from, to, tag } => {
                 let key = (from, to, tag);
                 let prev = self.messages.insert(key, MsgState::Arrived);
-                assert!(
-                    prev.is_none() || prev == Some(MsgState::InFlight),
-                    "message {key:?} delivered twice"
-                );
+                if !(prev.is_none() || prev == Some(MsgState::InFlight)) {
+                    self.fail(SimError::Shape(format!("message {key:?} delivered twice")));
+                    return;
+                }
                 if let Some(inst) = self.waiting_recvs.remove(&key) {
                     // The receiver had already posted the recv: run it
                     // (dispatch consumes the Arrived entry).
@@ -1363,16 +2017,26 @@ impl<W: Workload> World for State<W> {
                 // Tasks already running keep their start-time duration;
                 // everything dispatched afterwards sees the new speed, and
                 // the global solver reasons with it from the next tick.
-                self.platform.node_speed[node] = speed;
-                if let Some(policy) = self.global_policy.as_mut() {
-                    policy.set_node_speed(node, speed);
-                }
+                // Straggler factors stack on top of the new base speed.
+                self.base_speed[node] = speed;
+                self.refresh_speed(node);
                 self.drain_holds(ctx);
                 self.try_start_node(ctx, node);
             }
             Ev::LocalTick => self.local_tick(ctx),
             Ev::GlobalTick => self.global_tick(ctx),
             Ev::ApplyOwnership { per_node } => self.apply_ownership(ctx, per_node),
+            Ev::FaultStraggler {
+                node,
+                slowdown,
+                duration,
+            } => self.handle_straggler(ctx, node, slowdown, duration),
+            Ev::FaultStragglerEnd { node, slowdown } => {
+                self.handle_straggler_end(ctx, node, slowdown)
+            }
+            Ev::FaultKill { idx, victim } => self.handle_kill(ctx, idx, victim),
+            Ev::FaultOutage { error, duration } => self.handle_outage(ctx, error, duration),
+            Ev::FaultOutageEnd => self.handle_outage_end(ctx),
         }
     }
 }
@@ -1664,13 +2328,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-offloadable")]
     fn offloadable_mpi_task_rejected() {
         let mut bad = TaskSpec::mpi_send(0.001, 1, 1, 0);
         bad.offloadable = true;
         let wl = SpecWorkload::iterated(vec![vec![bad], vec![TaskSpec::mpi_recv(0.001, 0, 1)]], 1);
         let p = Platform::homogeneous(2, 2);
-        let _ = ClusterSim::run(&p, &BalanceConfig::baseline(), wl);
+        let err = ClusterSim::run(&p, &BalanceConfig::baseline(), wl).unwrap_err();
+        match err {
+            SimError::Shape(msg) => assert!(msg.contains("non-offloadable"), "{msg}"),
+            other => panic!("expected Shape error, got {other}"),
+        }
     }
 
     #[test]
@@ -1925,5 +2592,160 @@ mod tests {
             big.makespan,
             small.makespan
         );
+    }
+
+    /// An imbalanced two-node workload under the global DROM policy; the
+    /// shape every fault test drives.
+    fn faulty_setup() -> (Platform, BalanceConfig, SpecWorkload) {
+        let heavy: Vec<TaskSpec> = (0..80).map(|_| TaskSpec::compute(0.05)).collect();
+        let light: Vec<TaskSpec> = (0..20).map(|_| TaskSpec::compute(0.05)).collect();
+        let wl = SpecWorkload::iterated(vec![heavy, light], 4);
+        let p = Platform::homogeneous(2, 4);
+        let mut cfg = BalanceConfig::offloading(2, DromPolicy::Global);
+        // Tick fast enough that mid-run fault windows cover solver runs.
+        cfg.global_period = SimTime::from_millis(500);
+        (p, cfg, wl)
+    }
+
+    fn run_plan(plan: &FaultPlan) -> SimReport {
+        let (p, cfg, wl) = faulty_setup();
+        ClusterSim::run_with_faults(&p, &cfg, wl, true, None, plan).unwrap()
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bitwise_identical() {
+        let (p, cfg, wl) = faulty_setup();
+        let a = ClusterSim::run_trace_cfg(&p, &cfg, wl.clone(), true, None).unwrap();
+        let b = ClusterSim::run_with_faults(&p, &cfg, wl, true, None, &FaultPlan::none()).unwrap();
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.iteration_times, b.iteration_times);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.offloaded_tasks, b.offloaded_tasks);
+        assert_eq!(a.solver_runs, b.solver_runs);
+        assert_eq!(b.faults, FaultStats::default());
+        assert_eq!(a.trace.log.merged(), b.trace.log.merged());
+        assert_eq!(
+            a.trace.counters.sorted_counts(),
+            b.trace.counters.sorted_counts()
+        );
+    }
+
+    #[test]
+    fn solver_outage_falls_back_for_every_error_kind() {
+        let (_, _, wl) = faulty_setup();
+        let baseline = {
+            let (p, cfg, _) = faulty_setup();
+            ClusterSim::run(&p, &cfg, wl.clone()).unwrap()
+        };
+        for error in [
+            LpError::IterationLimit,
+            LpError::Infeasible,
+            LpError::Unbounded,
+        ] {
+            // The outage covers several global ticks in the middle of the
+            // run; every covered tick must fall back, none may abort.
+            let plan = FaultPlan::new(7).with_outage(0.3, 1.0, error.clone());
+            let r = run_plan(&plan);
+            assert!(
+                r.faults.solver_fallbacks >= 1,
+                "{error:?}: no fallback recorded"
+            );
+            assert_eq!(r.total_tasks, baseline.total_tasks, "{error:?}");
+            assert_eq!(
+                r.faults.injected,
+                r.faults.recovered + r.faults.absorbed,
+                "{error:?}: unaccounted faults"
+            );
+            // Degraded, never dead: the run completes in bounded time.
+            assert!(
+                r.makespan.as_secs_f64() < 10.0 * baseline.makespan.as_secs_f64(),
+                "{error:?}: degradation unbounded"
+            );
+        }
+    }
+
+    #[test]
+    fn killed_worker_hands_back_tasks_and_cores() {
+        // Kill apprank 0's helper mid-run: its queued/in-flight tasks must
+        // re-run at home and the run still completes every task.
+        let plan = FaultPlan::new(11).with_kill_of(0.35, 0, 1);
+        let r = run_plan(&plan);
+        assert_eq!(r.faults.workers_killed, 1);
+        assert_eq!(r.total_tasks, 4 * 100);
+        assert_eq!(r.iteration_times.len(), 4);
+        assert_eq!(r.faults.injected, r.faults.recovered + r.faults.absorbed);
+        // Exact-once: every created task completed exactly once.
+        use std::collections::HashMap as Map;
+        let mut completed: Map<(u32, u32, u32), usize> = Map::new();
+        for ev in r.trace.log.merged() {
+            if let EventKind::TaskCompleted { key, .. } = ev.kind {
+                *completed
+                    .entry((key.iteration, key.apprank, key.task))
+                    .or_default() += 1;
+            }
+        }
+        assert_eq!(completed.len(), r.total_tasks, "tasks lost");
+        assert!(
+            completed.values().all(|&c| c == 1),
+            "a task ran more than once"
+        );
+    }
+
+    #[test]
+    fn seeded_kill_picks_deterministic_victim() {
+        let plan = FaultPlan::new(5).with_kill(0.4);
+        let a = run_plan(&plan);
+        let b = run_plan(&plan);
+        assert_eq!(a.faults.workers_killed, 1);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.trace.log.merged(), b.trace.log.merged());
+    }
+
+    #[test]
+    fn straggler_burst_slows_run_then_recovers() {
+        let clean = run_plan(&FaultPlan::none());
+        let plan = FaultPlan::new(3).with_straggler(0.2, 0, 4.0, 1.0);
+        let r = run_plan(&plan);
+        assert!(
+            r.makespan > clean.makespan,
+            "straggler had no effect: {} vs {}",
+            r.makespan,
+            clean.makespan
+        );
+        assert_eq!(r.faults.injected, 1);
+        assert_eq!(r.faults.recovered, 1);
+        assert_eq!(r.total_tasks, clean.total_tasks);
+    }
+
+    #[test]
+    fn message_loss_retries_and_fails_over() {
+        // Aggressive loss: most offload sends drop; with 2 retries many
+        // fail over to the home rank. The run must still complete.
+        let plan = FaultPlan::new(17).with_loss(0.0, 1e9, 0.9, 2, 0.002);
+        let r = run_plan(&plan);
+        assert!(r.faults.messages_dropped > 0, "no drops with rate 0.9");
+        assert!(r.faults.message_failovers > 0, "no failovers with rate 0.9");
+        assert_eq!(r.total_tasks, 4 * 100);
+        assert_eq!(r.faults.injected, r.faults.recovered + r.faults.absorbed);
+    }
+
+    #[test]
+    fn fault_plan_validation_is_a_setup_error() {
+        let (p, cfg, wl) = faulty_setup();
+        let bad_node = FaultPlan::new(1).with_straggler(0.1, 99, 2.0, 0.5);
+        match ClusterSim::run_with_faults(&p, &cfg, wl.clone(), false, None, &bad_node) {
+            Err(SimError::Shape(msg)) => assert!(msg.contains("out of range"), "{msg}"),
+            other => panic!("expected shape error, got {other:?}"),
+        }
+        let bad_victim = FaultPlan::new(1).with_kill_of(0.1, 0, 0);
+        match ClusterSim::run_with_faults(&p, &cfg, wl.clone(), false, None, &bad_victim) {
+            Err(SimError::Shape(msg)) => assert!(msg.contains("helper"), "{msg}"),
+            other => panic!("expected shape error, got {other:?}"),
+        }
+        let bad_rate = FaultPlan::new(1).with_loss(0.0, 1.0, 1.5, 3, 0.001);
+        match ClusterSim::run_with_faults(&p, &cfg, wl, false, None, &bad_rate) {
+            Err(SimError::Shape(msg)) => assert!(msg.contains("loss rate"), "{msg}"),
+            other => panic!("expected shape error, got {other:?}"),
+        }
     }
 }

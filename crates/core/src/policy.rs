@@ -53,6 +53,12 @@ impl LocalPolicy {
 /// entire expander graph.
 pub struct GlobalPolicy {
     problem: AllocationProblem,
+    /// `dead[a][k]`: the worker at slot `k` of apprank `a` has died.
+    /// Dead slots are excluded from every solve and pinned to zero cores,
+    /// so their node's capacity redistributes among the survivors. The
+    /// slots stay in the adjacency to keep `(apprank, slot)` indices
+    /// aligned with [`ProcessLayout`].
+    dead: Vec<Vec<bool>>,
 }
 
 impl GlobalPolicy {
@@ -61,6 +67,7 @@ impl GlobalPolicy {
         let adjacency: Vec<Vec<usize>> = (0..graph.appranks())
             .map(|a| graph.nodes_of(a).to_vec())
             .collect();
+        let dead = adjacency.iter().map(|adj| vec![false; adj.len()]).collect();
         GlobalPolicy {
             problem: AllocationProblem {
                 work: vec![0.0; graph.appranks()],
@@ -69,7 +76,19 @@ impl GlobalPolicy {
                 node_speed: platform.node_speed.clone(),
                 keep_local_incentive: 1e-6,
             },
+            dead,
         }
+    }
+
+    /// Mark the worker at `slot` of `apprank` dead. Home workers
+    /// (slot 0) cannot die — the apprank itself would be gone.
+    pub fn retire_worker(&mut self, apprank: usize, slot: usize) {
+        assert!(slot != 0, "home worker cannot be retired");
+        self.dead[apprank][slot] = true;
+    }
+
+    fn has_dead(&self) -> bool {
+        self.dead.iter().any(|row| row.iter().any(|&d| d))
     }
 
     /// Solve for ownership given per-apprank work estimates (busy
@@ -81,10 +100,59 @@ impl GlobalPolicy {
     ) -> Result<AllocationSolution, LpError> {
         assert_eq!(work.len(), self.problem.work.len(), "work vector length");
         self.problem.work.copy_from_slice(work);
-        match kind {
-            GlobalSolverKind::Simplex => solve_lp(&self.problem),
-            GlobalSolverKind::Flow => solve_flow(&self.problem, 1e-6),
+        if !self.has_dead() {
+            return match kind {
+                GlobalSolverKind::Simplex => solve_lp(&self.problem),
+                GlobalSolverKind::Flow => solve_flow(&self.problem, 1e-6),
+            };
         }
+        // Solve over the living workers only, then re-expand the solution
+        // with zeros at dead slots so indices stay layout-aligned.
+        let sub = AllocationProblem {
+            work: work.to_vec(),
+            adjacency: self
+                .problem
+                .adjacency
+                .iter()
+                .zip(&self.dead)
+                .map(|(adj, dead)| {
+                    adj.iter()
+                        .zip(dead)
+                        .filter(|&(_, &d)| !d)
+                        .map(|(&n, _)| n)
+                        .collect()
+                })
+                .collect(),
+            node_cores: self.problem.node_cores.clone(),
+            node_speed: self.problem.node_speed.clone(),
+            keep_local_incentive: self.problem.keep_local_incentive,
+        };
+        let sol = match kind {
+            GlobalSolverKind::Simplex => solve_lp(&sub),
+            GlobalSolverKind::Flow => solve_flow(&sub, 1e-6),
+        }?;
+        let mut work_share = Vec::with_capacity(self.dead.len());
+        let mut cores = Vec::with_capacity(self.dead.len());
+        for (a, dead) in self.dead.iter().enumerate() {
+            let mut ws = vec![0.0; dead.len()];
+            let mut cs = vec![0usize; dead.len()];
+            let mut j = 0;
+            for (k, &d) in dead.iter().enumerate() {
+                if !d {
+                    ws[k] = sol.work_share[a][j];
+                    cs[k] = sol.cores[a][j];
+                    j += 1;
+                }
+            }
+            work_share.push(ws);
+            cores.push(cs);
+        }
+        Ok(AllocationSolution {
+            objective: sol.objective,
+            work_share,
+            cores,
+            iterations: sol.iterations,
+        })
     }
 
     /// Re-arrange a solution's per-(apprank, slot) core counts into
@@ -128,6 +196,7 @@ impl GlobalPolicy {
             "edge already present"
         );
         self.problem.adjacency[apprank].push(node);
+        self.dead[apprank].push(false);
     }
 
     /// Continuous per-node loads implied by a solution's work split.
@@ -294,6 +363,36 @@ mod tests {
             "hot helper owns {} cores",
             per_node[helper_node][helper_proc]
         );
+    }
+
+    #[test]
+    fn dead_worker_excluded_and_cores_redistributed() {
+        let g = generate_circulant(&ExpanderConfig::new(4, 4, 2), &[1]).unwrap();
+        let platform = Platform::homogeneous(4, 8);
+        let layout = ProcessLayout::new(&g, 8);
+        let mut policy = GlobalPolicy::new(&g, &platform);
+        let work = [30.0, 2.0, 2.0, 2.0];
+        policy.retire_worker(0, 1); // kill apprank 0's (hot) helper
+        for kind in [GlobalSolverKind::Simplex, GlobalSolverKind::Flow] {
+            let sol = policy.allocate(&work, kind).unwrap();
+            assert_eq!(sol.cores[0][1], 0, "dead slot pinned to zero");
+            assert_eq!(sol.work_share[0][1], 0.0);
+            let per_node = policy.ownership_by_node(&layout, &sol);
+            for (n, counts) in per_node.iter().enumerate() {
+                assert_eq!(counts.iter().sum::<usize>(), 8, "node {n}: {counts:?}");
+            }
+            // The dead helper's proc owns nothing; every survivor ≥ 1.
+            let dead_node = g.nodes_of(0)[1];
+            let dead_proc = layout.proc_of(0, 1);
+            assert_eq!(per_node[dead_node][dead_proc], 0);
+            for (n, counts) in per_node.iter().enumerate() {
+                for (p, &c) in counts.iter().enumerate() {
+                    if (n, p) != (dead_node, dead_proc) {
+                        assert!(c >= 1, "living worker node {n} proc {p} starved");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

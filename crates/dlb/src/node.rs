@@ -21,6 +21,10 @@ pub enum DlbError {
     BelowMinimum(ProcId),
     /// Release of a core the process is not using.
     NotUser { proc: ProcId, core: usize },
+    /// Operation targeted a retired (dead) process.
+    Retired(ProcId),
+    /// Retiring a process would leave its cores without a living owner.
+    NoSurvivor,
 }
 
 impl fmt::Display for DlbError {
@@ -32,6 +36,10 @@ impl fmt::Display for DlbError {
             DlbError::BelowMinimum(p) => write!(f, "process {p:?} would own zero cores"),
             DlbError::NotUser { proc, core } => {
                 write!(f, "process {proc:?} does not hold core {core}")
+            }
+            DlbError::Retired(p) => write!(f, "process {p:?} is retired"),
+            DlbError::NoSurvivor => {
+                write!(f, "no living process remains to take over the cores")
             }
         }
     }
@@ -100,6 +108,10 @@ pub struct NodeDlb {
     cores: Vec<Core>,
     lewi: bool,
     num_procs: usize,
+    /// `retired[p]`: process `p` is dead. Retired processes own no cores
+    /// (once pending transfers drain), cannot acquire, and are the only
+    /// processes allowed a zero count in [`NodeDlb::set_ownership`].
+    retired: Vec<bool>,
     record: bool,
     events: Vec<DlbEvent>,
 }
@@ -123,6 +135,7 @@ impl NodeDlb {
                 .collect(),
             lewi,
             num_procs,
+            retired: vec![false; num_procs],
             record: false,
             events: Vec::new(),
         }
@@ -219,6 +232,10 @@ impl NodeDlb {
     /// borrowed, so they come home as soon as their tasks finish, and
     /// returns `None`.
     pub fn acquire(&mut self, proc: ProcId) -> Option<usize> {
+        // A retired process never starts anything new (fail-stop).
+        if self.is_retired(proc) {
+            return None;
+        }
         // (1) idle own core.
         if let Some(i) = self
             .cores
@@ -299,10 +316,19 @@ impl NodeDlb {
                 cores: self.cores.len(),
             });
         }
-        if let Some(p) = counts.iter().position(|&c| c == 0) {
-            return Err(DlbError::BelowMinimum(ProcId(p)));
+        // The DLB minimum of one core applies only to living processes;
+        // retired processes must be at zero (they own nothing).
+        for (p, &c) in counts.iter().enumerate() {
+            let retired = self.retired.get(p).copied().unwrap_or(false);
+            if c == 0 && !retired {
+                return Err(DlbError::BelowMinimum(ProcId(p)));
+            }
+            if c > 0 && retired {
+                return Err(DlbError::Retired(ProcId(p)));
+            }
         }
         self.num_procs = self.num_procs.max(counts.len());
+        self.retired.resize(self.num_procs, false);
 
         // Effective current ownership counting pending transfers as done.
         let eff_owner = |c: &Core| c.transfer_to.unwrap_or(c.owner);
@@ -377,6 +403,7 @@ impl NodeDlb {
     pub fn add_process(&mut self) -> ProcId {
         let new = ProcId(self.num_procs);
         self.num_procs += 1;
+        self.retired.resize(self.num_procs, false);
         // Donor: the process owning the most cores (ties → lowest id).
         let mut counts = vec![0usize; self.num_procs];
         for c in &self.cores {
@@ -414,6 +441,75 @@ impl NodeDlb {
         new
     }
 
+    /// Whether `proc` has been retired via [`NodeDlb::retire_process`].
+    pub fn is_retired(&self, proc: ProcId) -> bool {
+        self.retired.get(proc.0).copied().unwrap_or(false)
+    }
+
+    /// Retire a dead worker process: every core it (effectively) owns is
+    /// handed to the living process with the fewest cores (ties → lowest
+    /// id). Idle cores move immediately; cores still running the dead
+    /// process's final task transfer when released (fail-stop after the
+    /// current task). Returns the number of cores reassigned.
+    ///
+    /// Cores the process merely *borrowed* stay with their owners; its
+    /// posted reclaims become moot once the transfer lands.
+    pub fn retire_process(&mut self, proc: ProcId) -> Result<usize, DlbError> {
+        if proc.0 >= self.num_procs {
+            return Err(DlbError::Retired(proc)); // unknown proc: treat as gone
+        }
+        if self.is_retired(proc) {
+            return Err(DlbError::Retired(proc));
+        }
+        self.retired.resize(self.num_procs, false);
+        if !(0..self.num_procs).any(|p| p != proc.0 && !self.retired[p]) {
+            return Err(DlbError::NoSurvivor);
+        }
+        self.retired[proc.0] = true;
+        let eff_owner = |c: &Core| c.transfer_to.unwrap_or(c.owner);
+        // Effective ownership of every living process, for receiver choice.
+        let mut have = vec![0usize; self.num_procs];
+        for c in &self.cores {
+            have[eff_owner(c).0] += 1;
+        }
+        let mut moved = 0usize;
+        for i in 0..self.cores.len() {
+            if eff_owner(&self.cores[i]) != proc {
+                continue;
+            }
+            let recv = (0..self.num_procs)
+                .filter(|&p| !self.retired[p])
+                .min_by_key(|&p| (have[p], p))
+                .ok_or(DlbError::NoSurvivor)?;
+            have[recv] += 1;
+            moved += 1;
+            let recv = ProcId(recv);
+            let c = &mut self.cores[i];
+            match c.user {
+                // Idle, or already used by the receiver: move immediately.
+                None => {
+                    c.owner = recv;
+                    c.transfer_to = None;
+                    c.reclaim = false;
+                }
+                Some(u) if u == recv => {
+                    c.owner = recv;
+                    c.transfer_to = None;
+                    c.reclaim = false;
+                }
+                // Busy (the dead process's final task, or a borrower):
+                // defer until release, like any DROM transfer.
+                Some(_) => {
+                    c.transfer_to = (recv != c.owner).then_some(recv);
+                }
+            }
+        }
+        self.log(DlbEvent::OwnershipSet {
+            counts: self.target_ownership(),
+        });
+        Ok(moved)
+    }
+
     /// Ownership per process, counting deferred transfers as complete
     /// (i.e. the DROM target state).
     pub fn target_ownership(&self) -> Vec<usize> {
@@ -444,6 +540,10 @@ impl NodeDlb {
                 if c.user.is_none() {
                     return Err(format!("core {i}: deferred transfer on idle core"));
                 }
+            }
+            let eff = c.transfer_to.unwrap_or(c.owner);
+            if self.is_retired(eff) {
+                return Err(format!("core {i}: effectively owned by retired {eff:?}"));
             }
         }
         Ok(())
@@ -720,6 +820,64 @@ mod tests {
         n.acquire(ProcId(0)).unwrap();
         n.set_ownership(&[3, 1]).unwrap();
         assert!(n.drain_events().is_empty());
+    }
+
+    #[test]
+    fn retire_moves_idle_cores_to_smallest_survivor() {
+        let mut n = NodeDlb::with_counts(&[3, 2, 1], true);
+        let moved = n.retire_process(ProcId(1)).unwrap();
+        assert_eq!(moved, 2);
+        assert!(n.is_retired(ProcId(1)));
+        assert_eq!(n.owned_count(ProcId(1)), 0);
+        // Both cores went to P2 (fewest cores: 1 vs P0's 3).
+        assert_eq!(n.owned_count(ProcId(2)), 3);
+        assert_eq!(n.owned_count(ProcId(0)), 3);
+        assert_eq!(n.acquire(ProcId(1)), None, "retired proc cannot acquire");
+        n.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn retire_defers_transfer_of_busy_core_until_release() {
+        let mut n = two_proc_node(true);
+        let c0 = n.acquire(ProcId(1)).unwrap();
+        let c1 = n.acquire(ProcId(1)).unwrap();
+        n.retire_process(ProcId(1)).unwrap();
+        // P1's final tasks still run; ownership transfers on release.
+        assert_eq!(n.owned_count(ProcId(0)), 2);
+        assert_eq!(n.target_ownership(), vec![4, 0]);
+        n.release(ProcId(1), c0).unwrap();
+        n.release(ProcId(1), c1).unwrap();
+        assert_eq!(n.owned_count(ProcId(0)), 4);
+        n.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn set_ownership_allows_zero_only_for_retired() {
+        let mut n = NodeDlb::with_counts(&[2, 1, 1], true);
+        n.retire_process(ProcId(2)).unwrap();
+        n.set_ownership(&[3, 1, 0]).unwrap();
+        assert_eq!(n.target_ownership(), vec![3, 1, 0]);
+        // Zero for a living proc is still rejected...
+        assert_eq!(
+            n.set_ownership(&[4, 0, 0]),
+            Err(DlbError::BelowMinimum(ProcId(1)))
+        );
+        // ...and a retired proc cannot be given cores back.
+        assert_eq!(
+            n.set_ownership(&[2, 1, 1]),
+            Err(DlbError::Retired(ProcId(2)))
+        );
+    }
+
+    #[test]
+    fn retire_errors() {
+        let mut n = two_proc_node(true);
+        n.retire_process(ProcId(1)).unwrap();
+        assert_eq!(
+            n.retire_process(ProcId(1)),
+            Err(DlbError::Retired(ProcId(1)))
+        );
+        assert_eq!(n.retire_process(ProcId(0)), Err(DlbError::NoSurvivor));
     }
 
     #[test]

@@ -91,8 +91,8 @@ fn random_ops_preserve_invariants() {
 
         // Drain: release everything, then the last ownership target must be
         // reachable (all transfers applied) and every core idle.
-        for p in 0..procs {
-            for c in std::mem::take(&mut holding[p]) {
+        for (p, held) in holding.iter_mut().enumerate() {
+            for c in std::mem::take(held) {
                 node.release(ProcId(p), c).unwrap();
             }
         }

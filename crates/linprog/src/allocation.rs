@@ -635,6 +635,32 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_zero_work_and_single_node_adjacency() {
+        // Regression: appranks with zero measured work and an apprank
+        // confined to a single node (adjacency of length 1) must still
+        // yield a valid allocation — every worker keeps its one-core
+        // floor and every node's cores are fully assigned.
+        let p = AllocationProblem {
+            work: vec![0.0, 0.0, 4.0],
+            adjacency: vec![vec![0, 1], vec![1], vec![2, 0]],
+            node_cores: vec![4, 4, 4],
+            node_speed: vec![1.0; 3],
+            keep_local_incentive: 1e-6,
+        };
+        for s in [solve_lp(&p).unwrap(), solve_flow(&p, 1e-6).unwrap()] {
+            let mut node_total = vec![0usize; 3];
+            for (a, row) in s.cores.iter().enumerate() {
+                assert_eq!(row.len(), p.adjacency[a].len());
+                for (k, &c) in row.iter().enumerate() {
+                    assert!(c >= 1, "apprank {a} slot {k} below the DLB floor");
+                    node_total[p.adjacency[a][k]] += c;
+                }
+            }
+            assert_eq!(node_total, vec![4, 4, 4]);
+        }
+    }
+
+    #[test]
     fn balanced_load_stays_home() {
         let p = AllocationProblem::new(vec![10.0, 10.0], ring_adjacency(2, 2, 2), 4, 2);
         let s = solve_lp(&p).unwrap();

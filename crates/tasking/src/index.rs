@@ -287,7 +287,7 @@ mod tests {
     fn matches_linear_scan_on_random_workload() {
         // Deterministic pseudo-random insert/remove/query mix, checked
         // against a Vec-based oracle.
-        let mut state = 0x1234_5678_9ABC_DEFu64;
+        let mut state = 0x0123_4567_89AB_CDEF_u64;
         let mut next = move || {
             state ^= state << 13;
             state ^= state >> 7;

@@ -297,6 +297,89 @@ pub fn chrome_trace(events: &[Event], worker_apprank: &[Vec<usize>]) -> Value {
                     vec![("iteration".to_string(), Value::from(*iteration))],
                 ));
             }
+            EventKind::StragglerStart { node, factor } => {
+                out.push(instant(
+                    "straggler_start".to_string(),
+                    ev.at,
+                    *node as i64,
+                    0,
+                    vec![("factor".to_string(), Value::Float(*factor))],
+                ));
+            }
+            EventKind::StragglerEnd { node } => {
+                out.push(instant(
+                    "straggler_end".to_string(),
+                    ev.at,
+                    *node as i64,
+                    0,
+                    vec![],
+                ));
+            }
+            EventKind::WorkerKilled {
+                apprank,
+                node,
+                proc,
+                requeued,
+            } => {
+                out.push(instant(
+                    "worker_killed".to_string(),
+                    ev.at,
+                    *node as i64,
+                    *proc as i64,
+                    vec![
+                        ("apprank".to_string(), Value::from(*apprank)),
+                        ("requeued".to_string(), Value::from(*requeued)),
+                    ],
+                ));
+            }
+            EventKind::MessageDropped {
+                key,
+                to_node,
+                attempt,
+            } => {
+                let mut args = key_args(key);
+                args.push(("attempt".to_string(), Value::from(*attempt)));
+                out.push(instant(
+                    "message_dropped".to_string(),
+                    ev.at,
+                    *to_node as i64,
+                    0,
+                    args,
+                ));
+            }
+            EventKind::MessageFailover {
+                key,
+                to_node,
+                attempts,
+            } => {
+                let mut args = key_args(key);
+                args.push(("attempts".to_string(), Value::from(*attempts)));
+                out.push(instant(
+                    "message_failover".to_string(),
+                    ev.at,
+                    *to_node as i64,
+                    0,
+                    args,
+                ));
+            }
+            EventKind::SolverOutage { active } => {
+                out.push(instant(
+                    "solver_outage".to_string(),
+                    ev.at,
+                    GLOBAL_PID,
+                    0,
+                    vec![("active".to_string(), Value::Bool(*active))],
+                ));
+            }
+            EventKind::SolverFallback { reason } => {
+                out.push(instant(
+                    "solver_fallback".to_string(),
+                    ev.at,
+                    GLOBAL_PID,
+                    0,
+                    vec![("reason".to_string(), Value::from(reason.name()))],
+                ));
+            }
         }
     }
     Value::Object(vec![("traceEvents".to_string(), Value::Array(out))])

@@ -44,6 +44,43 @@ impl DecisionReason {
     }
 }
 
+/// Why a global-solver invocation was answered by the degradation ladder
+/// instead of a fresh LP solution (the fault family's `solver_fallback`
+/// event payload).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// Simplex hit its pivot budget (also used for injected timeouts).
+    IterationLimit,
+    /// The allocation program was reported infeasible mid-run.
+    Infeasible,
+    /// The allocation program was reported unbounded mid-run.
+    Unbounded,
+    /// Any other solver error.
+    Other,
+}
+
+impl FallbackReason {
+    /// Stable lowercase name used in exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FallbackReason::IterationLimit => "iteration_limit",
+            FallbackReason::Infeasible => "infeasible",
+            FallbackReason::Unbounded => "unbounded",
+            FallbackReason::Other => "other",
+        }
+    }
+
+    /// Small stable code used in the CSV `value` column.
+    pub fn code(&self) -> u32 {
+        match self {
+            FallbackReason::IterationLimit => 0,
+            FallbackReason::Infeasible => 1,
+            FallbackReason::Unbounded => 2,
+            FallbackReason::Other => 3,
+        }
+    }
+}
+
 /// Payload of one global-solver invocation: demand vector in, per-apprank
 /// core allocation out, with simplex iteration count and the modelled
 /// (virtual) solve cost charged to the simulation. Boxed inside
@@ -133,6 +170,39 @@ pub enum EventKind {
     HelperSpawned { apprank: u32, node: u32 },
     /// All appranks finished iteration `iteration`.
     IterationEnd { iteration: u32 },
+    /// Fault injection: `node` entered a straggler burst; its speed is
+    /// multiplied by `factor` (< 1) until the matching [`EventKind::StragglerEnd`].
+    StragglerStart { node: u32, factor: f64 },
+    /// Fault recovery: a straggler burst on `node` ended.
+    StragglerEnd { node: u32 },
+    /// Fault injection: worker `proc` on `node` (a helper of `apprank`)
+    /// died; `requeued` queued/in-flight tasks were re-enqueued at home.
+    WorkerKilled {
+        apprank: u32,
+        node: u32,
+        proc: u32,
+        requeued: u32,
+    },
+    /// Fault injection: offload message for `key` towards `to_node` was
+    /// dropped on send attempt `attempt` (0-based) and will be retried.
+    MessageDropped {
+        key: TaskKey,
+        to_node: u32,
+        attempt: u32,
+    },
+    /// Fault absorption: retries for `key` towards `to_node` were
+    /// exhausted after `attempts` sends; the task runs at home instead.
+    MessageFailover {
+        key: TaskKey,
+        to_node: u32,
+        attempts: u32,
+    },
+    /// Fault injection/recovery: a global-solver outage window opened
+    /// (`active`) or closed (`!active`).
+    SolverOutage { active: bool },
+    /// Fault absorption: a solver invocation failed and the runtime fell
+    /// back to the local-convergence / last-good allocation.
+    SolverFallback { reason: FallbackReason },
 }
 
 impl EventKind {
@@ -153,6 +223,13 @@ impl EventKind {
             EventKind::SolverInvoked(..) => "solver_invoked",
             EventKind::HelperSpawned { .. } => "helper_spawned",
             EventKind::IterationEnd { .. } => "iteration_end_ev",
+            EventKind::StragglerStart { .. } => "straggler_start",
+            EventKind::StragglerEnd { .. } => "straggler_end",
+            EventKind::WorkerKilled { .. } => "worker_killed",
+            EventKind::MessageDropped { .. } => "message_dropped",
+            EventKind::MessageFailover { .. } => "message_failover",
+            EventKind::SolverOutage { .. } => "solver_outage",
+            EventKind::SolverFallback { .. } => "solver_fallback",
         }
     }
 }
@@ -239,6 +316,46 @@ impl Event {
                 (name, *node as i64, -1, *apprank as i64, 1.0)
             }
             EventKind::IterationEnd { iteration } => (name, -1, -1, -1, *iteration as f64),
+            EventKind::StragglerStart { node, factor } => (name, *node as i64, -1, -1, *factor),
+            EventKind::StragglerEnd { node } => (name, *node as i64, -1, -1, 1.0),
+            EventKind::WorkerKilled {
+                apprank,
+                node,
+                proc,
+                requeued,
+            } => (
+                name,
+                *node as i64,
+                *proc as i64,
+                *apprank as i64,
+                *requeued as f64,
+            ),
+            EventKind::MessageDropped {
+                key,
+                to_node,
+                attempt,
+            } => (
+                name,
+                *to_node as i64,
+                -1,
+                key.apprank as i64,
+                *attempt as f64,
+            ),
+            EventKind::MessageFailover {
+                key,
+                to_node,
+                attempts,
+            } => (
+                name,
+                *to_node as i64,
+                -1,
+                key.apprank as i64,
+                *attempts as f64,
+            ),
+            EventKind::SolverOutage { active } => {
+                (name, -1, -1, -1, if *active { 1.0 } else { 0.0 })
+            }
+            EventKind::SolverFallback { reason } => (name, -1, -1, -1, reason.code() as f64),
         }
     }
 }
@@ -297,7 +414,7 @@ impl TraceLog {
     /// `(at, stream, seq)`.
     pub fn merged(&self) -> Vec<Event> {
         let mut all: Vec<Event> = self.streams.iter().flatten().cloned().collect();
-        all.sort_by(|a, b| (a.at, a.stream, a.seq).cmp(&(b.at, b.stream, b.seq)));
+        all.sort_by_key(|a| (a.at, a.stream, a.seq));
         all
     }
 

@@ -30,7 +30,10 @@ mod event;
 
 pub use chrome::{chrome_trace, chrome_trace_string};
 pub use counters::Counters;
-pub use event::{DecisionReason, Event, EventKind, SolverRecord, TaskKey, TraceLog, GLOBAL_STREAM};
+pub use event::{
+    DecisionReason, Event, EventKind, FallbackReason, SolverRecord, TaskKey, TraceLog,
+    GLOBAL_STREAM,
+};
 
 /// Which event families a trace records. The sim derives this from its
 /// single `trace: bool` switch today, but the gates are kept separate so
@@ -46,6 +49,9 @@ pub struct TraceConfig {
     pub solver: bool,
     /// Counters registry updates.
     pub counters: bool,
+    /// Fault-injection events: straggler bursts, worker kills, message
+    /// drops/failovers, solver outages and fallbacks.
+    pub fault: bool,
 }
 
 impl TraceConfig {
@@ -56,6 +62,7 @@ impl TraceConfig {
             dlb: true,
             solver: true,
             counters: true,
+            fault: true,
         }
     }
 
@@ -66,12 +73,13 @@ impl TraceConfig {
             dlb: false,
             solver: false,
             counters: false,
+            fault: false,
         }
     }
 
     /// True if any event family records.
     pub fn any(&self) -> bool {
-        self.lifecycle || self.dlb || self.solver || self.counters
+        self.lifecycle || self.dlb || self.solver || self.counters || self.fault
     }
 }
 
