@@ -6,7 +6,9 @@
 //! Usage: `solver_table [--quick]`
 
 use tlb_bench::{Effort, Experiment, Point};
-use tlb_core::{GlobalPolicy, GlobalSolverKind, Platform};
+use tlb_core::{
+    GlobalPolicy, GlobalSolverKind, Platform, PortfolioConfig, PortfolioEngine, Strategy,
+};
 use tlb_expander::{BipartiteGraph, ExpanderConfig};
 
 fn main() {
@@ -22,6 +24,8 @@ fn main() {
     );
     let mut simplex_pts = Vec::new();
     let mut flow_pts = Vec::new();
+    let mut portfolio_pts = Vec::new();
+    let mut portfolio_wins = [0usize; Strategy::COUNT];
     let mut rng = tlb_rng::Rng::seed_from_u64(7);
 
     for &nodes in node_counts {
@@ -44,7 +48,26 @@ fn main() {
         };
         let simplex_ms = time_of(&mut policy, GlobalSolverKind::Simplex);
         let flow_ms = time_of(&mut policy, GlobalSolverKind::Flow);
-        println!("{nodes:>3} nodes: simplex {simplex_ms:8.3} ms, flow {flow_ms:8.3} ms");
+        // The full four-strategy race (inline, deterministic): wall-clock
+        // pays for every strategy, so this bounds the portfolio's real
+        // per-solve cost against the single solvers above.
+        let mut engine =
+            PortfolioEngine::new(PortfolioConfig::default()).expect("default portfolio");
+        let start = std::time::Instant::now();
+        for _ in 0..reps {
+            let sol = policy
+                .allocate_with(&work, |p| engine.solve(p).map(|o| o.solution))
+                .expect("portfolio solve");
+            std::hint::black_box(sol.objective);
+        }
+        let portfolio_ms = start.elapsed().as_secs_f64() * 1e3 / reps as f64;
+        for (w, &s) in portfolio_wins.iter_mut().zip(Strategy::ALL.iter()) {
+            *w += engine.stats().of(s).wins;
+        }
+        println!(
+            "{nodes:>3} nodes: simplex {simplex_ms:8.3} ms, flow {flow_ms:8.3} ms, \
+             portfolio {portfolio_ms:8.3} ms"
+        );
         simplex_pts.push(Point {
             x: nodes as f64,
             y: simplex_ms,
@@ -53,9 +76,23 @@ fn main() {
             x: nodes as f64,
             y: flow_ms,
         });
+        portfolio_pts.push(Point {
+            x: nodes as f64,
+            y: portfolio_ms,
+        });
     }
     exp.push_series("simplex", simplex_pts.clone());
     exp.push_series("maxflow", flow_pts);
+    exp.push_series("portfolio", portfolio_pts);
+    exp.note(format!(
+        "portfolio wins across sizes: {}",
+        Strategy::ALL
+            .iter()
+            .zip(portfolio_wins.iter())
+            .map(|(s, w)| format!("{} {w}", s.name()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
     if let Some(p32) = simplex_pts.iter().find(|p| p.x == 32.0) {
         exp.note(format!(
             "simplex at 32 nodes: {:.1} ms (paper, CVXOPT: ~57 ms)",

@@ -11,7 +11,8 @@
 
 use std::fmt;
 use tlb_cluster::{ClusterSim, FaultPlan, FaultStats, SimReport, SpecWorkload, Workload};
-use tlb_core::{BalanceConfig, DromPolicy, Platform};
+use tlb_core::{BalanceConfig, DromPolicy, Platform, PortfolioConfig, Strategy};
+use tlb_des::SimTime;
 
 /// Which application to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -74,6 +75,10 @@ pub struct Args {
     pub faults: Option<String>,
     /// Seed for the fault plan's deterministic draws.
     pub fault_seed: u64,
+    /// Solver-portfolio spec (see [`PortfolioConfig::parse`]), if any.
+    pub portfolio: Option<String>,
+    /// Portfolio virtual-time budget override, in seconds.
+    pub portfolio_budget: Option<f64>,
 }
 
 impl Default for Args {
@@ -96,6 +101,8 @@ impl Default for Args {
             json: false,
             faults: None,
             fault_seed: 1,
+            portfolio: None,
+            portfolio_budget: None,
         }
     }
 }
@@ -139,10 +146,20 @@ pub const USAGE: &str = "usage: tlb-run [trace] [options]
                                           kill@T[,apprank=A,slot=K]
                                           outage@T[,for=D][,error=timeout|
                                             infeasible|unbounded]
+                                            [,strategy=simplex|flow|greedy|
+                                            local]
                                           loss@T[,for=D][,rate=R][,retries=N]
                                             [,backoff=B]
                                           delay@T[,for=D][,extra=X]
   --fault-seed S                          seed for fault draws (default 1)
+  --portfolio STRATEGIES                  race allocation solvers on every
+                                          global tick; STRATEGIES is 'all' or
+                                          a comma list of simplex,flow,
+                                          greedy,local, optionally prefixed
+                                          'adaptive:' (requires
+                                          --policy global)
+  --portfolio-budget SECS                 virtual-time budget per race
+                                          (default 0.25; needs --portfolio)
   --help                                  this text";
 
 /// Parse an argument list (without the program name).
@@ -210,6 +227,17 @@ pub fn parse_args<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, Parse
             "--json" => args.json = true,
             "--faults" => args.faults = Some(it.next().ok_or_else(|| missing("--faults"))?),
             "--fault-seed" => args.fault_seed = parse_num(&mut it, "--fault-seed")? as u64,
+            "--portfolio" => {
+                args.portfolio = Some(it.next().ok_or_else(|| missing("--portfolio"))?)
+            }
+            "--portfolio-budget" => {
+                args.portfolio_budget = Some(
+                    it.next()
+                        .ok_or_else(|| missing("--portfolio-budget"))?
+                        .parse()
+                        .map_err(|e| ParseError(format!("--portfolio-budget: {e}")))?,
+                )
+            }
             "--help" | "-h" => return Err(ParseError(USAGE.to_string())),
             other => return Err(ParseError(format!("unknown flag '{other}'\n{USAGE}"))),
         }
@@ -226,6 +254,22 @@ pub fn parse_args<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, Parse
     if let Some(spec) = &args.faults {
         FaultPlan::parse(spec, args.fault_seed)
             .map_err(|e| ParseError(format!("--faults: {e}")))?;
+    }
+    if let Some(spec) = &args.portfolio {
+        PortfolioConfig::parse(spec).map_err(|e| ParseError(format!("--portfolio: {e}")))?;
+        if args.policy != DromPolicy::Global {
+            return Err(ParseError("--portfolio requires --policy global".into()));
+        }
+    }
+    if let Some(budget) = args.portfolio_budget {
+        if args.portfolio.is_none() {
+            return Err(ParseError("--portfolio-budget needs --portfolio".into()));
+        }
+        if !budget.is_finite() || budget <= 0.0 {
+            return Err(ParseError(format!(
+                "--portfolio-budget must be a positive number of seconds, got {budget}"
+            )));
+        }
     }
     Ok(args)
 }
@@ -259,6 +303,13 @@ pub fn build_config(args: &Args) -> BalanceConfig {
         ..BalanceConfig::default()
     };
     cfg.seed = args.seed;
+    if let Some(spec) = &args.portfolio {
+        let mut pc = PortfolioConfig::parse(spec).expect("validated by parse_args");
+        if let Some(budget) = args.portfolio_budget {
+            pc = pc.with_budget(SimTime::from_secs_f64(budget));
+        }
+        cfg.portfolio = Some(pc);
+    }
     cfg
 }
 
@@ -413,6 +464,31 @@ pub fn format_text(args: &Args, report: &SimReport, perfect: f64) -> String {
             f.solver_fallbacks
         );
     }
+    if let Some(p) = &report.portfolio {
+        let _ = writeln!(
+            out,
+            "portfolio:           {} races, {} without a winner",
+            p.solves, p.no_winner
+        );
+        for &s in &Strategy::ALL {
+            let st = p.of(s);
+            if st.attempts == 0 && st.wins == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  {:<8} attempts {:<4} wins {:<4} infeasible {} errors {} \
+                 timeouts {} cost {:.4} s",
+                s.name(),
+                st.attempts,
+                st.wins,
+                st.infeasible,
+                st.errors,
+                st.timeouts,
+                st.virtual_cost.as_secs_f64()
+            );
+        }
+    }
     if report.trace.enabled && !report.trace.counters.is_empty() {
         let _ = writeln!(out, "counters:");
         for (name, value) in report.trace.counters.sorted_counts() {
@@ -470,6 +546,34 @@ pub fn format_json(args: &Args, report: &SimReport, perfect: f64) -> String {
                 ("messages_dropped", f.messages_dropped.into()),
                 ("message_failovers", f.message_failovers.into()),
                 ("solver_fallbacks", f.solver_fallbacks.into()),
+            ]),
+        ));
+    }
+    if let Some(p) = &report.portfolio {
+        let per_strategy = Strategy::ALL
+            .iter()
+            .map(|&s| {
+                let st = p.of(s);
+                (
+                    s.name(),
+                    Value::object(vec![
+                        ("attempts", st.attempts.into()),
+                        ("wins", st.wins.into()),
+                        ("infeasible", st.infeasible.into()),
+                        ("errors", st.errors.into()),
+                        ("timeouts", st.timeouts.into()),
+                        ("demotions", st.demotions.into()),
+                        ("virtual_cost_s", st.virtual_cost.as_secs_f64().into()),
+                    ]),
+                )
+            })
+            .collect();
+        fields.push((
+            "portfolio",
+            Value::object(vec![
+                ("solves", p.solves.into()),
+                ("no_winner", p.no_winner.into()),
+                ("per_strategy", Value::object(per_strategy)),
             ]),
         ));
     }
@@ -653,6 +757,62 @@ mod tests {
         assert!(!format_text(&clean, &r2, p2).contains("faults:"));
         let j2 = tlb_json::parse(&format_json(&clean, &r2, p2)).unwrap();
         assert!(j2.get("faults").is_null());
+    }
+
+    #[test]
+    fn portfolio_flags_parse_and_validate() {
+        let a = args("--portfolio all --portfolio-budget 0.1").unwrap();
+        assert_eq!(a.portfolio.as_deref(), Some("all"));
+        assert_eq!(a.portfolio_budget, Some(0.1));
+        let cfg = build_config(&a);
+        let pc = cfg.portfolio.expect("portfolio config set");
+        assert_eq!(pc.strategies.len(), 4);
+        assert_eq!(pc.budget, SimTime::from_secs_f64(0.1));
+        // Spec and combination errors are parse errors (exit 2).
+        assert!(args("--portfolio cplex").is_err());
+        assert!(args("--portfolio simplex,simplex").is_err());
+        assert!(args("--portfolio all --policy local").is_err());
+        assert!(args("--portfolio-budget 0.1").is_err());
+        assert!(args("--portfolio all --portfolio-budget 0").is_err());
+        assert!(args("--portfolio all --portfolio-budget nan").is_err());
+        // Adaptive prefix and defaults.
+        let b = args("--portfolio adaptive:simplex,greedy").unwrap();
+        let pc = build_config(&b).portfolio.unwrap();
+        assert!(pc.adaptive);
+        assert_eq!(pc.strategies, vec![Strategy::Simplex, Strategy::Greedy]);
+        assert_eq!(build_config(&args("").unwrap()).portfolio, None);
+    }
+
+    #[test]
+    fn portfolio_run_reports_stats() {
+        let a = args(
+            "--app synthetic --nodes 4 --degree 2 --iterations 3 --machine ideal \
+             --portfolio all",
+        )
+        .unwrap();
+        let (report, perfect) = run(&a).unwrap();
+        let p = report.portfolio.as_ref().expect("portfolio stats");
+        assert!(p.solves > 0, "no races ran");
+        let text = format_text(&a, &report, perfect);
+        assert!(text.contains("portfolio:"), "{text}");
+        let json = tlb_json::parse(&format_json(&a, &report, perfect)).unwrap();
+        assert_eq!(
+            json.get("portfolio").get("solves").as_usize(),
+            Some(p.solves)
+        );
+        assert!(json
+            .get("portfolio")
+            .get("per_strategy")
+            .get("simplex")
+            .get("attempts")
+            .as_usize()
+            .is_some());
+
+        // Portfolio-free runs keep the report clean.
+        let clean = args("--app synthetic --nodes 4 --degree 2 --iterations 3 --machine ideal");
+        let (r2, p2) = run(&clean.unwrap()).unwrap();
+        assert!(r2.portfolio.is_none());
+        assert!(!format_text(&a, &r2, p2).contains("portfolio:"));
     }
 
     #[test]

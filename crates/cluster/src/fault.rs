@@ -15,6 +15,7 @@
 
 use tlb_des::SimTime;
 use tlb_linprog::LpError;
+use tlb_portfolio::Strategy;
 
 /// A sustained slowdown of one node, beyond DVFS noise: at `at`, the
 /// node's speed is multiplied by `1 / slowdown` until `at + duration`.
@@ -46,7 +47,11 @@ pub struct WorkerKillFault {
 
 /// A window during which the global LP solver fails instead of solving.
 /// Every global tick inside the window falls back to the degradation
-/// ladder rather than aborting the run.
+/// ladder rather than aborting the run. When the run races a solver
+/// portfolio, an outage can instead target one `strategy`: that strategy
+/// stops being raced for the window and the portfolio degrades gracefully
+/// to whatever is left; the fallback ladder only engages when *every*
+/// strategy is disabled.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SolverOutageFault {
     /// Virtual time the outage starts.
@@ -56,6 +61,9 @@ pub struct SolverOutageFault {
     /// The error the solver reports (timeouts map to
     /// [`LpError::IterationLimit`]).
     pub error: LpError,
+    /// Portfolio strategy taken down, or `None` for the whole solver.
+    /// Strategy-scoped outages require a configured portfolio.
+    pub strategy: Option<Strategy>,
 }
 
 /// Message loss on the offload control path: within the window each send
@@ -165,6 +173,24 @@ impl FaultPlan {
             at: SimTime::from_secs_f64(at),
             duration: SimTime::from_secs_f64(duration),
             error,
+            strategy: None,
+        });
+        self
+    }
+
+    /// Add an outage of a single portfolio strategy (builder style).
+    pub fn with_strategy_outage(
+        mut self,
+        at: f64,
+        duration: f64,
+        error: LpError,
+        strategy: Strategy,
+    ) -> Self {
+        self.outages.push(SolverOutageFault {
+            at: SimTime::from_secs_f64(at),
+            duration: SimTime::from_secs_f64(duration),
+            error,
+            strategy: Some(strategy),
         });
         self
     }
@@ -206,9 +232,11 @@ impl FaultPlan {
     ///   slower (default 4) for `D` seconds (default 1).
     /// * `kill@T[,apprank=A,slot=K]` — kill a helper worker at `T`;
     ///   without an explicit victim one is picked from the fault seed.
-    /// * `outage@T[,for=D][,error=E]` — the global solver fails for `D`
-    ///   seconds (default 1); `E` ∈ `timeout` (default), `iteration_limit`,
-    ///   `infeasible`, `unbounded`.
+    /// * `outage@T[,for=D][,error=E][,strategy=S]` — the global solver
+    ///   fails for `D` seconds (default 1); `E` ∈ `timeout` (default),
+    ///   `iteration_limit`, `infeasible`, `unbounded`. With `strategy=S`
+    ///   (`S` ∈ `simplex`, `flow`, `greedy`, `local`) only that portfolio
+    ///   strategy is taken down (requires `--portfolio`).
     /// * `loss@T[,for=D][,rate=R][,retries=N][,backoff=B]` — offload
     ///   messages drop with probability `R` (default 0.5) from `T` for
     ///   `D` seconds (default: rest of run), retried `N` times (default 3)
@@ -306,7 +334,7 @@ impl FaultPlan {
                     });
                 }
                 "outage" => {
-                    known(&["for", "error"])?;
+                    known(&["for", "error", "strategy"])?;
                     let dur = get_f64("for", 1.0)?;
                     let error = match get("error").unwrap_or("timeout") {
                         "timeout" | "iteration_limit" => LpError::IterationLimit,
@@ -314,7 +342,18 @@ impl FaultPlan {
                         "unbounded" => LpError::Unbounded,
                         other => return Err(format!("clause '{clause}': unknown error '{other}'")),
                     };
-                    plan = plan.with_outage(at, dur, error);
+                    let strategy = match get("strategy") {
+                        Some(s) => Some(
+                            Strategy::parse(s).map_err(|e| format!("clause '{clause}': {e}"))?,
+                        ),
+                        None => None,
+                    };
+                    plan.outages.push(SolverOutageFault {
+                        at: SimTime::from_secs_f64(at),
+                        duration: SimTime::from_secs_f64(dur),
+                        error,
+                        strategy,
+                    });
                 }
                 "loss" => {
                     known(&["for", "rate", "retries", "backoff"])?;
@@ -437,6 +476,19 @@ mod tests {
         let loss = plan.loss.unwrap();
         assert_eq!(loss.rate, 0.5);
         assert_eq!(loss.max_retries, 3);
+    }
+
+    #[test]
+    fn parse_strategy_outage() {
+        let plan = FaultPlan::parse("outage@1,for=0.5,strategy=flow", 0).unwrap();
+        assert_eq!(plan.outages[0].strategy, Some(Strategy::Flow));
+        assert_eq!(plan.outages[0].error, LpError::IterationLimit);
+        let plan = FaultPlan::parse("outage@1", 0).unwrap();
+        assert_eq!(
+            plan.outages[0].strategy, None,
+            "default is the whole solver"
+        );
+        assert!(FaultPlan::parse("outage@1,strategy=cplex", 0).is_err());
     }
 
     #[test]

@@ -13,7 +13,8 @@ use tlb_core::{
 use tlb_des::{Ctx, SimTime, Simulator, World};
 use tlb_dlb::{DlbEvent, NodeDlb, ProcId, Talp};
 use tlb_expander::{BipartiteGraph, ExpanderConfig, ExpanderError};
-use tlb_linprog::LpError;
+use tlb_linprog::{AllocationSolution, LpError};
+use tlb_portfolio::{PortfolioEngine, Strategy};
 use tlb_rng::Rng;
 use tlb_tasking::{TaskDef, TaskGraph, TaskId};
 use tlb_trace::{DecisionReason, EventKind, FallbackReason, TaskKey, TraceLog, GLOBAL_STREAM};
@@ -142,13 +143,17 @@ enum Ev {
         idx: u64,
         victim: Option<(usize, usize)>,
     },
-    /// Injected fault: the global solver starts failing with `error`.
+    /// Injected fault: the global solver starts failing with `error`, or
+    /// (with `strategy` set) one portfolio strategy stops being raced.
     FaultOutage {
         error: LpError,
         duration: SimTime,
+        strategy: Option<Strategy>,
     },
     /// A solver outage window closes.
-    FaultOutageEnd,
+    FaultOutageEnd {
+        strategy: Option<Strategy>,
+    },
 }
 
 struct State<W: Workload> {
@@ -176,6 +181,9 @@ struct State<W: Workload> {
     appranks: Vec<ApprankState>,
     workload: W,
     global_policy: Option<GlobalPolicy>,
+    /// The racing solver portfolio (`BalanceConfig::portfolio`); its
+    /// per-strategy stats end up in [`SimReport::portfolio`].
+    portfolio: Option<PortfolioEngine>,
     iteration: usize,
     iteration_start: SimTime,
     remaining_appranks: usize,
@@ -357,6 +365,35 @@ impl ClusterSim {
                 .allocate(&vec![0.0; appranks], config.solver)
                 .map_err(SimError::Solver)?;
         }
+        // Racing solver portfolio: only meaningful where the global solver
+        // runs, so anything else is a configuration error, not a silent
+        // no-op.
+        let portfolio = match &config.portfolio {
+            Some(pc) if config.drom != DromPolicy::Global => {
+                return Err(SimError::Shape(format!(
+                    "portfolio ({} strategies) requires the global DROM policy",
+                    pc.strategies.len()
+                )));
+            }
+            Some(pc) => Some(PortfolioEngine::new(pc.clone()).map_err(SimError::Shape)?),
+            None => None,
+        };
+        for o in &plan.outages {
+            if let Some(s) = o.strategy {
+                let Some(pc) = &config.portfolio else {
+                    return Err(SimError::Shape(format!(
+                        "fault plan: strategy-scoped outage ('{}') requires a solver portfolio",
+                        s.name()
+                    )));
+                };
+                if !pc.enabled(s) {
+                    return Err(SimError::Shape(format!(
+                        "fault plan: outage strategy '{}' is not raced by the portfolio",
+                        s.name()
+                    )));
+                }
+            }
+        }
         for s in &plan.stragglers {
             if s.node >= platform.nodes {
                 return Err(SimError::Shape(format!(
@@ -421,6 +458,7 @@ impl ClusterSim {
             appranks: apprank_states,
             workload,
             global_policy,
+            portfolio,
             iteration: 0,
             iteration_start: SimTime::ZERO,
             remaining_appranks: 0,
@@ -498,6 +536,7 @@ impl ClusterSim {
                 Ev::FaultOutage {
                     error: o.error.clone(),
                     duration: o.duration,
+                    strategy: o.strategy,
                 },
             );
         }
@@ -535,6 +574,7 @@ impl ClusterSim {
             solver_time: state.solver_time,
             spawned_helpers: state.spawned_helpers,
             faults: state.faults,
+            portfolio: state.portfolio.as_ref().map(|e| e.stats().clone()),
             trace: state.trace,
         })
     }
@@ -581,6 +621,11 @@ impl<W: Workload> State<W> {
     /// True when fault events are being recorded.
     fn fault_on(&self) -> bool {
         self.trace.enabled && self.trace.config.fault
+    }
+
+    /// True when solver-portfolio events are being recorded.
+    fn portfolio_on(&self) -> bool {
+        self.trace.enabled && self.trace.config.portfolio
     }
 
     /// Record an unrecoverable error instead of panicking. The first error
@@ -891,9 +936,17 @@ impl<W: Workload> State<W> {
         self.try_start_node(ctx, node);
     }
 
-    /// A solver outage window opens: every global tick inside it sees the
-    /// injected error and takes the fallback ladder.
-    fn handle_outage(&mut self, ctx: &mut Ctx<Ev>, error: LpError, duration: SimTime) {
+    /// A solver outage window opens. A whole-solver outage (`strategy`
+    /// `None`) makes every global tick inside it see the injected error
+    /// and take the fallback ladder; a strategy-scoped outage merely
+    /// pulls that strategy out of the portfolio race for the window.
+    fn handle_outage(
+        &mut self,
+        ctx: &mut Ctx<Ev>,
+        error: LpError,
+        duration: SimTime,
+        strategy: Option<Strategy>,
+    ) {
         self.faults.injected += 1;
         if self.counters_on() {
             self.trace.counters.inc("fault_outages");
@@ -902,8 +955,17 @@ impl<W: Workload> State<W> {
             self.faults.recovered += 1;
             return;
         }
-        self.outage_active += 1;
-        self.outage_error = Some(error);
+        match strategy {
+            None => {
+                self.outage_active += 1;
+                self.outage_error = Some(error);
+            }
+            Some(s) => {
+                if let Some(engine) = self.portfolio.as_mut() {
+                    engine.disable_strategy(s);
+                }
+            }
+        }
         if self.fault_on() {
             self.trace.log.push(
                 GLOBAL_STREAM,
@@ -911,14 +973,23 @@ impl<W: Workload> State<W> {
                 EventKind::SolverOutage { active: true },
             );
         }
-        ctx.schedule_in(duration, Ev::FaultOutageEnd);
+        ctx.schedule_in(duration, Ev::FaultOutageEnd { strategy });
     }
 
     /// A solver outage window closes.
-    fn handle_outage_end(&mut self, ctx: &mut Ctx<Ev>) {
-        self.outage_active = self.outage_active.saturating_sub(1);
-        if self.outage_active == 0 {
-            self.outage_error = None;
+    fn handle_outage_end(&mut self, ctx: &mut Ctx<Ev>, strategy: Option<Strategy>) {
+        match strategy {
+            None => {
+                self.outage_active = self.outage_active.saturating_sub(1);
+                if self.outage_active == 0 {
+                    self.outage_error = None;
+                }
+            }
+            Some(s) => {
+                if let Some(engine) = self.portfolio.as_mut() {
+                    engine.enable_strategy(s);
+                }
+            }
         }
         self.faults.recovered += 1;
         if self.fault_on() {
@@ -1709,12 +1780,12 @@ impl<W: Workload> State<W> {
         let injected = (self.outage_active > 0)
             .then(|| self.outage_error.clone())
             .flatten();
-        let Some(policy) = self.global_policy.as_mut() else {
+        if self.global_policy.is_none() {
             return;
-        };
+        }
         let result = match injected {
             Some(err) => Err(err),
-            None => policy.allocate(&work, self.config.solver),
+            None => self.solve_global(now, &work),
         };
         let mut solution = match result {
             Ok(s) => s,
@@ -1728,12 +1799,7 @@ impl<W: Workload> State<W> {
         // and re-solve so the new capacity is used immediately.
         if let Some(dynamic) = self.config.dynamic {
             if self.maybe_spawn_helpers(ctx, &work, &solution, dynamic) {
-                let resolved = self
-                    .global_policy
-                    .as_mut()
-                    .expect("policy exists")
-                    .allocate(&work, self.config.solver);
-                match resolved {
+                match self.solve_global(now, &work) {
                     Ok(s) => solution = s,
                     Err(err) => {
                         self.solver_fallback(ctx, now, err, &deltas, wall_start);
@@ -1776,6 +1842,71 @@ impl<W: Workload> State<W> {
         }
         ctx.schedule_in(cost, Ev::ApplyOwnership { per_node });
         ctx.schedule_in(self.config.global_period, Ev::GlobalTick);
+    }
+
+    /// One global allocation solve: the portfolio race when configured
+    /// (recording its trace events and counters), else the single
+    /// configured solver. Errors from either path feed the same
+    /// degradation ladder in the caller.
+    fn solve_global(&mut self, now: SimTime, work: &[f64]) -> Result<AllocationSolution, LpError> {
+        let solver = self.config.solver;
+        let policy = self
+            .global_policy
+            .as_mut()
+            .expect("global solve without policy");
+        let Some(engine) = self.portfolio.as_mut() else {
+            return policy.allocate(work, solver);
+        };
+        let budget_s = engine.config().budget.as_secs_f64();
+        let mut picked = None;
+        let result = policy.allocate_with(work, |p| {
+            let out = engine.solve(p)?;
+            picked = Some((out.winner, out.score, out.candidates, out.race_cost));
+            Ok(out.solution)
+        });
+        if let Some((winner, score, candidates, race_cost)) = picked {
+            if self.counters_on() {
+                self.trace.counters.inc("portfolio_solves");
+                self.trace.counters.inc(match winner {
+                    Strategy::Simplex => "portfolio_wins_simplex",
+                    Strategy::Flow => "portfolio_wins_flow",
+                    Strategy::Greedy => "portfolio_wins_greedy",
+                    Strategy::Local => "portfolio_wins_local",
+                });
+                self.trace
+                    .counters
+                    .add_gauge("portfolio_race_modelled_ms", race_cost.as_secs_f64() * 1e3);
+            }
+            if self.portfolio_on() {
+                let rec = tlb_trace::PortfolioRecord {
+                    candidates: candidates
+                        .iter()
+                        .map(|c| tlb_trace::PortfolioCandidate {
+                            strategy: c.strategy.code(),
+                            name: c.strategy.name(),
+                            score: c.score.unwrap_or(-1.0),
+                            cost_s: c.cost.as_secs_f64(),
+                            timed_out: c.timed_out,
+                        })
+                        .collect(),
+                    budget_s,
+                };
+                self.trace
+                    .log
+                    .push(GLOBAL_STREAM, now, EventKind::PortfolioSolve(Box::new(rec)));
+                self.trace.log.push(
+                    GLOBAL_STREAM,
+                    now,
+                    EventKind::PortfolioPick {
+                        strategy: winner.code(),
+                        name: winner.name(),
+                        score,
+                        raced: candidates.len() as u32,
+                    },
+                );
+            }
+        }
+        result
     }
 
     /// The global solver failed mid-run (injected outage or a real LP
@@ -2035,8 +2166,12 @@ impl<W: Workload> World for State<W> {
                 self.handle_straggler_end(ctx, node, slowdown)
             }
             Ev::FaultKill { idx, victim } => self.handle_kill(ctx, idx, victim),
-            Ev::FaultOutage { error, duration } => self.handle_outage(ctx, error, duration),
-            Ev::FaultOutageEnd => self.handle_outage_end(ctx),
+            Ev::FaultOutage {
+                error,
+                duration,
+                strategy,
+            } => self.handle_outage(ctx, error, duration, strategy),
+            Ev::FaultOutageEnd { strategy } => self.handle_outage_end(ctx, strategy),
         }
     }
 }
@@ -2747,5 +2882,164 @@ mod tests {
             Err(SimError::Shape(msg)) => assert!(msg.contains("loss rate"), "{msg}"),
             other => panic!("expected shape error, got {other:?}"),
         }
+    }
+
+    /// The fault setup with a full four-strategy portfolio racing on the
+    /// global ticks.
+    fn portfolio_setup(pool_threads: usize) -> (Platform, BalanceConfig, SpecWorkload) {
+        let (p, mut cfg, wl) = faulty_setup();
+        cfg.portfolio =
+            Some(tlb_portfolio::PortfolioConfig::default().with_pool_threads(pool_threads));
+        (p, cfg, wl)
+    }
+
+    #[test]
+    fn portfolio_run_completes_and_accounts_every_solve() {
+        let (p, cfg, wl) = portfolio_setup(1);
+        let r = ClusterSim::run_with_faults(&p, &cfg, wl, true, None, &FaultPlan::none()).unwrap();
+        assert_eq!(r.total_tasks, 4 * 100);
+        let stats = r.portfolio.expect("portfolio stats missing");
+        assert_eq!(stats.solves, r.solver_runs, "one race per solver run");
+        assert_eq!(stats.no_winner, 0);
+        let wins: usize = Strategy::ALL.iter().map(|&s| stats.of(s).wins).sum();
+        assert_eq!(wins, stats.solves, "every race crowned a winner");
+        // Every enabled strategy raced every time (nothing demoted in the
+        // non-adaptive default).
+        for &s in &Strategy::ALL {
+            assert_eq!(stats.of(s).attempts, stats.solves, "{}", s.name());
+        }
+        // Portfolio events landed on the global stream.
+        let merged = r.trace.log.merged();
+        let solves = merged
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::PortfolioSolve(_)))
+            .count();
+        let picks = merged
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::PortfolioPick { .. }))
+            .count();
+        assert_eq!(solves, stats.solves);
+        assert_eq!(picks, stats.solves);
+    }
+
+    #[test]
+    fn portfolio_run_is_bitwise_identical_across_pool_threads() {
+        let runs: Vec<SimReport> = [1usize, 2, 4]
+            .iter()
+            .map(|&threads| {
+                let (p, cfg, wl) = portfolio_setup(threads);
+                ClusterSim::run_with_faults(&p, &cfg, wl, true, None, &FaultPlan::none()).unwrap()
+            })
+            .collect();
+        for r in &runs[1..] {
+            assert_eq!(runs[0].makespan, r.makespan);
+            assert_eq!(runs[0].iteration_times, r.iteration_times);
+            assert_eq!(runs[0].events, r.events);
+            assert_eq!(runs[0].portfolio, r.portfolio);
+            assert_eq!(runs[0].trace.log.merged(), r.trace.log.merged());
+            assert_eq!(
+                runs[0].trace.counters.sorted_counts(),
+                r.trace.counters.sorted_counts()
+            );
+        }
+    }
+
+    #[test]
+    fn portfolio_requires_global_drom() {
+        let (p, mut cfg, wl) = portfolio_setup(1);
+        cfg.drom = DromPolicy::Local;
+        cfg.dynamic = None;
+        match ClusterSim::run_with_faults(&p, &cfg, wl, false, None, &FaultPlan::none()) {
+            Err(SimError::Shape(msg)) => assert!(msg.contains("global DROM"), "{msg}"),
+            other => panic!("expected shape error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strategy_outage_requires_matching_portfolio() {
+        // Strategy-scoped outage without any portfolio: setup error.
+        let (p, cfg, wl) = faulty_setup();
+        let plan = FaultPlan::new(1).with_strategy_outage(
+            0.3,
+            1.0,
+            LpError::IterationLimit,
+            Strategy::Flow,
+        );
+        match ClusterSim::run_with_faults(&p, &cfg, wl, false, None, &plan) {
+            Err(SimError::Shape(msg)) => assert!(msg.contains("portfolio"), "{msg}"),
+            other => panic!("expected shape error, got {other:?}"),
+        }
+        // Outage of a strategy the portfolio does not race: setup error.
+        let (p, mut cfg, wl) = portfolio_setup(1);
+        cfg.portfolio = Some(tlb_portfolio::PortfolioConfig::parse("simplex,flow").unwrap());
+        let plan = FaultPlan::new(1).with_strategy_outage(
+            0.3,
+            1.0,
+            LpError::IterationLimit,
+            Strategy::Greedy,
+        );
+        match ClusterSim::run_with_faults(&p, &cfg, wl, false, None, &plan) {
+            Err(SimError::Shape(msg)) => assert!(msg.contains("not raced"), "{msg}"),
+            other => panic!("expected shape error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strategy_outage_degrades_the_race_then_recovers() {
+        let (p, cfg, wl) = portfolio_setup(1);
+        // Knock the simplex strategy out over the middle of the run; the
+        // remaining three keep the global policy solving (no fallback).
+        let plan = FaultPlan::new(1).with_strategy_outage(
+            0.3,
+            1.0,
+            LpError::IterationLimit,
+            Strategy::Simplex,
+        );
+        let r = ClusterSim::run_with_faults(&p, &cfg, wl, true, None, &plan).unwrap();
+        assert_eq!(r.total_tasks, 4 * 100);
+        assert_eq!(r.faults.injected, 1);
+        assert_eq!(r.faults.recovered, 1);
+        assert_eq!(r.faults.solver_fallbacks, 0, "three strategies remained");
+        let stats = r.portfolio.expect("portfolio stats missing");
+        assert!(
+            stats.of(Strategy::Simplex).attempts < stats.solves,
+            "simplex sat out some races: {} of {}",
+            stats.of(Strategy::Simplex).attempts,
+            stats.solves
+        );
+        assert_eq!(stats.of(Strategy::Flow).attempts, stats.solves);
+    }
+
+    /// Satellite: with *every* strategy fault-disabled over a window, the
+    /// portfolio path degrades exactly like a whole-solver outage of the
+    /// same window — the PR 3 fallback ladder, bit for bit. Fault-family
+    /// events and counters necessarily differ (four injections vs one),
+    /// so the comparison runs lifecycle/dlb/solver families only.
+    #[test]
+    fn all_strategies_down_matches_whole_solver_outage_bitwise() {
+        let families = {
+            let mut f = tlb_trace::TraceConfig::off();
+            f.lifecycle = true;
+            f.dlb = true;
+            f.solver = true;
+            f
+        };
+        let mut all_down = FaultPlan::new(1);
+        for &s in &Strategy::ALL {
+            all_down = all_down.with_strategy_outage(0.3, 1.0, LpError::Infeasible, s);
+        }
+        let whole = FaultPlan::new(1).with_outage(0.3, 1.0, LpError::Infeasible);
+        let run = |plan: &FaultPlan| {
+            let (p, cfg, wl) = portfolio_setup(1);
+            ClusterSim::run_with_faults(&p, &cfg, wl, true, Some(families), plan).unwrap()
+        };
+        let a = run(&all_down);
+        let b = run(&whole);
+        assert!(a.faults.solver_fallbacks >= 1, "outage covered no tick");
+        assert_eq!(a.faults.solver_fallbacks, b.faults.solver_fallbacks);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.iteration_times, b.iteration_times);
+        assert_eq!(a.total_tasks, b.total_tasks);
+        assert_eq!(a.trace.log.merged(), b.trace.log.merged());
     }
 }

@@ -1,6 +1,7 @@
 //! Experiment configuration: platform description and balancing knobs.
 
 use tlb_des::SimTime;
+use tlb_portfolio::PortfolioConfig;
 
 /// A scheduled change of one node's speed (DVFS step, thermal throttle,
 /// turbo variation — the system-level imbalance sources of the paper's
@@ -226,6 +227,10 @@ pub struct BalanceConfig {
     /// Dynamic helper spawning (requires `drom == Global`); `degree` is
     /// then the *initial* degree, usually 1.
     pub dynamic: Option<DynamicSpreading>,
+    /// Race a solver portfolio on every global tick instead of the single
+    /// `solver` (requires `drom == Global`). `None` keeps the paper's
+    /// single-solver behaviour.
+    pub portfolio: Option<PortfolioConfig>,
 }
 
 impl Default for BalanceConfig {
@@ -244,6 +249,7 @@ impl Default for BalanceConfig {
             work_signal: WorkSignal::CreatedWork,
             steal_gate: StealGate::Usable,
             dynamic: None,
+            portfolio: None,
         }
     }
 }

@@ -36,6 +36,11 @@ mod sched;
 /// (see the `tlb-rng` crate docs for the reproducibility guarantees).
 pub use tlb_rng as rng;
 
+/// The racing solver portfolio behind `BalanceConfig::portfolio` (see the
+/// `tlb-portfolio` crate docs for the determinism guarantees).
+pub use tlb_portfolio as portfolio;
+pub use tlb_portfolio::{PortfolioConfig, PortfolioEngine, PortfolioStats, Strategy};
+
 pub use config::{
     BalanceConfig, DromPolicy, DynamicSpreading, GlobalSolverKind, Platform, SpeedEvent, StealGate,
     WorkSignal,

@@ -98,13 +98,32 @@ impl GlobalPolicy {
         work: &[f64],
         kind: GlobalSolverKind,
     ) -> Result<AllocationSolution, LpError> {
+        // A single solver is a portfolio of size 1: the same entry point
+        // serves both paths, so dead-worker masking behaves identically.
+        self.allocate_with(work, |problem| match kind {
+            GlobalSolverKind::Simplex => solve_lp(problem),
+            GlobalSolverKind::Flow => solve_flow(problem, 1e-6),
+        })
+    }
+
+    /// Solve for ownership with a caller-supplied solver (the portfolio
+    /// engine, or anything else mapping an [`AllocationProblem`] to an
+    /// [`AllocationSolution`]). Handles the dead-worker masking exactly
+    /// like [`GlobalPolicy::allocate`]: the solver only ever sees living
+    /// workers, and the returned solution is re-expanded with zeros at
+    /// dead slots so `(apprank, slot)` indices stay layout-aligned.
+    pub fn allocate_with<F>(
+        &mut self,
+        work: &[f64],
+        solve: F,
+    ) -> Result<AllocationSolution, LpError>
+    where
+        F: FnOnce(&AllocationProblem) -> Result<AllocationSolution, LpError>,
+    {
         assert_eq!(work.len(), self.problem.work.len(), "work vector length");
         self.problem.work.copy_from_slice(work);
         if !self.has_dead() {
-            return match kind {
-                GlobalSolverKind::Simplex => solve_lp(&self.problem),
-                GlobalSolverKind::Flow => solve_flow(&self.problem, 1e-6),
-            };
+            return solve(&self.problem);
         }
         // Solve over the living workers only, then re-expand the solution
         // with zeros at dead slots so indices stay layout-aligned.
@@ -127,10 +146,7 @@ impl GlobalPolicy {
             node_speed: self.problem.node_speed.clone(),
             keep_local_incentive: self.problem.keep_local_incentive,
         };
-        let sol = match kind {
-            GlobalSolverKind::Simplex => solve_lp(&sub),
-            GlobalSolverKind::Flow => solve_flow(&sub, 1e-6),
-        }?;
+        let sol = solve(&sub)?;
         let mut work_share = Vec::with_capacity(self.dead.len());
         let mut cores = Vec::with_capacity(self.dead.len());
         for (a, dead) in self.dead.iter().enumerate() {

@@ -260,15 +260,34 @@ impl Tableau {
         // basis: z_j - c_j. Maintain implicitly: compute y = c_B B^-1 via
         // the tableau (the tableau is kept in B^-1 A form).
         let max_iters = 50 * (rows + self.cols).max(100);
+        // Dantzig's rule is fast on these allocation programs but can cycle
+        // forever on degenerate vertices (Beale's example). Watch the
+        // objective: after STALL_LIMIT pivots without strict improvement,
+        // switch to Bland's rule — which provably terminates — and stay on
+        // it until the objective moves again.
+        const STALL_LIMIT: usize = 16;
+        let mut stalled = 0usize;
+        let mut bland = false;
+        let mut last_obj = f64::INFINITY;
         loop {
             *iterations += 1;
             if *iterations > max_iters {
                 return Err(LpError::IterationLimit);
             }
+            let current: f64 = (0..rows).map(|i| cost[self.basis[i]] * self.b[i]).sum();
+            if current < last_obj - EPS {
+                last_obj = current;
+                stalled = 0;
+                bland = false;
+            } else {
+                stalled += 1;
+                if stalled >= STALL_LIMIT {
+                    bland = true;
+                }
+            }
             // Reduced cost of column j: c_j - sum_i c_basis[i] * a[i][j].
-            // Pick the entering column by Dantzig rule with Bland fallback
-            // every 64 iterations to guarantee termination.
-            let bland = (*iterations).is_multiple_of(64);
+            // Entering column: Dantzig (most negative) normally, lowest
+            // index under Bland.
             let mut entering = None;
             let mut best_rc = -EPS;
             for j in 0..col_limit {
@@ -512,6 +531,64 @@ mod tests {
         let s = lp.solve().unwrap();
         assert_close(s.objective, 0.0);
         assert_close(s.x[1], 2.0);
+    }
+
+    #[test]
+    fn beale_cycling_instance_terminates_at_optimum() {
+        // Beale's classic example cycles forever under pure Dantzig
+        // pivoting; the stall-triggered switch to Bland's rule must break
+        // the cycle and land on the optimum −0.05 at x = (0.04, 0, 1, 0).
+        let mut lp = LinearProgram::new(4);
+        lp.set_objective(0, -0.75)
+            .set_objective(1, 150.0)
+            .set_objective(2, -0.02)
+            .set_objective(3, 6.0);
+        lp.add_constraint(
+            [(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)],
+            Relation::Le,
+            0.0,
+        );
+        lp.add_constraint(
+            [(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)],
+            Relation::Le,
+            0.0,
+        );
+        lp.add_constraint([(2, 1.0)], Relation::Le, 1.0);
+        let s = lp.solve().expect("Beale's example is bounded and feasible");
+        assert_close(s.objective, -0.05);
+        assert_close(s.x[0], 0.04);
+        assert_close(s.x[2], 1.0);
+    }
+
+    #[test]
+    fn heavily_degenerate_vertex_terminates() {
+        // Every constraint is active at the optimum (1,1,1)/redundant —
+        // maximal opportunity for zero-progress pivots. Must return the
+        // optimum, never IterationLimit.
+        let mut lp = LinearProgram::new(3);
+        for v in 0..3 {
+            lp.set_objective(v, -1.0);
+            lp.add_constraint([(v, 1.0)], Relation::Le, 1.0);
+            lp.add_constraint([(v, 2.0)], Relation::Le, 2.0);
+        }
+        lp.add_constraint([(0, 1.0), (1, 1.0)], Relation::Le, 2.0);
+        lp.add_constraint([(1, 1.0), (2, 1.0)], Relation::Le, 2.0);
+        lp.add_constraint([(0, 1.0), (2, 1.0)], Relation::Le, 2.0);
+        lp.add_constraint([(0, 1.0), (1, 1.0), (2, 1.0)], Relation::Le, 3.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, -3.0);
+    }
+
+    #[test]
+    fn unbounded_after_nontrivial_phase1() {
+        // Phase 1 must pivot to reach feasibility (x + y >= 2), then
+        // phase 2 discovers the objective −x − y has no floor. The
+        // structured error must come back, not a panic or a spin.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, -1.0).set_objective(1, -1.0);
+        lp.add_constraint([(0, 1.0), (1, 1.0)], Relation::Ge, 2.0);
+        lp.add_constraint([(0, 1.0), (1, -1.0)], Relation::Le, 5.0);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Unbounded);
     }
 
     #[test]

@@ -1,0 +1,955 @@
+//! `tlb-portfolio`: a deterministic racing solver portfolio for the DROM
+//! global allocation policy (paper §5.4.2).
+//!
+//! The paper solves one LP every `global_period`; this repository carries
+//! several independent ways to compute a core allocation (simplex LP,
+//! parametric max-flow, a per-node local-convergence rule) plus a greedy
+//! water-filling heuristic added here. No single strategy dominates across
+//! workloads, so the portfolio races a configurable subset on every global
+//! tick under a shared *virtual-time* budget, scores each feasible answer
+//! with one objective, and keeps the best.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** The race may execute on the `tlb-smprt` pool, but
+//!    every strategy is a pure function of the [`AllocationProblem`] and
+//!    results land in pre-assigned slots. The winner is selected *after*
+//!    the race by `(score, fixed strategy priority)` — never by wall-clock
+//!    arrival order — so a run is bitwise-identical across 1/2/4/8 pool
+//!    threads.
+//! 2. **Shared objective.** Every candidate is scored with
+//!    `max_a work_a / (speed-weighted cores of a)` minus the paper's
+//!    `1e-6` non-offloaded-core incentive as tiebreak ([`score`]). Lower
+//!    is better; the LP's own objective is *not* trusted across strategies
+//!    because each solver reports a different relaxation.
+//! 3. **Budgeted.** Each strategy has a deterministic modelled cost in
+//!    virtual seconds ([`modelled_cost`]); a candidate whose cost exceeds
+//!    the budget counts as a timeout and is discarded. The race as a whole
+//!    costs `max_s min(cost_s, budget)` — concurrent-race semantics.
+//! 4. **Degradable.** Fault injection can disable individual strategies
+//!    (solver-outage windows); the portfolio keeps racing whatever is
+//!    left, and only when *nothing* is runnable does the caller fall back
+//!    to the PR 3 degradation ladder.
+//!
+//! The optional `adaptive` mode is a tiny deterministic bandit: a strategy
+//! that loses `demote_after` races in a row stops being raced, except on
+//! every `probe_every`-th solve where demoted strategies get a probe run
+//! and are reinstated if they win.
+
+use std::sync::OnceLock;
+use tlb_des::SimTime;
+use tlb_linprog::{solve_flow, solve_lp, AllocationProblem, AllocationSolution, LpError};
+use tlb_smprt::Pool;
+
+/// Bisection tolerance handed to the parametric max-flow solver — the
+/// same value `GlobalPolicy` uses for its single-solver path.
+pub const FLOW_TOL: f64 = 1e-6;
+
+/// Virtual seconds charged per modelled elementary solver operation.
+/// Calibrated so a 64-node simplex solve lands in the tens of
+/// milliseconds, matching the §5.4.2 cost table (~57 ms at 32 nodes).
+pub const COST_PER_OP: f64 = 150e-9;
+
+/// One allocation strategy. Declaration order is the fixed portfolio
+/// priority: earlier variants win score ties.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Strategy {
+    /// The paper's LP solved by two-phase simplex (`solve_lp`).
+    Simplex,
+    /// Parametric bisection over max-flow feasibility tests (`solve_flow`).
+    Flow,
+    /// Greedy water-filling: grant spare cores one at a time to the
+    /// currently most-loaded apprank (new in this crate).
+    Greedy,
+    /// Local convergence: keep all work home, split each node's cores
+    /// among its home appranks proportional to work (the PR 3 fallback
+    /// expressed as a first-class strategy).
+    Local,
+}
+
+impl Strategy {
+    /// All strategies, in priority order.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::Simplex,
+        Strategy::Flow,
+        Strategy::Greedy,
+        Strategy::Local,
+    ];
+
+    /// Number of strategies.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable numeric code (the priority index), used in trace events.
+    pub fn code(self) -> u32 {
+        self as u32
+    }
+
+    /// Inverse of [`Strategy::code`].
+    pub fn from_code(code: u32) -> Option<Strategy> {
+        Self::ALL.get(code as usize).copied()
+    }
+
+    /// Lower-case name used by `--portfolio` and trace events.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Simplex => "simplex",
+            Strategy::Flow => "flow",
+            Strategy::Greedy => "greedy",
+            Strategy::Local => "local",
+        }
+    }
+
+    /// Parse a strategy name as accepted by `--portfolio`.
+    pub fn parse(s: &str) -> Result<Strategy, String> {
+        match s {
+            "simplex" => Ok(Strategy::Simplex),
+            "flow" => Ok(Strategy::Flow),
+            "greedy" => Ok(Strategy::Greedy),
+            "local" => Ok(Strategy::Local),
+            other => Err(format!(
+                "unknown strategy '{other}' (expected simplex, flow, greedy or local)"
+            )),
+        }
+    }
+}
+
+/// Portfolio configuration, carried inside `BalanceConfig`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PortfolioConfig {
+    /// Strategies to race, kept sorted in priority order, no duplicates.
+    pub strategies: Vec<Strategy>,
+    /// Virtual-time budget per race; a strategy whose modelled cost
+    /// exceeds it counts as a timeout and its answer is discarded.
+    pub budget: SimTime,
+    /// Enable the bandit-style demotion of persistent losers.
+    pub adaptive: bool,
+    /// Consecutive losses after which an adaptive portfolio demotes a
+    /// strategy.
+    pub demote_after: usize,
+    /// Every `probe_every`-th solve re-races demoted strategies so they
+    /// can win their way back in.
+    pub probe_every: usize,
+    /// smprt pool threads used for the race; `0` or `1` solves inline on
+    /// the caller. The answer is bitwise-identical either way.
+    pub pool_threads: usize,
+}
+
+impl Default for PortfolioConfig {
+    fn default() -> Self {
+        PortfolioConfig {
+            strategies: Strategy::ALL.to_vec(),
+            budget: SimTime::from_millis(250),
+            adaptive: false,
+            demote_after: 8,
+            probe_every: 8,
+            pool_threads: 0,
+        }
+    }
+}
+
+impl PortfolioConfig {
+    /// Parse a `--portfolio` spec: `all`, a comma list of strategy names,
+    /// either optionally prefixed with `adaptive:`. Examples:
+    /// `all`, `simplex,greedy`, `adaptive:all`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut cfg = PortfolioConfig::default();
+        let mut rest = spec.trim();
+        if let Some(r) = rest.strip_prefix("adaptive:") {
+            cfg.adaptive = true;
+            rest = r;
+        }
+        if rest.is_empty() {
+            return Err("empty --portfolio spec (try 'all')".to_string());
+        }
+        if rest != "all" {
+            let mut strategies = Vec::new();
+            for part in rest.split(',') {
+                let s = Strategy::parse(part.trim())?;
+                if strategies.contains(&s) {
+                    return Err(format!("duplicate strategy '{}'", s.name()));
+                }
+                strategies.push(s);
+            }
+            strategies.sort(); // priority order
+            cfg.strategies = strategies;
+        }
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Builder: override the race budget.
+    pub fn with_budget(mut self, budget: SimTime) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Builder: race on an smprt pool of `threads` threads.
+    pub fn with_pool_threads(mut self, threads: usize) -> Self {
+        self.pool_threads = threads;
+        self
+    }
+
+    /// Check internal consistency (non-empty, sorted-unique strategies,
+    /// positive budget and bandit parameters).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.strategies.is_empty() {
+            return Err("portfolio needs at least one strategy".to_string());
+        }
+        for pair in self.strategies.windows(2) {
+            if pair[0] >= pair[1] {
+                return Err("portfolio strategies must be unique and in priority order".to_string());
+            }
+        }
+        if self.budget <= SimTime::ZERO {
+            return Err("portfolio budget must be positive".to_string());
+        }
+        if self.demote_after == 0 || self.probe_every == 0 {
+            return Err("demote_after and probe_every must be >= 1".to_string());
+        }
+        Ok(())
+    }
+
+    /// True if `s` is part of the raced set.
+    pub fn enabled(&self, s: Strategy) -> bool {
+        self.strategies.contains(&s)
+    }
+}
+
+/// Per-strategy accounting, exposed in `SimReport` and bench JSON.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StrategyStats {
+    /// Races this strategy took part in.
+    pub attempts: usize,
+    /// Races it won.
+    pub wins: usize,
+    /// Attempts that returned `LpError::Infeasible`.
+    pub infeasible: usize,
+    /// Attempts that returned any other error or an invalid solution.
+    pub errors: usize,
+    /// Attempts whose modelled cost exceeded the budget.
+    pub timeouts: usize,
+    /// Times the adaptive mode demoted this strategy.
+    pub demotions: usize,
+    /// Total modelled virtual solve cost, capped at the budget per race.
+    pub virtual_cost: SimTime,
+}
+
+/// Whole-portfolio accounting.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PortfolioStats {
+    /// Portfolio races run.
+    pub solves: usize,
+    /// Races in which no strategy produced a feasible answer in budget.
+    pub no_winner: usize,
+    /// Per-strategy stats, indexed by [`Strategy::code`].
+    pub per_strategy: [StrategyStats; Strategy::COUNT],
+}
+
+impl PortfolioStats {
+    /// Stats row for one strategy.
+    pub fn of(&self, s: Strategy) -> &StrategyStats {
+        &self.per_strategy[s.code() as usize]
+    }
+}
+
+/// One raced strategy's outcome, kept for tracing.
+#[derive(Clone, Debug)]
+pub struct CandidateSummary {
+    pub strategy: Strategy,
+    /// Shared score ([`score`]); `None` when the strategy failed or timed
+    /// out.
+    pub score: Option<f64>,
+    /// Modelled virtual cost of this attempt (uncapped).
+    pub cost: SimTime,
+    pub timed_out: bool,
+}
+
+/// A successful portfolio race.
+#[derive(Clone, Debug)]
+pub struct PortfolioOutcome {
+    /// The winning allocation.
+    pub solution: AllocationSolution,
+    pub winner: Strategy,
+    /// The winner's shared score.
+    pub score: f64,
+    /// All raced candidates in priority order.
+    pub candidates: Vec<CandidateSummary>,
+    /// Virtual cost of the race: `max_s min(cost_s, budget)`.
+    pub race_cost: SimTime,
+}
+
+/// The racing engine. Owns an optional smprt pool; all mutable state is
+/// deterministic accounting (stats, fault masks, bandit streaks).
+pub struct PortfolioEngine {
+    config: PortfolioConfig,
+    pool: Option<Pool>,
+    /// Nesting count of active fault-injected outages per strategy.
+    fault_disabled: [usize; Strategy::COUNT],
+    /// Consecutive races lost, per strategy (adaptive mode).
+    loss_streak: [usize; Strategy::COUNT],
+    demoted: [bool; Strategy::COUNT],
+    stats: PortfolioStats,
+}
+
+impl PortfolioEngine {
+    /// Build an engine; spawns the smprt pool when `pool_threads >= 2`.
+    pub fn new(config: PortfolioConfig) -> Result<Self, String> {
+        config.validate()?;
+        let pool = (config.pool_threads >= 2).then(|| Pool::new(config.pool_threads));
+        Ok(PortfolioEngine {
+            config,
+            pool,
+            fault_disabled: [0; Strategy::COUNT],
+            loss_streak: [0; Strategy::COUNT],
+            demoted: [false; Strategy::COUNT],
+            stats: PortfolioStats::default(),
+        })
+    }
+
+    pub fn config(&self) -> &PortfolioConfig {
+        &self.config
+    }
+
+    pub fn stats(&self) -> &PortfolioStats {
+        &self.stats
+    }
+
+    /// Mark the start of a fault-injected outage of `s` (nests).
+    pub fn disable_strategy(&mut self, s: Strategy) {
+        self.fault_disabled[s.code() as usize] += 1;
+    }
+
+    /// Mark the end of a fault-injected outage of `s`.
+    pub fn enable_strategy(&mut self, s: Strategy) {
+        let slot = &mut self.fault_disabled[s.code() as usize];
+        *slot = slot.saturating_sub(1);
+    }
+
+    /// True while any outage window covering `s` is active.
+    pub fn is_fault_disabled(&self, s: Strategy) -> bool {
+        self.fault_disabled[s.code() as usize] > 0
+    }
+
+    /// True if the adaptive mode currently demotes `s`.
+    pub fn is_demoted(&self, s: Strategy) -> bool {
+        self.demoted[s.code() as usize]
+    }
+
+    /// Strategies that would be raced on the next solve.
+    pub fn runnable(&self) -> Vec<Strategy> {
+        let probe =
+            self.config.adaptive && self.stats.solves.is_multiple_of(self.config.probe_every);
+        self.config
+            .strategies
+            .iter()
+            .copied()
+            .filter(|&s| !self.is_fault_disabled(s))
+            .filter(|&s| !self.config.adaptive || probe || !self.is_demoted(s))
+            .collect()
+    }
+
+    /// Race the runnable strategies on `problem` and pick the winner by
+    /// `(score, priority)`. Errors when nothing is runnable or nothing
+    /// produced a feasible answer within budget.
+    pub fn solve(&mut self, problem: &AllocationProblem) -> Result<PortfolioOutcome, LpError> {
+        let runnable = self.runnable();
+        self.stats.solves += 1;
+        if runnable.is_empty() {
+            self.stats.no_winner += 1;
+            return Err(LpError::Infeasible);
+        }
+
+        // The race: one pre-assigned slot per strategy; each strategy is a
+        // pure function of `problem`, so pool scheduling cannot affect the
+        // result, only the wall-clock of computing it.
+        let slots: Vec<OnceLock<(Result<AllocationSolution, LpError>, SimTime)>> =
+            (0..runnable.len()).map(|_| OnceLock::new()).collect();
+        let body = |i: usize| {
+            let _ = slots[i].set(run_strategy(runnable[i], problem));
+        };
+        match &self.pool {
+            Some(pool) => pool.parallel_for(runnable.len(), 1, body),
+            None => (0..runnable.len()).for_each(body),
+        }
+
+        // Sequential, deterministic post-processing in priority order.
+        let budget = self.config.budget;
+        let mut candidates = Vec::with_capacity(runnable.len());
+        let mut best: Option<(f64, usize, AllocationSolution)> = None;
+        let mut first_err: Option<LpError> = None;
+        let mut race_cost = SimTime::ZERO;
+        for (i, &s) in runnable.iter().enumerate() {
+            let (result, cost) = slots[i].get().expect("race slot filled").clone();
+            let stat = &mut self.stats.per_strategy[s.code() as usize];
+            stat.attempts += 1;
+            let charged = cost.min(budget);
+            stat.virtual_cost += charged;
+            race_cost = race_cost.max(charged);
+            let timed_out = cost > budget;
+            let mut summary = CandidateSummary {
+                strategy: s,
+                score: None,
+                cost,
+                timed_out,
+            };
+            if timed_out {
+                stat.timeouts += 1;
+                first_err.get_or_insert(LpError::IterationLimit);
+            } else {
+                match result {
+                    Err(LpError::Infeasible) => {
+                        stat.infeasible += 1;
+                        first_err.get_or_insert(LpError::Infeasible);
+                    }
+                    Err(e) => {
+                        stat.errors += 1;
+                        first_err.get_or_insert(e);
+                    }
+                    Ok(sol) => {
+                        if !valid_solution(problem, &sol) {
+                            stat.errors += 1;
+                            first_err.get_or_insert(LpError::Infeasible);
+                        } else {
+                            let sc = score(problem, &sol);
+                            summary.score = Some(sc);
+                            // Strict `<` keeps the earliest (highest-
+                            // priority) strategy on ties.
+                            if best.as_ref().is_none_or(|(b, _, _)| sc < *b) {
+                                best = Some((sc, i, sol));
+                            }
+                        }
+                    }
+                }
+            }
+            candidates.push(summary);
+        }
+
+        let Some((win_score, win_idx, solution)) = best else {
+            self.stats.no_winner += 1;
+            return Err(first_err.unwrap_or(LpError::Infeasible));
+        };
+        let winner = runnable[win_idx];
+        self.stats.per_strategy[winner.code() as usize].wins += 1;
+        for &s in &runnable {
+            let code = s.code() as usize;
+            if s == winner {
+                self.loss_streak[code] = 0;
+                if self.demoted[code] {
+                    // A demoted strategy that wins its probe is reinstated.
+                    self.demoted[code] = false;
+                }
+            } else {
+                self.loss_streak[code] += 1;
+                if self.config.adaptive
+                    && !self.demoted[code]
+                    && self.loss_streak[code] >= self.config.demote_after
+                {
+                    self.demoted[code] = true;
+                    self.stats.per_strategy[code].demotions += 1;
+                }
+            }
+        }
+        Ok(PortfolioOutcome {
+            solution,
+            winner,
+            score: win_score,
+            candidates,
+            race_cost,
+        })
+    }
+}
+
+/// Run one strategy and model its virtual cost.
+fn run_strategy(
+    s: Strategy,
+    problem: &AllocationProblem,
+) -> (Result<AllocationSolution, LpError>, SimTime) {
+    let result = match s {
+        Strategy::Simplex => solve_lp(problem),
+        Strategy::Flow => solve_flow(problem, FLOW_TOL),
+        Strategy::Greedy => greedy_waterfill(problem),
+        Strategy::Local => local_converge(problem),
+    };
+    let iterations = result.as_ref().map(|sol| sol.iterations).unwrap_or(0);
+    (result, modelled_cost(s, problem, iterations))
+}
+
+/// Deterministic virtual cost of one strategy attempt: elementary
+/// operation counts scaled by [`COST_PER_OP`]. Wall-clock never enters.
+pub fn modelled_cost(s: Strategy, problem: &AllocationProblem, iterations: usize) -> SimTime {
+    let edges: usize = problem.adjacency.iter().map(|adj| adj.len()).sum();
+    let sweep = problem.appranks() + problem.nodes() + edges;
+    let ops = match s {
+        // Each simplex pivot touches the full tableau row set.
+        Strategy::Simplex => iterations.max(1) * sweep,
+        // ~64 bisection steps, each a graph-sweeping max-flow check.
+        Strategy::Flow => 64 * (sweep + 2),
+        // One pass per granted core plus the final share computation.
+        Strategy::Greedy => problem.node_cores.iter().sum::<usize>() + sweep,
+        // A single proportional split per node.
+        Strategy::Local => sweep,
+    };
+    SimTime::from_secs_f64(ops as f64 * COST_PER_OP)
+}
+
+/// The shared portfolio objective: `max_a work_a / (speed-weighted cores
+/// of a)`, minus the paper's keep-local incentive scaled by the fraction
+/// of home-owned cores — the same `δ = incentive / (total_cores + 1)`
+/// tiebreak the LP applies. Lower is better. `INFINITY` marks an apprank
+/// with work but no capacity (an invalid allocation).
+pub fn score(problem: &AllocationProblem, sol: &AllocationSolution) -> f64 {
+    let mut load: f64 = 0.0;
+    let mut home_cores = 0usize;
+    for (a, cores) in sol.cores.iter().enumerate() {
+        let eff: f64 = cores
+            .iter()
+            .zip(&problem.adjacency[a])
+            .map(|(&c, &n)| c as f64 * problem.node_speed[n])
+            .sum();
+        home_cores += cores[0];
+        if problem.work[a] > 0.0 {
+            if eff <= 0.0 {
+                return f64::INFINITY;
+            }
+            load = load.max(problem.work[a] / eff);
+        }
+    }
+    let total: f64 = problem.node_cores.iter().sum::<usize>() as f64;
+    load - problem.keep_local_incentive * home_cores as f64 / (total + 1.0)
+}
+
+/// Structural feasibility of a candidate: shapes match the adjacency,
+/// every worker keeps its ≥ 1 DLB core, and no node is oversubscribed.
+fn valid_solution(problem: &AllocationProblem, sol: &AllocationSolution) -> bool {
+    if sol.cores.len() != problem.appranks() || sol.work_share.len() != problem.appranks() {
+        return false;
+    }
+    let mut used = vec![0usize; problem.nodes()];
+    for (a, cores) in sol.cores.iter().enumerate() {
+        if cores.len() != problem.adjacency[a].len()
+            || sol.work_share[a].len() != problem.adjacency[a].len()
+        {
+            return false;
+        }
+        for (&c, &n) in cores.iter().zip(&problem.adjacency[a]) {
+            if c == 0 {
+                return false;
+            }
+            used[n] += c;
+        }
+    }
+    used.iter()
+        .zip(&problem.node_cores)
+        .all(|(&u, &cap)| u <= cap)
+}
+
+/// Largest-remainder split of `total` units proportional to `weights`
+/// (ties to the lower index). All-zero weights split evenly.
+fn largest_remainder(total: usize, weights: &[f64]) -> Vec<usize> {
+    let sum: f64 = weights.iter().sum();
+    let quotas: Vec<f64> = if sum > 0.0 {
+        weights.iter().map(|w| total as f64 * w / sum).collect()
+    } else {
+        vec![total as f64 / weights.len().max(1) as f64; weights.len()]
+    };
+    let mut out: Vec<usize> = quotas.iter().map(|q| q.floor() as usize).collect();
+    let mut left = total - out.iter().sum::<usize>();
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&i, &j| {
+        let (ri, rj) = (quotas[i] - quotas[i].floor(), quotas[j] - quotas[j].floor());
+        rj.partial_cmp(&ri).unwrap().then(i.cmp(&j))
+    });
+    for &i in &order {
+        if left == 0 {
+            break;
+        }
+        out[i] += 1;
+        left -= 1;
+    }
+    out
+}
+
+/// Greedy water-filling (the portfolio's own heuristic): after the 1-core
+/// DLB floor, grant the remaining cores one at a time to the apprank with
+/// the highest current load `work_a / eff_a` (ties to the lower apprank),
+/// placing each core on its first adjacent node with free capacity (home
+/// first). Work splits proportional to the resulting effective cores.
+pub fn greedy_waterfill(problem: &AllocationProblem) -> Result<AllocationSolution, LpError> {
+    problem.validate()?;
+    let appranks = problem.appranks();
+    let mut cores: Vec<Vec<usize>> = problem
+        .adjacency
+        .iter()
+        .map(|adj| vec![1usize; adj.len()])
+        .collect();
+    let mut free = problem.node_cores.clone();
+    for adj in &problem.adjacency {
+        for &n in adj {
+            free[n] -= 1; // validate() guarantees this cannot underflow
+        }
+    }
+    let eff = |cores: &[Vec<usize>], a: usize| -> f64 {
+        cores[a]
+            .iter()
+            .zip(&problem.adjacency[a])
+            .map(|(&c, &n)| c as f64 * problem.node_speed[n])
+            .sum()
+    };
+    let total_work: f64 = problem.work.iter().sum();
+    let spare: usize = free.iter().sum();
+    if total_work <= 0.0 {
+        // Nothing to balance: split each node's spare cores evenly over
+        // its workers (mirrors the LP's no-work path).
+        for (n, &spare_n) in free.iter().enumerate() {
+            let workers: Vec<(usize, usize)> = (0..appranks)
+                .flat_map(|a| {
+                    problem.adjacency[a]
+                        .iter()
+                        .enumerate()
+                        .filter(move |&(_, &m)| m == n)
+                        .map(move |(k, _)| (a, k))
+                })
+                .collect();
+            if workers.is_empty() {
+                continue;
+            }
+            let split = largest_remainder(spare_n, &vec![1.0; workers.len()]);
+            for ((a, k), extra) in workers.into_iter().zip(split) {
+                cores[a][k] += extra;
+            }
+        }
+    } else {
+        for _ in 0..spare {
+            // Most-loaded apprank that still has somewhere to grow.
+            let mut pick: Option<(f64, usize)> = None;
+            for a in 0..appranks {
+                if !problem.adjacency[a].iter().any(|&n| free[n] > 0) {
+                    continue;
+                }
+                let load = problem.work[a] / eff(&cores, a);
+                if pick.as_ref().is_none_or(|&(best, _)| load > best) {
+                    pick = Some((load, a));
+                }
+            }
+            let Some((_, a)) = pick else { break };
+            let k = problem.adjacency[a]
+                .iter()
+                .position(|&n| free[n] > 0)
+                .expect("picked apprank has free capacity");
+            cores[a][k] += 1;
+            free[problem.adjacency[a][k]] -= 1;
+        }
+    }
+    let mut objective: f64 = 0.0;
+    let mut work_share = Vec::with_capacity(appranks);
+    for a in 0..appranks {
+        let e = eff(&cores, a);
+        if problem.work[a] > 0.0 {
+            objective = objective.max(problem.work[a] / e);
+        }
+        work_share.push(
+            cores[a]
+                .iter()
+                .zip(&problem.adjacency[a])
+                .map(|(&c, &n)| problem.work[a] * (c as f64 * problem.node_speed[n]) / e)
+                .collect(),
+        );
+    }
+    Ok(AllocationSolution {
+        objective,
+        work_share,
+        cores,
+        iterations: 0,
+    })
+}
+
+/// Local convergence as a portfolio strategy: all work stays home; each
+/// node splits its spare cores among its *home* appranks proportional to
+/// their work (largest remainder, ties low); helpers keep the 1-core
+/// floor. Mirrors `LocalPolicy` but runs on an [`AllocationProblem`].
+pub fn local_converge(problem: &AllocationProblem) -> Result<AllocationSolution, LpError> {
+    problem.validate()?;
+    let appranks = problem.appranks();
+    let mut cores: Vec<Vec<usize>> = problem
+        .adjacency
+        .iter()
+        .map(|adj| vec![1usize; adj.len()])
+        .collect();
+    let mut free = problem.node_cores.clone();
+    for adj in &problem.adjacency {
+        for &n in adj {
+            free[n] -= 1;
+        }
+    }
+    for (n, &spare_n) in free.iter().enumerate() {
+        if spare_n == 0 {
+            continue;
+        }
+        let home: Vec<usize> = (0..appranks)
+            .filter(|&a| problem.adjacency[a][0] == n)
+            .collect();
+        if !home.is_empty() {
+            let weights: Vec<f64> = home.iter().map(|&a| problem.work[a]).collect();
+            for (&a, extra) in home.iter().zip(largest_remainder(spare_n, &weights)) {
+                cores[a][0] += extra;
+            }
+        } else {
+            // No home apprank (possible in dead-node sub-problems): split
+            // evenly over whatever helpers live here.
+            let helpers: Vec<(usize, usize)> = (0..appranks)
+                .flat_map(|a| {
+                    problem.adjacency[a]
+                        .iter()
+                        .enumerate()
+                        .filter(move |&(_, &m)| m == n)
+                        .map(move |(k, _)| (a, k))
+                })
+                .collect();
+            if helpers.is_empty() {
+                continue;
+            }
+            let split = largest_remainder(spare_n, &vec![1.0; helpers.len()]);
+            for ((a, k), extra) in helpers.into_iter().zip(split) {
+                cores[a][k] += extra;
+            }
+        }
+    }
+    let mut objective: f64 = 0.0;
+    let work_share: Vec<Vec<f64>> = (0..appranks)
+        .map(|a| {
+            let mut share = vec![0.0; problem.adjacency[a].len()];
+            share[0] = problem.work[a];
+            share
+        })
+        .collect();
+    for (a, cores_a) in cores.iter().enumerate() {
+        if problem.work[a] <= 0.0 {
+            continue;
+        }
+        let eff: f64 = cores_a
+            .iter()
+            .zip(&problem.adjacency[a])
+            .map(|(&c, &n)| c as f64 * problem.node_speed[n])
+            .sum();
+        objective = objective.max(problem.work[a] / eff);
+    }
+    Ok(AllocationSolution {
+        objective,
+        work_share,
+        cores,
+        iterations: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `appranks` over `nodes`, each apprank homed at `a % nodes` with
+    /// `degree - 1` helper nodes following in a ring.
+    fn ring_problem(
+        appranks: usize,
+        nodes: usize,
+        degree: usize,
+        cores: usize,
+    ) -> AllocationProblem {
+        let adjacency: Vec<Vec<usize>> = (0..appranks)
+            .map(|a| (0..degree).map(|s| (a + s) % nodes).collect())
+            .collect();
+        let mut rng = tlb_rng::Rng::seed_from_u64(11 + appranks as u64);
+        let work = (0..appranks).map(|_| rng.range_f64(1.0, 40.0)).collect();
+        AllocationProblem::new(work, adjacency, cores, nodes)
+    }
+
+    #[test]
+    fn strategy_codes_round_trip() {
+        for s in Strategy::ALL {
+            assert_eq!(Strategy::from_code(s.code()), Some(s));
+            assert_eq!(Strategy::parse(s.name()), Ok(s));
+        }
+        assert!(Strategy::parse("cplex").is_err());
+    }
+
+    #[test]
+    fn config_parse_variants() {
+        let all = PortfolioConfig::parse("all").unwrap();
+        assert_eq!(all.strategies, Strategy::ALL.to_vec());
+        assert!(!all.adaptive);
+
+        let two = PortfolioConfig::parse("greedy,simplex").unwrap();
+        assert_eq!(two.strategies, vec![Strategy::Simplex, Strategy::Greedy]);
+
+        let ad = PortfolioConfig::parse("adaptive:all").unwrap();
+        assert!(ad.adaptive);
+
+        assert!(PortfolioConfig::parse("").is_err());
+        assert!(PortfolioConfig::parse("simplex,simplex").is_err());
+        assert!(PortfolioConfig::parse("cplex").is_err());
+        assert!(PortfolioConfig::default()
+            .with_budget(SimTime::ZERO)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn greedy_and_local_produce_valid_allocations() {
+        for &(appranks, nodes, degree, cores) in &[
+            (4usize, 2usize, 2usize, 8usize),
+            (8, 4, 3, 16),
+            (6, 3, 1, 12),
+        ] {
+            let p = ring_problem(appranks, nodes, degree, cores);
+            for solver in [greedy_waterfill, local_converge] {
+                let sol = solver(&p).unwrap();
+                assert!(valid_solution(&p, &sol));
+                assert!(score(&p, &sol).is_finite());
+                // Every node's cores fully distributed.
+                let mut used = vec![0usize; nodes];
+                for (a, cs) in sol.cores.iter().enumerate() {
+                    for (&c, &n) in cs.iter().zip(&p.adjacency[a]) {
+                        used[n] += c;
+                    }
+                }
+                assert_eq!(used, p.node_cores, "all cores assigned");
+                // Work is conserved.
+                for (a, shares) in sol.work_share.iter().enumerate() {
+                    let sum: f64 = shares.iter().sum();
+                    assert!((sum - p.work[a]).abs() < 1e-9 * p.work[a].max(1.0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_handles_zero_work() {
+        let mut p = ring_problem(4, 2, 2, 8);
+        p.work = vec![0.0; 4];
+        let sol = greedy_waterfill(&p).unwrap();
+        assert!(valid_solution(&p, &sol));
+        assert_eq!(sol.objective, 0.0);
+    }
+
+    #[test]
+    fn winner_never_scores_worse_than_any_candidate() {
+        let mut engine = PortfolioEngine::new(PortfolioConfig::default()).unwrap();
+        for size in [(4, 2, 2, 8), (8, 4, 3, 48), (12, 6, 4, 48)] {
+            let p = ring_problem(size.0, size.1, size.2, size.3);
+            let out = engine.solve(&p).unwrap();
+            for c in &out.candidates {
+                if let Some(sc) = c.score {
+                    assert!(
+                        out.score <= sc + 1e-12,
+                        "winner {} ({}) vs {} ({sc})",
+                        out.winner.name(),
+                        out.score,
+                        c.strategy.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn race_is_bitwise_identical_across_pool_threads() {
+        let problems: Vec<AllocationProblem> =
+            (0..6).map(|i| ring_problem(6 + i, 3, 2, 24)).collect();
+        let run = |threads: usize| {
+            let cfg = PortfolioConfig::default().with_pool_threads(threads);
+            let mut engine = PortfolioEngine::new(cfg).unwrap();
+            let mut picks = Vec::new();
+            for p in &problems {
+                let out = engine.solve(p).unwrap();
+                picks.push((out.winner, out.score.to_bits(), out.solution.cores));
+            }
+            (picks, engine.stats().clone())
+        };
+        let reference = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn tiny_budget_times_everything_out() {
+        let cfg = PortfolioConfig::default().with_budget(SimTime::from_nanos(1));
+        let mut engine = PortfolioEngine::new(cfg).unwrap();
+        let p = ring_problem(4, 2, 2, 8);
+        assert!(matches!(engine.solve(&p), Err(LpError::IterationLimit)));
+        let stats = engine.stats();
+        assert_eq!(stats.no_winner, 1);
+        for s in Strategy::ALL {
+            assert_eq!(stats.of(s).timeouts, 1);
+        }
+    }
+
+    #[test]
+    fn fault_disable_degrades_then_recovers() {
+        let mut engine = PortfolioEngine::new(PortfolioConfig::default()).unwrap();
+        let p = ring_problem(4, 2, 2, 8);
+        for s in Strategy::ALL {
+            engine.disable_strategy(s);
+        }
+        assert_eq!(engine.runnable(), vec![]);
+        assert!(engine.solve(&p).is_err());
+        engine.enable_strategy(Strategy::Greedy);
+        let out = engine.solve(&p).unwrap();
+        assert_eq!(out.winner, Strategy::Greedy);
+        for s in Strategy::ALL {
+            engine.enable_strategy(s);
+        }
+        assert_eq!(engine.runnable().len(), Strategy::COUNT);
+    }
+
+    #[test]
+    fn adaptive_demotes_persistent_losers_and_probes_them() {
+        let cfg = PortfolioConfig {
+            adaptive: true,
+            demote_after: 3,
+            probe_every: 5,
+            ..PortfolioConfig::default()
+        };
+        let mut engine = PortfolioEngine::new(cfg).unwrap();
+        let p = ring_problem(8, 4, 3, 16);
+        for _ in 0..4 {
+            engine.solve(&p).unwrap();
+        }
+        // Some strategy must have lost 3 races in a row by now.
+        let demoted: Vec<Strategy> = Strategy::ALL
+            .iter()
+            .copied()
+            .filter(|&s| engine.is_demoted(s))
+            .collect();
+        assert!(!demoted.is_empty(), "expected at least one demotion");
+        let racing = engine.stats().of(demoted[0]).attempts;
+        // Solves 5, 6 ... skip demoted strategies except the probe at
+        // solves % 5 == 0.
+        for _ in 4..11 {
+            engine.solve(&p).unwrap();
+        }
+        let after = engine.stats().of(demoted[0]).attempts;
+        assert!(
+            after > racing,
+            "probe races must include demoted strategies"
+        );
+        assert!(after < racing + 7, "demoted strategy must skip most races");
+    }
+
+    #[test]
+    fn stats_account_every_attempt() {
+        let mut engine = PortfolioEngine::new(PortfolioConfig::default()).unwrap();
+        for i in 0..5 {
+            let p = ring_problem(4 + i, 2, 2, 16);
+            engine.solve(&p).unwrap();
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.solves, 5);
+        let wins: usize = Strategy::ALL.iter().map(|&s| stats.of(s).wins).sum();
+        assert_eq!(wins, 5);
+        for s in Strategy::ALL {
+            let st = stats.of(s);
+            assert_eq!(st.attempts, 5);
+            assert!(st.virtual_cost > SimTime::ZERO);
+            assert_eq!(st.timeouts + st.infeasible + st.errors, 0);
+        }
+    }
+}

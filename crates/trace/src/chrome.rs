@@ -380,6 +380,45 @@ pub fn chrome_trace(events: &[Event], worker_apprank: &[Vec<usize>]) -> Value {
                     vec![("reason".to_string(), Value::from(reason.name()))],
                 ));
             }
+            EventKind::PortfolioSolve(rec) => {
+                let candidates: Vec<Value> = rec
+                    .candidates
+                    .iter()
+                    .map(|c| {
+                        Value::Object(vec![
+                            ("strategy".to_string(), Value::from(c.name)),
+                            ("score".to_string(), Value::Float(c.score)),
+                            ("cost_s".to_string(), Value::Float(c.cost_s)),
+                            ("timed_out".to_string(), Value::Bool(c.timed_out)),
+                        ])
+                    })
+                    .collect();
+                out.push(instant(
+                    "portfolio_solve".to_string(),
+                    ev.at,
+                    GLOBAL_PID,
+                    0,
+                    vec![
+                        ("candidates".to_string(), Value::Array(candidates)),
+                        ("budget_s".to_string(), Value::Float(rec.budget_s)),
+                    ],
+                ));
+            }
+            EventKind::PortfolioPick {
+                name, score, raced, ..
+            } => {
+                out.push(instant(
+                    "portfolio_pick".to_string(),
+                    ev.at,
+                    GLOBAL_PID,
+                    0,
+                    vec![
+                        ("strategy".to_string(), Value::from(*name)),
+                        ("score".to_string(), Value::Float(*score)),
+                        ("raced".to_string(), Value::Int(*raced as i64)),
+                    ],
+                ));
+            }
         }
     }
     Value::Object(vec![("traceEvents".to_string(), Value::Array(out))])

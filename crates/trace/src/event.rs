@@ -100,6 +100,34 @@ pub struct SolverRecord {
     pub modelled_cost: SimTime,
 }
 
+/// One raced strategy's outcome inside a [`PortfolioRecord`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct PortfolioCandidate {
+    /// Stable strategy code (`tlb_portfolio::Strategy::code`).
+    pub strategy: u32,
+    /// Strategy name (static, from the portfolio crate).
+    pub name: &'static str,
+    /// Shared portfolio score; `-1.0` when the strategy failed or timed
+    /// out (scores are non-negative up to the tiny keep-local tiebreak,
+    /// so the sentinel is unambiguous).
+    pub score: f64,
+    /// Modelled virtual solve cost in seconds (uncapped).
+    pub cost_s: f64,
+    /// True when the modelled cost exceeded the race budget.
+    pub timed_out: bool,
+}
+
+/// Payload of one portfolio race: every raced strategy in priority order
+/// with its score and modelled cost. Boxed inside [`EventKind`] like
+/// [`SolverRecord`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct PortfolioRecord {
+    /// Raced candidates in priority order.
+    pub candidates: Vec<PortfolioCandidate>,
+    /// Race budget in seconds.
+    pub budget_s: f64,
+}
+
 /// One structured trace event. All payloads are derived from virtual
 /// simulation state only — never wall clocks — so the event stream is
 /// reproducible bit-for-bit. Ids are `u32`/`i32` to keep the enum small:
@@ -203,6 +231,17 @@ pub enum EventKind {
     /// Fault absorption: a solver invocation failed and the runtime fell
     /// back to the local-convergence / last-good allocation.
     SolverFallback { reason: FallbackReason },
+    /// Portfolio: one race of the solver portfolio completed (boxed
+    /// payload — see [`PortfolioRecord`]).
+    PortfolioSolve(Box<PortfolioRecord>),
+    /// Portfolio: the deterministic `(score, priority)` pick. `raced` is
+    /// the number of strategies that took part.
+    PortfolioPick {
+        strategy: u32,
+        name: &'static str,
+        score: f64,
+        raced: u32,
+    },
 }
 
 impl EventKind {
@@ -230,6 +269,8 @@ impl EventKind {
             EventKind::MessageFailover { .. } => "message_failover",
             EventKind::SolverOutage { .. } => "solver_outage",
             EventKind::SolverFallback { .. } => "solver_fallback",
+            EventKind::PortfolioSolve(..) => "portfolio_solve",
+            EventKind::PortfolioPick { .. } => "portfolio_pick",
         }
     }
 }
@@ -356,6 +397,8 @@ impl Event {
                 (name, -1, -1, -1, if *active { 1.0 } else { 0.0 })
             }
             EventKind::SolverFallback { reason } => (name, -1, -1, -1, reason.code() as f64),
+            EventKind::PortfolioSolve(rec) => (name, -1, -1, -1, rec.candidates.len() as f64),
+            EventKind::PortfolioPick { strategy, .. } => (name, -1, -1, -1, *strategy as f64),
         }
     }
 }

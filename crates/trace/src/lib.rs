@@ -31,8 +31,8 @@ mod event;
 pub use chrome::{chrome_trace, chrome_trace_string};
 pub use counters::Counters;
 pub use event::{
-    DecisionReason, Event, EventKind, FallbackReason, SolverRecord, TaskKey, TraceLog,
-    GLOBAL_STREAM,
+    DecisionReason, Event, EventKind, FallbackReason, PortfolioCandidate, PortfolioRecord,
+    SolverRecord, TaskKey, TraceLog, GLOBAL_STREAM,
 };
 
 /// Which event families a trace records. The sim derives this from its
@@ -52,6 +52,8 @@ pub struct TraceConfig {
     /// Fault-injection events: straggler bursts, worker kills, message
     /// drops/failovers, solver outages and fallbacks.
     pub fault: bool,
+    /// Solver-portfolio events: per-tick race records and winner picks.
+    pub portfolio: bool,
 }
 
 impl TraceConfig {
@@ -63,6 +65,7 @@ impl TraceConfig {
             solver: true,
             counters: true,
             fault: true,
+            portfolio: true,
         }
     }
 
@@ -74,12 +77,13 @@ impl TraceConfig {
             solver: false,
             counters: false,
             fault: false,
+            portfolio: false,
         }
     }
 
     /// True if any event family records.
     pub fn any(&self) -> bool {
-        self.lifecycle || self.dlb || self.solver || self.counters || self.fault
+        self.lifecycle || self.dlb || self.solver || self.counters || self.fault || self.portfolio
     }
 }
 
@@ -98,5 +102,10 @@ mod tests {
         assert!(TraceConfig::all().any());
         assert!(!TraceConfig::off().any());
         assert_eq!(TraceConfig::default(), TraceConfig::off());
+        let portfolio_only = TraceConfig {
+            portfolio: true,
+            ..TraceConfig::off()
+        };
+        assert!(portfolio_only.any());
     }
 }
