@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Offline CI gate: format, build, tier-1 tests, smoke benches (perf,
-# trace, robustness, portfolio).
+# trace, robustness, portfolio, sweep).
 # The workspace is hermetic (no registry deps), so everything here runs
 # with no network access. Mirrors .github/workflows/ci.yml.
 set -euo pipefail
@@ -29,5 +29,8 @@ cargo run --release --offline -p tlb-bench --bin robustness_smoke -- --quick
 
 echo "== portfolio smoke (--quick)"
 cargo run --release --offline -p tlb-bench --bin portfolio_smoke -- --quick
+
+echo "== sweep smoke (--quick)"
+cargo run --release --offline -p tlb-bench --bin sweep_smoke -- --quick
 
 echo "CI gate passed."

@@ -267,8 +267,8 @@ impl Workload for StencilWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tlb_cluster::{ClusterSim, Workload};
-    use tlb_core::{BalanceConfig, DromPolicy, Platform};
+    use tlb_cluster::{ClusterSim, RunSpec, Workload};
+    use tlb_core::{BalanceConfig, DromPolicy, Platform, Preset};
 
     #[test]
     fn jacobi_converges_and_respects_boundaries() {
@@ -354,10 +354,18 @@ mod tests {
             StencilWorkload::new(cfg)
         };
         let p = Platform::homogeneous(4, 4);
-        let base = ClusterSim::run_opts(&p, &BalanceConfig::baseline(), mk(), false).unwrap();
-        let mut bc = BalanceConfig::offloading(3, DromPolicy::Global);
+        let base = ClusterSim::execute(RunSpec::new(
+            &p,
+            &BalanceConfig::preset(Preset::Baseline),
+            mk(),
+        ))
+        .unwrap();
+        let mut bc = BalanceConfig::preset(Preset::Offload {
+            degree: 3,
+            drom: DromPolicy::Global,
+        });
         bc.global_period = tlb_des::SimTime::from_millis(300);
-        let bal = ClusterSim::run_opts(&p, &bc, mk(), false).unwrap();
+        let bal = ClusterSim::execute(RunSpec::new(&p, &bc, mk())).unwrap();
         // 12 MPI tasks (send+recv per neighbour edge) + 4 ranks × 16
         // blocks (128 rows / 8 rows-per-task):
         assert_eq!(base.total_tasks, (12 + 4 * 16) * 6);
@@ -380,12 +388,14 @@ mod tests {
             StencilWorkload::new(cfg)
         };
         let p = Platform::homogeneous(4, 4);
-        let bal = ClusterSim::run_opts(
+        let bal = ClusterSim::execute(RunSpec::new(
             &p,
-            &BalanceConfig::offloading(2, DromPolicy::Global),
+            &BalanceConfig::preset(Preset::Offload {
+                degree: 2,
+                drom: DromPolicy::Global,
+            }),
             mk(),
-            false,
-        )
+        ))
         .unwrap();
         // On 4-core nodes the helper floor is a quarter of the node, so
         // some offload traffic is inherent; it must stay well below the

@@ -10,7 +10,7 @@
 
 use tlb_apps::micropp::{micropp_workload, MicroPpConfig};
 use tlb_bench::{run_mean_iteration, Effort, Experiment, Point};
-use tlb_core::{BalanceConfig, DromPolicy, Platform, StealGate, WorkSignal};
+use tlb_core::{BalanceConfig, DromPolicy, Platform, Preset, StealGate, WorkSignal};
 
 fn main() {
     let effort = Effort::from_args();
@@ -20,7 +20,10 @@ fn main() {
     let wl = micropp_workload(&mcfg);
     let platform = Platform::mn4(nodes);
     let skip = effort.pick(3, 1);
-    let base_cfg = BalanceConfig::offloading(4, DromPolicy::Global);
+    let base_cfg = BalanceConfig::preset(Preset::Offload {
+        degree: 4,
+        drom: DromPolicy::Global,
+    });
     let reference = run_mean_iteration(&platform, &base_cfg, wl.clone(), skip);
 
     let mut exp = Experiment::new(

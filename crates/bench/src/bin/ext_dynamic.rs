@@ -11,8 +11,8 @@
 
 use tlb_apps::micropp::{micropp_workload, MicroPpConfig};
 use tlb_bench::{Effort, Experiment, Point};
-use tlb_cluster::ClusterSim;
-use tlb_core::{BalanceConfig, DromPolicy, Platform};
+use tlb_cluster::{ClusterSim, RunSpec};
+use tlb_core::{BalanceConfig, DromPolicy, Platform, Preset};
 
 fn main() {
     let effort = Effort::from_args();
@@ -42,17 +42,31 @@ fn main() {
         let perfect = wl.rank_work(0).iter().sum::<f64>() / platform.effective_capacity();
 
         for (idx, cfg) in [
-            (0usize, BalanceConfig::offloading(2, DromPolicy::Global)),
+            (
+                0usize,
+                BalanceConfig::preset(Preset::Offload {
+                    degree: 2,
+                    drom: DromPolicy::Global,
+                }),
+            ),
             (
                 1,
-                BalanceConfig::offloading(4.min(nodes), DromPolicy::Global),
+                BalanceConfig::preset(Preset::Offload {
+                    degree: 4.min(nodes),
+                    drom: DromPolicy::Global,
+                }),
             ),
-            (2, BalanceConfig::dynamic_spreading(4.min(nodes))),
+            (
+                2,
+                BalanceConfig::preset(Preset::DynamicSpread {
+                    max_degree: 4.min(nodes),
+                }),
+            ),
         ] {
             if cfg.degree > nodes {
                 continue;
             }
-            let r = ClusterSim::run_opts(&platform, &cfg, wl.clone(), false).unwrap();
+            let r = ClusterSim::execute(RunSpec::new(&platform, &cfg, wl.clone())).unwrap();
             series[idx].1.push(Point {
                 x: nodes as f64,
                 y: r.mean_iteration_secs(skip),

@@ -12,8 +12,8 @@
 
 use tlb_apps::synthetic::{synthetic_workload, SyntheticConfig};
 use tlb_bench::{Effort, Experiment, Point};
-use tlb_cluster::ClusterSim;
-use tlb_core::{BalanceConfig, DromPolicy, Platform};
+use tlb_cluster::{ClusterSim, RunSpec};
+use tlb_core::{BalanceConfig, DromPolicy, Platform, Preset};
 use tlb_des::SimTime;
 
 fn main() {
@@ -38,14 +38,17 @@ fn main() {
         "s/iteration",
     );
     for (name, cfg) in [
-        ("baseline", BalanceConfig::baseline()),
-        ("dlb", BalanceConfig::dlb_only()),
+        ("baseline", BalanceConfig::preset(Preset::Baseline)),
+        ("dlb", BalanceConfig::preset(Preset::NodeDlb)),
         (
             "degree 4 global",
-            BalanceConfig::offloading(4, DromPolicy::Global),
+            BalanceConfig::preset(Preset::Offload {
+                degree: 4,
+                drom: DromPolicy::Global,
+            }),
         ),
     ] {
-        let r = ClusterSim::run_opts(&platform, &cfg, wl.clone(), false).unwrap();
+        let r = ClusterSim::execute(RunSpec::new(&platform, &cfg, wl.clone())).unwrap();
         let points: Vec<Point> = r
             .iteration_times
             .iter()

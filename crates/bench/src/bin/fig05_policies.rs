@@ -10,7 +10,7 @@
 
 use tlb_bench::{run_traced, Effort, Experiment, Point};
 use tlb_cluster::{SpecWorkload, TaskSpec};
-use tlb_core::{BalanceConfig, DromPolicy, Platform};
+use tlb_core::{BalanceConfig, DromPolicy, Platform, Preset};
 use tlb_des::SimTime;
 
 fn main() {
@@ -32,7 +32,7 @@ fn main() {
     let platform = Platform::homogeneous(2, cores);
 
     for (name, drom) in [("local", DromPolicy::Local), ("global", DromPolicy::Global)] {
-        let cfg = BalanceConfig::offloading(2, drom);
+        let cfg = BalanceConfig::preset(Preset::Offload { degree: 2, drom });
         let report = run_traced(&platform, &cfg, wl.clone());
         let end = report.makespan;
         let mut exp = Experiment::new(

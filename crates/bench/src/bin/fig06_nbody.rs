@@ -10,7 +10,7 @@
 
 use tlb_apps::nbody::{NBodyConfig, NBodyWorkload};
 use tlb_bench::{run_mean_iteration, Effort, Experiment, Point};
-use tlb_core::{BalanceConfig, DromPolicy, Platform};
+use tlb_core::{BalanceConfig, DromPolicy, Platform, Preset};
 
 fn main() {
     let effort = Effort::from_args();
@@ -56,10 +56,22 @@ fn main() {
         let perfect = total / platform.effective_capacity();
 
         let configs: Vec<(usize, BalanceConfig)> = vec![
-            (0, BalanceConfig::baseline()),
-            (1, BalanceConfig::dlb_only()),
-            (2, BalanceConfig::offloading(2, DromPolicy::Global)),
-            (3, BalanceConfig::offloading(3, DromPolicy::Global)),
+            (0, BalanceConfig::preset(Preset::Baseline)),
+            (1, BalanceConfig::preset(Preset::NodeDlb)),
+            (
+                2,
+                BalanceConfig::preset(Preset::Offload {
+                    degree: 2,
+                    drom: DromPolicy::Global,
+                }),
+            ),
+            (
+                3,
+                BalanceConfig::preset(Preset::Offload {
+                    degree: 3,
+                    drom: DromPolicy::Global,
+                }),
+            ),
         ];
         for (idx, cfg) in configs {
             if cfg.degree > nodes {

@@ -9,7 +9,7 @@
 use tlb_apps::micropp::{micropp_workload, MicroPpConfig};
 use tlb_apps::nbody::{NBodyConfig, NBodyWorkload};
 use tlb_bench::{run_mean_iteration, Effort, Experiment, Point};
-use tlb_core::{BalanceConfig, DromPolicy, Platform};
+use tlb_core::{BalanceConfig, DromPolicy, Platform, Preset};
 
 fn main() {
     let effort = Effort::from_args();
@@ -41,11 +41,35 @@ fn main() {
         let platform = Platform::mn4(nodes);
         let perfect = wl.rank_work(0).iter().sum::<f64>() / platform.effective_capacity();
         let configs: Vec<(usize, BalanceConfig)> = vec![
-            (0, BalanceConfig::dlb_only()),
-            (1, BalanceConfig::offloading(2, DromPolicy::Local)),
-            (2, BalanceConfig::offloading(4, DromPolicy::Local)),
-            (3, BalanceConfig::offloading(8, DromPolicy::Local)),
-            (4, BalanceConfig::offloading(4, DromPolicy::Global)),
+            (0, BalanceConfig::preset(Preset::NodeDlb)),
+            (
+                1,
+                BalanceConfig::preset(Preset::Offload {
+                    degree: 2,
+                    drom: DromPolicy::Local,
+                }),
+            ),
+            (
+                2,
+                BalanceConfig::preset(Preset::Offload {
+                    degree: 4,
+                    drom: DromPolicy::Local,
+                }),
+            ),
+            (
+                3,
+                BalanceConfig::preset(Preset::Offload {
+                    degree: 8,
+                    drom: DromPolicy::Local,
+                }),
+            ),
+            (
+                4,
+                BalanceConfig::preset(Preset::Offload {
+                    degree: 4,
+                    drom: DromPolicy::Global,
+                }),
+            ),
         ];
         for (idx, cfg) in configs {
             if cfg.degree > nodes {
@@ -103,9 +127,21 @@ fn main() {
         };
         let platform = Platform::nord3(nodes, &[0]);
         let configs: Vec<(usize, BalanceConfig)> = vec![
-            (0, BalanceConfig::dlb_only()),
-            (1, BalanceConfig::offloading(3, DromPolicy::Local)),
-            (2, BalanceConfig::offloading(3, DromPolicy::Global)),
+            (0, BalanceConfig::preset(Preset::NodeDlb)),
+            (
+                1,
+                BalanceConfig::preset(Preset::Offload {
+                    degree: 3,
+                    drom: DromPolicy::Local,
+                }),
+            ),
+            (
+                2,
+                BalanceConfig::preset(Preset::Offload {
+                    degree: 3,
+                    drom: DromPolicy::Global,
+                }),
+            ),
         ];
         for (idx, cfg) in configs {
             if cfg.degree > nodes {

@@ -11,7 +11,7 @@
 
 use tlb_apps::micropp::{micropp_workload, MicroPpConfig};
 use tlb_bench::{run_traced, Effort, Experiment, Point};
-use tlb_core::{BalanceConfig, DromPolicy, Platform};
+use tlb_core::{BalanceConfig, DromPolicy, Platform, Preset};
 use tlb_des::SimTime;
 
 fn main() {
@@ -25,19 +25,34 @@ fn main() {
 
     let configs: Vec<(&str, BalanceConfig)> = vec![
         ("baseline", {
-            let mut c = BalanceConfig::offloading(2, DromPolicy::Off);
+            let mut c = BalanceConfig::preset(Preset::Offload {
+                degree: 2,
+                drom: DromPolicy::Off,
+            });
             c.lewi = false;
             c
         }),
-        ("lewi", BalanceConfig::offloading(2, DromPolicy::Off)),
+        (
+            "lewi",
+            BalanceConfig::preset(Preset::Offload {
+                degree: 2,
+                drom: DromPolicy::Off,
+            }),
+        ),
         ("drom", {
-            let mut c = BalanceConfig::offloading(2, DromPolicy::Global);
+            let mut c = BalanceConfig::preset(Preset::Offload {
+                degree: 2,
+                drom: DromPolicy::Global,
+            });
             c.lewi = false;
             c
         }),
         (
             "lewi+drom",
-            BalanceConfig::offloading(2, DromPolicy::Global),
+            BalanceConfig::preset(Preset::Offload {
+                degree: 2,
+                drom: DromPolicy::Global,
+            }),
         ),
     ];
 

@@ -10,7 +10,7 @@
 
 use tlb_apps::synthetic::{synthetic_workload, SyntheticConfig};
 use tlb_bench::{run_mean_iteration, Effort, Experiment, Point};
-use tlb_core::{BalanceConfig, DromPolicy, Platform};
+use tlb_core::{BalanceConfig, DromPolicy, Platform, Preset};
 
 fn main() {
     let effort = Effort::from_args();
@@ -66,9 +66,12 @@ fn main() {
                         continue;
                     }
                     let bc = if deg == 1 {
-                        BalanceConfig::dlb_only()
+                        BalanceConfig::preset(Preset::NodeDlb)
                     } else {
-                        BalanceConfig::offloading(deg, DromPolicy::Global)
+                        BalanceConfig::preset(Preset::Offload {
+                            degree: deg,
+                            drom: DromPolicy::Global,
+                        })
                     };
                     let t = run_mean_iteration(&platform, &bc, wl.clone(), skip);
                     series[i].1.push(Point { x: signed, y: t });

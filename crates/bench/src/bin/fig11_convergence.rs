@@ -11,7 +11,7 @@
 
 use tlb_apps::synthetic::{synthetic_workload, SyntheticConfig};
 use tlb_bench::{run_traced, Effort, Experiment, Point};
-use tlb_core::{BalanceConfig, DromPolicy, Platform};
+use tlb_core::{BalanceConfig, DromPolicy, Platform, Preset};
 use tlb_des::SimTime;
 
 fn main() {
@@ -34,23 +34,40 @@ fn main() {
         let variants: Vec<(String, BalanceConfig)> = vec![
             (
                 "local+lewi".into(),
-                BalanceConfig::offloading(degree, DromPolicy::Local),
+                BalanceConfig::preset(Preset::Offload {
+                    degree,
+                    drom: DromPolicy::Local,
+                }),
             ),
             (
                 "local".into(),
-                BalanceConfig::offloading(degree, DromPolicy::Local).with_lewi(false),
+                BalanceConfig::preset(Preset::Offload {
+                    degree,
+                    drom: DromPolicy::Local,
+                })
+                .with_lewi(false),
             ),
             (
                 "global+lewi".into(),
-                BalanceConfig::offloading(degree, DromPolicy::Global),
+                BalanceConfig::preset(Preset::Offload {
+                    degree,
+                    drom: DromPolicy::Global,
+                }),
             ),
             (
                 "global".into(),
-                BalanceConfig::offloading(degree, DromPolicy::Global).with_lewi(false),
+                BalanceConfig::preset(Preset::Offload {
+                    degree,
+                    drom: DromPolicy::Global,
+                })
+                .with_lewi(false),
             ),
             (
                 "lewi only".into(),
-                BalanceConfig::offloading(degree, DromPolicy::Off),
+                BalanceConfig::preset(Preset::Offload {
+                    degree,
+                    drom: DromPolicy::Off,
+                }),
             ),
         ];
         for (name, bc) in variants {

@@ -13,7 +13,7 @@ use tlb_apps::micropp::{micropp_workload, MicroPpConfig};
 use tlb_apps::nbody::{NBodyConfig, NBodyWorkload};
 use tlb_apps::synthetic::{synthetic_workload, SyntheticConfig};
 use tlb_bench::{run_mean_iteration, Effort, Experiment, Point};
-use tlb_core::{BalanceConfig, DromPolicy, Platform};
+use tlb_core::{BalanceConfig, DromPolicy, Platform, Preset};
 
 fn main() {
     let effort = Effort::from_args();
@@ -33,10 +33,18 @@ fn main() {
         let wl = micropp_workload(&mcfg);
         let p = Platform::mn4(nodes);
         let skip = effort.pick(3, 1);
-        let dlb = run_mean_iteration(&p, &BalanceConfig::dlb_only(), wl.clone(), skip);
+        let dlb = run_mean_iteration(
+            &p,
+            &BalanceConfig::preset(Preset::NodeDlb),
+            wl.clone(),
+            skip,
+        );
         let d4 = run_mean_iteration(
             &p,
-            &BalanceConfig::offloading(4, DromPolicy::Global),
+            &BalanceConfig::preset(Preset::Offload {
+                degree: 4,
+                drom: DromPolicy::Global,
+            }),
             wl.clone(),
             skip,
         );
@@ -65,11 +73,14 @@ fn main() {
         };
         let p = Platform::nord3(nodes, &[0]);
         let skip = effort.pick(2, 1);
-        let base = run_mean_iteration(&p, &BalanceConfig::baseline(), mk(), skip);
-        let dlb = run_mean_iteration(&p, &BalanceConfig::dlb_only(), mk(), skip);
+        let base = run_mean_iteration(&p, &BalanceConfig::preset(Preset::Baseline), mk(), skip);
+        let dlb = run_mean_iteration(&p, &BalanceConfig::preset(Preset::NodeDlb), mk(), skip);
         let d3 = run_mean_iteration(
             &p,
-            &BalanceConfig::offloading(3, DromPolicy::Global),
+            &BalanceConfig::preset(Preset::Offload {
+                degree: 3,
+                drom: DromPolicy::Global,
+            }),
             mk(),
             skip,
         );
@@ -96,7 +107,10 @@ fn main() {
             let perfect = wl.rank_work(0).iter().sum::<f64>() / p.effective_capacity();
             let t = run_mean_iteration(
                 &p,
-                &BalanceConfig::offloading(4, DromPolicy::Global),
+                &BalanceConfig::preset(Preset::Offload {
+                    degree: 4,
+                    drom: DromPolicy::Global,
+                }),
                 wl,
                 effort.pick(2, 1),
             );

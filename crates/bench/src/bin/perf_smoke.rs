@@ -24,8 +24,8 @@ use tlb_apps::micropp::MicroProblem;
 use tlb_apps::nbody::{Body, Octree};
 use tlb_apps::{synthetic_workload, SyntheticConfig};
 use tlb_bench::Effort;
-use tlb_cluster::ClusterSim;
-use tlb_core::{BalanceConfig, DromPolicy, Platform};
+use tlb_cluster::{ClusterSim, RunSpec};
+use tlb_core::{BalanceConfig, DromPolicy, Platform, Preset};
 use tlb_expander::{generate_with_workers, ExpanderConfig};
 use tlb_json::Value;
 use tlb_rng::Rng;
@@ -178,10 +178,13 @@ fn cluster_sim_step(effort: Effort, reps: usize) -> (f64, String) {
     let nodes = effort.pick(8, 4);
     let platform = Platform::mn4(nodes);
     let cfg = SyntheticConfig::new(nodes * 2, 2.0);
-    let balance = BalanceConfig::offloading(4.min(nodes), DromPolicy::Global);
+    let balance = BalanceConfig::preset(Preset::Offload {
+        degree: 4.min(nodes),
+        drom: DromPolicy::Global,
+    });
     let ms = time_ms(reps, || {
         let wl = synthetic_workload(&cfg, &platform);
-        ClusterSim::run_opts(&platform, &balance, wl, false).unwrap()
+        ClusterSim::execute(RunSpec::new(&platform, &balance, wl)).unwrap()
     });
     (
         ms,
@@ -207,10 +210,17 @@ fn trace_overhead(effort: Effort, reps: usize) -> (f64, f64, f64, Value, String)
     let nodes = effort.pick(8, 4);
     let platform = Platform::mn4(nodes);
     let cfg = SyntheticConfig::new(nodes * 2, 2.0);
-    let balance = BalanceConfig::offloading(4.min(nodes), DromPolicy::Global);
+    let balance = BalanceConfig::preset(Preset::Offload {
+        degree: 4.min(nodes),
+        drom: DromPolicy::Global,
+    });
     let run = |trace: bool, families: Option<TraceConfig>| {
         let wl = synthetic_workload(&cfg, &platform);
-        ClusterSim::run_trace_cfg(&platform, &balance, wl, trace, families).unwrap()
+        let mut spec = RunSpec::new(&platform, &balance, wl).trace(trace);
+        if let Some(f) = families {
+            spec = spec.trace_families(f);
+        }
+        ClusterSim::execute(spec).unwrap()
     };
     let disabled_ms = time_ms(reps, || run(false, None));
     let timelines_ms = time_ms(reps, || run(true, Some(TraceConfig::off())));

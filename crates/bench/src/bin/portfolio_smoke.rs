@@ -20,13 +20,16 @@ use std::path::PathBuf;
 use tlb_apps::micropp::{micropp_workload, MicroPpConfig};
 use tlb_apps::synthetic::{synthetic_workload, SyntheticConfig};
 use tlb_bench::Effort;
-use tlb_cluster::{trace_to_chrome, ClusterSim, FaultPlan, SimReport};
-use tlb_core::{BalanceConfig, DromPolicy, Platform, PortfolioConfig, Strategy};
+use tlb_cluster::{trace_to_chrome, ClusterSim, FaultPlan, RunSpec, SimReport};
+use tlb_core::{BalanceConfig, DromPolicy, Platform, PortfolioConfig, Preset, Strategy};
 use tlb_json::Value;
 use tlb_trace::EventKind;
 
 fn config(pool_threads: usize) -> BalanceConfig {
-    let mut config = BalanceConfig::offloading(2, DromPolicy::Global);
+    let mut config = BalanceConfig::preset(Preset::Offload {
+        degree: 2,
+        drom: DromPolicy::Global,
+    });
     // Tick fast enough that even the quick run races several times.
     config.global_period = tlb_des::SimTime::from_millis(500);
     config.portfolio = Some(PortfolioConfig::default().with_pool_threads(pool_threads));
@@ -39,13 +42,10 @@ fn run_micropp(effort: Effort, pool_threads: usize) -> SimReport {
     mcfg.iterations = effort.pick(6, 3);
     mcfg.fractions_override = Some(vec![0.85, 0.25, 0.2, 0.15]);
     let platform = Platform::mn4(4);
-    ClusterSim::run_with_faults(
-        &platform,
-        &config(pool_threads),
-        micropp_workload(&mcfg),
-        true,
-        None,
-        &FaultPlan::none(),
+    ClusterSim::execute(
+        RunSpec::new(&platform, &config(pool_threads), micropp_workload(&mcfg))
+            .trace(true)
+            .faults(&FaultPlan::none()),
     )
     .expect("portfolio_smoke micropp experiment must be valid")
 }
@@ -57,13 +57,10 @@ fn run_synthetic(effort: Effort, pool_threads: usize) -> SimReport {
     scfg.iterations = effort.pick(6, 3);
     scfg.seed = 1;
     let wl = synthetic_workload(&scfg, &platform);
-    ClusterSim::run_with_faults(
-        &platform,
-        &config(pool_threads),
-        wl,
-        true,
-        None,
-        &FaultPlan::none(),
+    ClusterSim::execute(
+        RunSpec::new(&platform, &config(pool_threads), wl)
+            .trace(true)
+            .faults(&FaultPlan::none()),
     )
     .expect("portfolio_smoke synthetic experiment must be valid")
 }

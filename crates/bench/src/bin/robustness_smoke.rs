@@ -26,8 +26,8 @@
 use std::collections::HashSet;
 use tlb_apps::micropp::{micropp_workload, MicroPpConfig};
 use tlb_bench::Effort;
-use tlb_cluster::{trace_to_chrome, ClusterSim, FaultPlan, SimReport};
-use tlb_core::{BalanceConfig, DromPolicy, Platform};
+use tlb_cluster::{trace_to_chrome, ClusterSim, FaultPlan, RunSpec, SimReport};
+use tlb_core::{BalanceConfig, DromPolicy, Platform, Preset};
 use tlb_linprog::LpError;
 use tlb_smprt::Pool;
 use tlb_trace::EventKind;
@@ -39,7 +39,10 @@ fn experiment(effort: Effort) -> (Platform, BalanceConfig, MicroPpConfig) {
     // helpers worth killing.
     mcfg.fractions_override = Some(vec![0.85, 0.25, 0.2, 0.15]);
     let platform = Platform::mn4(4);
-    let mut config = BalanceConfig::offloading(2, DromPolicy::Global);
+    let mut config = BalanceConfig::preset(Preset::Offload {
+        degree: 2,
+        drom: DromPolicy::Global,
+    });
     // Tick the global solver fast enough that the outage window catches
     // at least one tick even in the quick run.
     config.global_period = tlb_des::SimTime::from_millis(500);
@@ -61,13 +64,10 @@ fn plan() -> FaultPlan {
 
 fn run(effort: Effort, plan: &FaultPlan) -> SimReport {
     let (platform, config, mcfg) = experiment(effort);
-    ClusterSim::run_with_faults(
-        &platform,
-        &config,
-        micropp_workload(&mcfg),
-        true,
-        None,
-        plan,
+    ClusterSim::execute(
+        RunSpec::new(&platform, &config, micropp_workload(&mcfg))
+            .trace(true)
+            .faults(plan),
     )
     .expect("robustness_smoke experiment must be valid")
 }
@@ -170,7 +170,7 @@ fn main() {
     // --- empty plan means zero drift ------------------------------------
     let (platform, config, mcfg) = experiment(effort);
     let baseline =
-        ClusterSim::run_trace_cfg(&platform, &config, micropp_workload(&mcfg), true, None)
+        ClusterSim::execute(RunSpec::new(&platform, &config, micropp_workload(&mcfg)).trace(true))
             .expect("baseline run");
     let none = run(effort, &FaultPlan::none());
     assert_eq!(none.makespan, baseline.makespan, "makespan drifted");

@@ -1,0 +1,173 @@
+//! Smoke test for the scenario sweep engine (`tlb-sweep`): expands a
+//! policy-matrix scenario, runs it serially and on an 8-thread pool,
+//! and writes throughput plus cache statistics to
+//! `BENCH_sweep_smoke.json` at the repository root.
+//!
+//! Usage: `sweep_smoke [--quick]`
+//!
+//! Checks:
+//!
+//! 1. the sweep report and the per-point cache keys are *bitwise
+//!    identical* at `jobs = 1` and `jobs = 8` (sharding never leaks
+//!    into results);
+//! 2. a resumed sweep over a warm cache executes zero simulations and
+//!    reproduces the fresh report byte for byte;
+//! 3. invalidating one cache entry re-executes exactly that one point.
+
+use std::path::PathBuf;
+use std::time::Instant;
+use tlb_bench::Effort;
+use tlb_json::Value;
+use tlb_sweep::{run_sweep, Axes, PolicyAxis, Scenario, SweepMachine, SweepOptions, SweepOutcome};
+
+fn repo_root() -> PathBuf {
+    std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(|d| PathBuf::from(d).join("../.."))
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn scenario(effort: Effort) -> Scenario {
+    let sc = Scenario {
+        name: "sweep-smoke".into(),
+        machine: SweepMachine::Ideal,
+        nodes: effort.pick(4, 2),
+        iterations: effort.pick(6, 3),
+        imbalance: 2.0,
+        axes: Axes {
+            appranks_per_node: effort.pick(vec![1, 2], vec![1]),
+            degree: effort.pick(vec![1, 2, 4], vec![1, 2]),
+            policy: vec![
+                PolicyAxis::Baseline,
+                PolicyAxis::Lewi,
+                PolicyAxis::LewiDromLocal,
+                PolicyAxis::LewiDromGlobal,
+            ],
+            seed: effort.pick(vec![1, 2], vec![1, 2]),
+        },
+        ..Scenario::default()
+    };
+    sc.validate().expect("sweep_smoke scenario must be valid");
+    sc
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tlb_sweep_smoke_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn timed_sweep(sc: &Scenario, opts: &SweepOptions) -> (SweepOutcome, f64) {
+    let start = Instant::now();
+    let out = run_sweep(sc, opts).expect("sweep_smoke sweep must succeed");
+    (out, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let effort = Effort::from_args();
+    println!("sweep_smoke ({effort:?})");
+
+    let sc = scenario(effort);
+    let dir1 = temp_dir("jobs1");
+    let dir8 = temp_dir("jobs8");
+
+    // --- fresh runs: serial vs 8-way sharded ----------------------------
+    let (serial, serial_secs) = timed_sweep(
+        &sc,
+        &SweepOptions {
+            jobs: 1,
+            resume: false,
+            cache_dir: Some(dir1.clone()),
+        },
+    );
+    let (parallel, parallel_secs) = timed_sweep(
+        &sc,
+        &SweepOptions {
+            jobs: 8,
+            resume: false,
+            cache_dir: Some(dir8.clone()),
+        },
+    );
+    let total = serial.stats.points_total;
+    assert!(total >= 8, "smoke grid too small to mean anything");
+    assert_eq!(serial.stats.executed, total);
+    assert_eq!(parallel.stats.executed, total);
+
+    // --- gate 1: sharding is invisible in the output --------------------
+    let bitwise = serial.report.to_string_pretty() == parallel.report.to_string_pretty()
+        && serial.keys == parallel.keys;
+    assert!(
+        bitwise,
+        "jobs=1 and jobs=8 reports must be bitwise identical"
+    );
+    println!(
+        "  {total} points: jobs=1 {serial_secs:.2}s, jobs=8 {parallel_secs:.2}s, \
+         reports bitwise identical"
+    );
+
+    // --- gate 2: resume over a warm cache executes nothing --------------
+    let (resumed, resumed_secs) = timed_sweep(
+        &sc,
+        &SweepOptions {
+            jobs: 8,
+            resume: true,
+            cache_dir: Some(dir8.clone()),
+        },
+    );
+    assert_eq!(resumed.stats.executed, 0, "warm resume must skip every sim");
+    assert_eq!(resumed.stats.cache_hits, total);
+    assert_eq!(
+        resumed.report.to_string_pretty(),
+        serial.report.to_string_pretty(),
+        "cached report must match the fresh report byte for byte"
+    );
+    let hit_rate = resumed.stats.cache_hits as f64 / total as f64;
+    println!(
+        "  resume: {:.0}% cache hits in {resumed_secs:.2}s",
+        hit_rate * 100.0
+    );
+
+    // --- gate 3: one invalidated entry re-executes exactly once ---------
+    std::fs::remove_file(dir8.join(format!("{:016x}.json", resumed.keys[total / 2])))
+        .expect("cache entry to invalidate exists");
+    let (partial, _) = timed_sweep(
+        &sc,
+        &SweepOptions {
+            jobs: 8,
+            resume: true,
+            cache_dir: Some(dir8.clone()),
+        },
+    );
+    assert_eq!(partial.stats.executed, 1, "one stale point re-executes");
+    assert_eq!(partial.stats.cache_hits, total - 1);
+    println!(
+        "  invalidation: 1 point re-executed, {} served from cache",
+        total - 1
+    );
+
+    let doc = Value::object(vec![
+        ("bench", "sweep_smoke".into()),
+        ("effort", format!("{effort:?}").into()),
+        ("points_total", total.into()),
+        ("jobs1_secs", serial_secs.into()),
+        ("jobs8_secs", parallel_secs.into()),
+        (
+            "jobs1_points_per_sec",
+            (total as f64 / serial_secs.max(1e-9)).into(),
+        ),
+        (
+            "jobs8_points_per_sec",
+            (total as f64 / parallel_secs.max(1e-9)).into(),
+        ),
+        ("bitwise_identical_1_vs_8", bitwise.into()),
+        ("resume_cache_hit_rate", hit_rate.into()),
+        ("resume_executed", resumed.stats.executed.into()),
+        ("resume_secs", resumed_secs.into()),
+    ]);
+    let path = repo_root().join("BENCH_sweep_smoke.json");
+    std::fs::write(&path, doc.to_string_pretty()).expect("write BENCH_sweep_smoke.json");
+    println!("saved: {}", path.display());
+
+    let _ = std::fs::remove_dir_all(&dir1);
+    let _ = std::fs::remove_dir_all(&dir8);
+    println!("sweep_smoke OK");
+}

@@ -21,8 +21,8 @@
 use std::collections::HashSet;
 use tlb_apps::micropp::{micropp_workload, MicroPpConfig};
 use tlb_bench::Effort;
-use tlb_cluster::{trace_to_chrome, trace_to_csv, ClusterSim, SimReport};
-use tlb_core::{BalanceConfig, DromPolicy, Platform};
+use tlb_cluster::{trace_to_chrome, trace_to_csv, ClusterSim, RunSpec, SimReport};
+use tlb_core::{BalanceConfig, DromPolicy, Platform, Preset};
 use tlb_smprt::Pool;
 use tlb_trace::EventKind;
 
@@ -32,7 +32,10 @@ fn experiment(effort: Effort) -> (Platform, BalanceConfig, MicroPpConfig) {
     // Skewed load so offloading, LeWI and DROM all have work to do.
     mcfg.fractions_override = Some(vec![0.85, 0.25, 0.2, 0.15]);
     let platform = Platform::mn4(4);
-    let mut config = BalanceConfig::offloading(2, DromPolicy::Global);
+    let mut config = BalanceConfig::preset(Preset::Offload {
+        degree: 2,
+        drom: DromPolicy::Global,
+    });
     // Tick the global solver fast enough that even the quick run records
     // solver invocations and DROM ownership transactions.
     config.global_period = tlb_des::SimTime::from_millis(500);
@@ -41,7 +44,7 @@ fn experiment(effort: Effort) -> (Platform, BalanceConfig, MicroPpConfig) {
 
 fn run(effort: Effort, trace: bool) -> SimReport {
     let (platform, config, mcfg) = experiment(effort);
-    ClusterSim::run_opts(&platform, &config, micropp_workload(&mcfg), trace)
+    ClusterSim::execute(RunSpec::new(&platform, &config, micropp_workload(&mcfg)).trace(trace))
         .expect("trace_smoke experiment must be valid")
 }
 

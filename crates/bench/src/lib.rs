@@ -20,7 +20,7 @@
 //! `results/` so EXPERIMENTS.md can cite exact numbers.
 
 use std::path::PathBuf;
-use tlb_cluster::{ClusterSim, SimReport, Workload};
+use tlb_cluster::{ClusterSim, RunSpec, SimReport, Workload};
 use tlb_core::{BalanceConfig, Platform};
 
 /// Scale factor for quick runs (`--quick` divides iteration counts and
@@ -228,7 +228,7 @@ pub fn run_mean_iteration<W: Workload>(
     workload: W,
     skip: usize,
 ) -> f64 {
-    let report = ClusterSim::run_opts(platform, config, workload, false)
+    let report = ClusterSim::execute(RunSpec::new(platform, config, workload))
         .expect("experiment configuration must be valid");
     report.mean_iteration_secs(skip)
 }
@@ -239,7 +239,8 @@ pub fn run_traced<W: Workload>(
     config: &BalanceConfig,
     workload: W,
 ) -> SimReport {
-    ClusterSim::run(platform, config, workload).expect("experiment configuration must be valid")
+    ClusterSim::execute(RunSpec::new(platform, config, workload).trace(true))
+        .expect("experiment configuration must be valid")
 }
 
 #[cfg(test)]

@@ -7,10 +7,11 @@
 //!         [--machine mn4|nord3|ideal] [--slow-node 0] [--lewi off]
 //!         [--trace-csv out.csv] [--chrome out.json] [--json]
 //! tlb-run trace --app nbody --nodes 4   # traced run, Chrome JSON export
+//! tlb-run sweep --scenario examples/policy_matrix.json --jobs 8 --resume
 //! ```
 
 use std::fmt;
-use tlb_cluster::{ClusterSim, FaultPlan, FaultStats, SimReport, SpecWorkload, Workload};
+use tlb_cluster::{ClusterSim, FaultPlan, FaultStats, RunSpec, SimReport, SpecWorkload, Workload};
 use tlb_core::{BalanceConfig, DromPolicy, Platform, PortfolioConfig, Strategy};
 use tlb_des::SimTime;
 
@@ -120,7 +121,10 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 /// Usage text.
-pub const USAGE: &str = "usage: tlb-run [trace] [options]
+pub const USAGE: &str = "usage: tlb-run [trace|sweep] [options]
+  sweep                                   subcommand: batch-run a scenario
+                                          file over its axis grid (see
+                                          tlb-run sweep --help)
   trace                                   subcommand: record the structured
                                           event trace and write a Chrome
                                           trace-event JSON (default
@@ -341,9 +345,12 @@ pub fn run(args: &Args) -> Result<(SimReport, f64), String> {
             cfg.seed = args.seed;
             let wl = tlb_apps::synthetic::synthetic_workload(&cfg, &platform);
             let work = wl.rank_work(0).iter().sum::<f64>();
-            let r =
-                ClusterSim::run_with_faults(&platform, &build_config(args), wl, trace, None, &plan)
-                    .map_err(|e| e.to_string())?;
+            let r = ClusterSim::execute(
+                RunSpec::new(&platform, &build_config(args), wl)
+                    .trace(trace)
+                    .faults(&plan),
+            )
+            .map_err(|e| e.to_string())?;
             (r, work)
         }
         App::Micropp => {
@@ -352,9 +359,12 @@ pub fn run(args: &Args) -> Result<(SimReport, f64), String> {
             cfg.seed = args.seed;
             let wl = tlb_apps::micropp::micropp_workload(&cfg);
             let work = wl.rank_work(0).iter().sum::<f64>();
-            let r =
-                ClusterSim::run_with_faults(&platform, &build_config(args), wl, trace, None, &plan)
-                    .map_err(|e| e.to_string())?;
+            let r = ClusterSim::execute(
+                RunSpec::new(&platform, &build_config(args), wl)
+                    .trace(trace)
+                    .faults(&plan),
+            )
+            .map_err(|e| e.to_string())?;
             (r, work)
         }
         App::Nbody => {
@@ -367,9 +377,12 @@ pub fn run(args: &Args) -> Result<(SimReport, f64), String> {
                 .map(|r| probe.tasks(r, 0).iter().map(|t| t.duration).sum::<f64>())
                 .sum();
             let wl = tlb_apps::nbody::NBodyWorkload::new(cfg);
-            let r =
-                ClusterSim::run_with_faults(&platform, &build_config(args), wl, trace, None, &plan)
-                    .map_err(|e| e.to_string())?;
+            let r = ClusterSim::execute(
+                RunSpec::new(&platform, &build_config(args), wl)
+                    .trace(trace)
+                    .faults(&plan),
+            )
+            .map_err(|e| e.to_string())?;
             (r, work)
         }
         App::Stencil => {
@@ -389,9 +402,12 @@ pub fn run(args: &Args) -> Result<(SimReport, f64), String> {
                 })
                 .sum::<f64>()
                 * 10.0; // secs_per_row scaled from default 1e-4 to 1e-3
-            let r =
-                ClusterSim::run_with_faults(&platform, &build_config(args), wl, trace, None, &plan)
-                    .map_err(|e| e.to_string())?;
+            let r = ClusterSim::execute(
+                RunSpec::new(&platform, &build_config(args), wl)
+                    .trace(trace)
+                    .faults(&plan),
+            )
+            .map_err(|e| e.to_string())?;
             (r, work)
         }
     };
@@ -586,6 +602,131 @@ pub fn format_json(args: &Args, report: &SimReport, perfect: f64) -> String {
 
 /// Keep `SpecWorkload` in the public surface for config-driven runs.
 pub type CustomWorkload = SpecWorkload;
+
+// ---------------------------------------------------------------------------
+// `tlb-run sweep`: batch scenario execution on the tlb-sweep engine.
+// ---------------------------------------------------------------------------
+
+/// Parsed `tlb-run sweep` command line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SweepArgs {
+    /// Path of the scenario JSON file.
+    pub scenario: String,
+    /// Pool threads to shard points across.
+    pub jobs: usize,
+    /// Reuse cached point results.
+    pub resume: bool,
+    /// Where the sweep report JSON is written.
+    pub out: String,
+    /// Point-result cache directory.
+    pub cache_dir: String,
+    /// Print the run summary as JSON instead of text.
+    pub json: bool,
+}
+
+impl Default for SweepArgs {
+    fn default() -> Self {
+        SweepArgs {
+            scenario: String::new(),
+            jobs: 1,
+            resume: false,
+            out: "tlb_sweep.json".into(),
+            cache_dir: "tlb_sweep_cache".into(),
+            json: false,
+        }
+    }
+}
+
+/// Usage text of the `sweep` subcommand.
+pub const SWEEP_USAGE: &str = "usage: tlb-run sweep --scenario FILE [options]
+  --scenario FILE   scenario JSON (strict schema, schema_version 1; see
+                    examples/policy_matrix.json)
+  --jobs N          points executed concurrently (default 1; the report
+                    is bitwise identical at every level)
+  --resume          reuse cached point results from --cache-dir
+  --out PATH        sweep report path (default tlb_sweep.json)
+  --cache-dir PATH  point-result cache (default tlb_sweep_cache)
+  --json            print the run summary as JSON
+  --help            this text";
+
+/// Parse the argument list following the `sweep` subcommand word.
+pub fn parse_sweep_args<I: IntoIterator<Item = String>>(argv: I) -> Result<SweepArgs, ParseError> {
+    let mut args = SweepArgs::default();
+    let mut it = argv.into_iter().peekable();
+    let missing = |flag: &str| ParseError(format!("{flag} needs a value"));
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--scenario" => args.scenario = it.next().ok_or_else(|| missing("--scenario"))?,
+            "--jobs" => args.jobs = parse_num(&mut it, "--jobs")?,
+            "--resume" => args.resume = true,
+            "--out" => args.out = it.next().ok_or_else(|| missing("--out"))?,
+            "--cache-dir" => args.cache_dir = it.next().ok_or_else(|| missing("--cache-dir"))?,
+            "--json" => args.json = true,
+            "--help" | "-h" => return Err(ParseError(SWEEP_USAGE.to_string())),
+            other => {
+                return Err(ParseError(format!(
+                    "unknown sweep flag '{other}'\n{SWEEP_USAGE}"
+                )))
+            }
+        }
+    }
+    if args.scenario.is_empty() {
+        return Err(ParseError(format!(
+            "sweep needs --scenario FILE\n{SWEEP_USAGE}"
+        )));
+    }
+    if args.jobs == 0 {
+        return Err(ParseError("--jobs must be positive".into()));
+    }
+    Ok(args)
+}
+
+/// Load and strictly parse the scenario file. Any violation — missing
+/// file, malformed JSON, unknown key, unsupported schema version, bad
+/// axis value — is a usage error (exit 2), exactly like `--faults`
+/// validation on the single-run path.
+pub fn load_scenario(args: &SweepArgs) -> Result<tlb_sweep::Scenario, ParseError> {
+    let text = std::fs::read_to_string(&args.scenario)
+        .map_err(|e| ParseError(format!("--scenario {}: {e}", args.scenario)))?;
+    tlb_sweep::Scenario::from_json_str(&text)
+        .map_err(|e| ParseError(format!("--scenario {}: {e}", args.scenario)))
+}
+
+/// Execute a sweep: run the engine, write the report to `args.out`, and
+/// return the printable summary.
+pub fn run_sweep_cmd(args: &SweepArgs, scenario: &tlb_sweep::Scenario) -> Result<String, String> {
+    let opts = tlb_sweep::SweepOptions {
+        jobs: args.jobs,
+        resume: args.resume,
+        cache_dir: Some(std::path::PathBuf::from(&args.cache_dir)),
+    };
+    let outcome = tlb_sweep::run_sweep(scenario, &opts).map_err(|e| e.to_string())?;
+    std::fs::write(&args.out, outcome.report.to_string_pretty())
+        .map_err(|e| format!("writing {}: {e}", args.out))?;
+    let stats = outcome.stats;
+    if args.json {
+        use tlb_json::Value;
+        Ok(Value::object(vec![
+            ("scenario", scenario.name.as_str().into()),
+            ("points_total", stats.points_total.into()),
+            ("executed", stats.executed.into()),
+            ("cache_hits", stats.cache_hits.into()),
+            ("jobs", args.jobs.into()),
+            ("out", args.out.as_str().into()),
+        ])
+        .to_string_compact())
+    } else {
+        Ok(format!(
+            "sweep '{}': {} points ({} executed, {} cached) on {} job(s)\nreport: {}",
+            scenario.name,
+            stats.points_total,
+            stats.executed,
+            stats.cache_hits,
+            args.jobs,
+            args.out
+        ))
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -826,5 +967,101 @@ mod tests {
         let csv = std::fs::read_to_string(&path).unwrap();
         assert!(csv.starts_with("kind,node,proc"));
         std::fs::remove_file(&path).ok();
+    }
+
+    fn sweep_args(s: &str) -> Result<SweepArgs, ParseError> {
+        parse_sweep_args(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn sweep_flags_parse() {
+        let a = sweep_args("--scenario sc.json --jobs 8 --resume --out r.json --json").unwrap();
+        assert_eq!(a.scenario, "sc.json");
+        assert_eq!(a.jobs, 8);
+        assert!(a.resume);
+        assert_eq!(a.out, "r.json");
+        assert_eq!(a.cache_dir, "tlb_sweep_cache");
+        assert!(a.json);
+    }
+
+    #[test]
+    fn sweep_usage_errors_are_parse_errors() {
+        // All of these exit 2 through main, like --faults validation.
+        assert!(sweep_args("").is_err(), "missing --scenario");
+        assert!(sweep_args("--scenario sc.json --jobs 0").is_err());
+        assert!(sweep_args("--scenario sc.json --frobnicate").is_err());
+        assert!(sweep_args("--help")
+            .unwrap_err()
+            .0
+            .contains("usage: tlb-run sweep"));
+    }
+
+    #[test]
+    fn sweep_scenario_violations_are_parse_errors() {
+        let dir = std::env::temp_dir().join(format!("tlb_cli_sweep_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        let path_str = path.to_string_lossy().into_owned();
+
+        let mut a = SweepArgs {
+            scenario: "does-not-exist.json".into(),
+            ..SweepArgs::default()
+        };
+        assert!(load_scenario(&a).is_err());
+
+        std::fs::write(
+            &path,
+            r#"{"schema_version": 1, "name": "x", "app": "synthetic", "oops": 1}"#,
+        )
+        .unwrap();
+        a.scenario = path_str;
+        let err = load_scenario(&a).unwrap_err();
+        assert!(err.0.contains("unknown key 'oops'"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_cmd_runs_and_writes_report() {
+        let dir = std::env::temp_dir().join(format!("tlb_cli_sweep_run_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sc_path = dir.join("sc.json");
+        std::fs::write(
+            &sc_path,
+            r#"{"schema_version": 1, "name": "cli-smoke", "app": "synthetic",
+                "machine": "ideal", "nodes": 2, "iterations": 2,
+                "axes": {"policy": ["baseline", "lewi"]}}"#,
+        )
+        .unwrap();
+        let a = SweepArgs {
+            scenario: sc_path.to_string_lossy().into_owned(),
+            jobs: 2,
+            out: dir.join("report.json").to_string_lossy().into_owned(),
+            cache_dir: dir.join("cache").to_string_lossy().into_owned(),
+            json: true,
+            ..SweepArgs::default()
+        };
+        let scenario = load_scenario(&a).unwrap();
+        let summary = tlb_json::parse(&run_sweep_cmd(&a, &scenario).unwrap()).unwrap();
+        assert_eq!(summary.get("points_total").as_usize(), Some(2));
+        assert_eq!(summary.get("executed").as_usize(), Some(2));
+        assert_eq!(summary.get("cache_hits").as_usize(), Some(0));
+        let report =
+            tlb_json::parse(&std::fs::read_to_string(dir.join("report.json")).unwrap()).unwrap();
+        assert_eq!(report.get("points").as_array().unwrap().len(), 2);
+
+        // Resume: everything cached, byte-identical report.
+        let resumed = SweepArgs {
+            resume: true,
+            ..a.clone()
+        };
+        let first = std::fs::read_to_string(dir.join("report.json")).unwrap();
+        let summary = tlb_json::parse(&run_sweep_cmd(&resumed, &scenario).unwrap()).unwrap();
+        assert_eq!(summary.get("executed").as_usize(), Some(0));
+        assert_eq!(summary.get("cache_hits").as_usize(), Some(2));
+        assert_eq!(
+            first,
+            std::fs::read_to_string(dir.join("report.json")).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -3,6 +3,10 @@
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("sweep") {
+        sweep_main(argv[1..].to_vec());
+        return;
+    }
     let args = match tlb_cli::parse_args(argv) {
         Ok(a) => a,
         Err(e) => {
@@ -18,6 +22,32 @@ fn main() {
                 print!("{}", tlb_cli::format_text(&args, &report, perfect));
             }
         }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The `sweep` subcommand: flag or scenario-schema violations exit 2
+/// (usage errors, like `--faults` validation); engine failures exit 1.
+fn sweep_main(argv: Vec<String>) {
+    let args = match tlb_cli::parse_sweep_args(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let scenario = match tlb_cli::load_scenario(&args) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    match tlb_cli::run_sweep_cmd(&args, &scenario) {
+        Ok(summary) => println!("{summary}"),
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);

@@ -11,29 +11,34 @@
 //! logic; only task execution and message transfer are replaced by timed
 //! events.
 //!
-//! Main entry point: [`ClusterSim::run`], which executes a [`Workload`]
-//! under a [`tlb_core::BalanceConfig`] on a [`tlb_core::Platform`] and
-//! returns a [`SimReport`] with makespan, per-iteration times, and
-//! Paraver-style timelines (busy cores and owned cores per worker) — the
-//! raw material for every figure in the paper.
+//! Main entry point: [`ClusterSim::execute`], which executes a
+//! [`RunSpec`] — a [`Workload`] under a [`tlb_core::BalanceConfig`] on a
+//! [`tlb_core::Platform`], plus optional tracing, fault injection, and a
+//! solver-portfolio override — and returns a [`SimReport`] with
+//! makespan, per-iteration times, and Paraver-style timelines (busy
+//! cores and owned cores per worker) — the raw material for every figure
+//! in the paper.
 //!
 //! # Example
 //!
 //! ```
-//! use tlb_cluster::{ClusterSim, SpecWorkload, TaskSpec};
-//! use tlb_core::{BalanceConfig, DromPolicy, Platform};
+//! use tlb_cluster::{ClusterSim, RunSpec, SpecWorkload, TaskSpec};
+//! use tlb_core::{BalanceConfig, DromPolicy, Platform, Preset};
 //!
 //! // Two appranks on two 4-core nodes; apprank 0 has 3x the work.
 //! let mk = |n: usize| (0..n).map(|_| TaskSpec::compute(0.050)).collect();
 //! let wl = SpecWorkload::iterated(vec![mk(120), mk(40)], 3);
 //! let platform = Platform::homogeneous(2, 4);
 //!
-//! let baseline = ClusterSim::run(&platform, &BalanceConfig::baseline(), wl.clone()).unwrap();
-//! let balanced = ClusterSim::run(
-//!     &platform,
-//!     &BalanceConfig::offloading(2, DromPolicy::Global),
-//!     wl,
-//! ).unwrap();
+//! let base_cfg = BalanceConfig::preset(Preset::Baseline);
+//! let baseline =
+//!     ClusterSim::execute(RunSpec::new(&platform, &base_cfg, wl.clone()).trace(true)).unwrap();
+//! let bal_cfg = BalanceConfig::preset(Preset::Offload {
+//!     degree: 2,
+//!     drom: DromPolicy::Global,
+//! });
+//! let balanced =
+//!     ClusterSim::execute(RunSpec::new(&platform, &bal_cfg, wl).trace(true)).unwrap();
 //! assert!(balanced.makespan < baseline.makespan);
 //! ```
 
@@ -57,6 +62,6 @@ pub use fault::{
     WorkerKillFault,
 };
 pub use report::SimReport;
-pub use sim::{ClusterSim, SimError};
+pub use sim::{ClusterSim, RunSpec, SimError};
 pub use trace::Trace;
 pub use workload::{MpiOp, SpecWorkload, TaskSpec, Workload};

@@ -220,55 +220,76 @@ struct State<W: Workload> {
     error: Option<SimError>,
 }
 
-/// The public simulation driver.
-pub struct ClusterSim;
+/// Declarative description of one simulation run — the single argument
+/// of [`ClusterSim::execute`], replacing the four legacy entry points
+/// (`run`, `run_opts`, `run_trace_cfg`, `run_with_faults`) that had
+/// accreted one positional parameter per feature.
+///
+/// Build one with [`RunSpec::new`] and refine it builder-style:
+///
+/// ```
+/// use tlb_cluster::{ClusterSim, FaultPlan, RunSpec, SpecWorkload, TaskSpec};
+/// use tlb_core::{BalanceConfig, Platform, Preset};
+///
+/// let wl = SpecWorkload::iterated(vec![vec![TaskSpec::compute(0.05); 8]], 2);
+/// let platform = Platform::homogeneous(1, 4);
+/// let config = BalanceConfig::preset(Preset::Baseline);
+/// let report = ClusterSim::execute(
+///     RunSpec::new(&platform, &config, wl)
+///         .trace(true)
+///         .faults(&FaultPlan::none()),
+/// )
+/// .unwrap();
+/// assert_eq!(report.total_tasks, 16);
+/// ```
+///
+/// Tracing defaults to **off** (the batch-sweep default); `.trace(true)`
+/// enables the Paraver-style timelines plus all structured event
+/// families, and `.trace_families(..)` narrows the families.
+pub struct RunSpec<'a, W> {
+    platform: &'a Platform,
+    config: &'a BalanceConfig,
+    workload: W,
+    trace: bool,
+    families: Option<tlb_trace::TraceConfig>,
+    faults: FaultPlan,
+    portfolio: Option<tlb_core::PortfolioConfig>,
+}
 
-impl ClusterSim {
-    /// Run `workload` on `platform` under `config` and return the report.
-    /// Tracing is enabled; for large sweeps use [`ClusterSim::run_opts`].
-    pub fn run<W: Workload>(
-        platform: &Platform,
-        config: &BalanceConfig,
-        workload: W,
-    ) -> Result<SimReport, SimError> {
-        ClusterSim::run_opts(platform, config, workload, true)
-    }
-
-    /// Run with explicit trace control.
-    pub fn run_opts<W: Workload>(
-        platform: &Platform,
-        config: &BalanceConfig,
-        workload: W,
-        trace: bool,
-    ) -> Result<SimReport, SimError> {
-        ClusterSim::run_trace_cfg(platform, config, workload, trace, None)
-    }
-
-    /// Run with an explicit event-family selection. `trace` gates the
-    /// Paraver-style timelines as in [`ClusterSim::run_opts`]; when it is
-    /// on, `families` (default [`TraceConfig::all`]) picks which of the
-    /// structured event/counter families record — `TraceConfig::off()`
-    /// keeps the timelines but silences the event log, which is how the
-    /// perf smoke isolates the event subsystem's cost.
-    pub fn run_trace_cfg<W: Workload>(
-        platform: &Platform,
-        config: &BalanceConfig,
-        workload: W,
-        trace: bool,
-        families: Option<tlb_trace::TraceConfig>,
-    ) -> Result<SimReport, SimError> {
-        ClusterSim::run_with_faults(
+impl<'a, W: Workload> RunSpec<'a, W> {
+    /// A run of `workload` on `platform` under `config`, with tracing
+    /// off, no faults, and the config's own portfolio (if any).
+    pub fn new(platform: &'a Platform, config: &'a BalanceConfig, workload: W) -> Self {
+        RunSpec {
             platform,
             config,
             workload,
-            trace,
-            families,
-            &FaultPlan::none(),
-        )
+            trace: false,
+            families: None,
+            faults: FaultPlan::none(),
+            portfolio: None,
+        }
     }
 
-    /// Run under an injected [`FaultPlan`]. An empty plan is byte-for-byte
-    /// identical to [`ClusterSim::run_trace_cfg`]: the fault machinery
+    /// Builder: enable or disable the Paraver-style timelines and the
+    /// structured event/counter log.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Builder: trace with an explicit event-family selection (implies
+    /// `.trace(true)`). `TraceConfig::off()` keeps the timelines but
+    /// silences the event log, which is how the perf smoke isolates the
+    /// event subsystem's cost.
+    pub fn trace_families(mut self, families: tlb_trace::TraceConfig) -> Self {
+        self.trace = true;
+        self.families = Some(families);
+        self
+    }
+
+    /// Builder: inject a [`FaultPlan`]. An empty plan is byte-for-byte
+    /// identical to not calling this at all: the fault machinery
     /// schedules no events and perturbs no decision. With faults active
     /// the runtime degrades instead of dying — stragglers slow nodes,
     /// killed workers hand their cores and queued tasks back, dropped
@@ -276,6 +297,84 @@ impl ClusterSim {
     /// the home rank, and solver outages fall back to the local
     /// convergence policy. [`SimReport::faults`] accounts for every
     /// injection.
+    pub fn faults(mut self, plan: &FaultPlan) -> Self {
+        self.faults = plan.clone();
+        self
+    }
+
+    /// Builder: race this solver portfolio on every global tick,
+    /// overriding `config.portfolio` for this run only.
+    pub fn portfolio(mut self, portfolio: tlb_core::PortfolioConfig) -> Self {
+        self.portfolio = Some(portfolio);
+        self
+    }
+
+    /// Execute the spec (sugar for [`ClusterSim::execute`]).
+    pub fn run(self) -> Result<SimReport, SimError> {
+        ClusterSim::execute(self)
+    }
+}
+
+/// The public simulation driver.
+pub struct ClusterSim;
+
+impl ClusterSim {
+    /// Deprecated shim: traced run with defaults.
+    /// Use [`ClusterSim::execute`] with [`RunSpec`] instead.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ClusterSim::execute(RunSpec::new(platform, config, workload).trace(true))"
+    )]
+    pub fn run<W: Workload>(
+        platform: &Platform,
+        config: &BalanceConfig,
+        workload: W,
+    ) -> Result<SimReport, SimError> {
+        ClusterSim::execute(RunSpec::new(platform, config, workload).trace(true))
+    }
+
+    /// Deprecated shim: run with explicit trace control.
+    /// Use [`ClusterSim::execute`] with [`RunSpec`] instead.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ClusterSim::execute(RunSpec::new(platform, config, workload).trace(trace))"
+    )]
+    pub fn run_opts<W: Workload>(
+        platform: &Platform,
+        config: &BalanceConfig,
+        workload: W,
+        trace: bool,
+    ) -> Result<SimReport, SimError> {
+        ClusterSim::execute(RunSpec::new(platform, config, workload).trace(trace))
+    }
+
+    /// Deprecated shim: run with an explicit event-family selection.
+    /// Use [`ClusterSim::execute`] with [`RunSpec::trace_families`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ClusterSim::execute(RunSpec::new(..).trace_families(families))"
+    )]
+    pub fn run_trace_cfg<W: Workload>(
+        platform: &Platform,
+        config: &BalanceConfig,
+        workload: W,
+        trace: bool,
+        families: Option<tlb_trace::TraceConfig>,
+    ) -> Result<SimReport, SimError> {
+        let mut spec = RunSpec::new(platform, config, workload).trace(trace);
+        if let Some(f) = families {
+            spec = spec.trace_families(f);
+            spec.trace = trace;
+        }
+        ClusterSim::execute(spec)
+    }
+
+    /// Deprecated shim: run under an injected [`FaultPlan`].
+    /// Use [`ClusterSim::execute`] with [`RunSpec::faults`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ClusterSim::execute(RunSpec::new(..).faults(plan))"
+    )]
     pub fn run_with_faults<W: Workload>(
         platform: &Platform,
         config: &BalanceConfig,
@@ -284,6 +383,36 @@ impl ClusterSim {
         families: Option<tlb_trace::TraceConfig>,
         plan: &FaultPlan,
     ) -> Result<SimReport, SimError> {
+        let mut spec = RunSpec::new(platform, config, workload)
+            .trace(trace)
+            .faults(plan);
+        spec.families = families;
+        ClusterSim::execute(spec)
+    }
+
+    /// Execute a [`RunSpec`] and return the report — the single
+    /// simulation entry point every other API reduces to.
+    pub fn execute<W: Workload>(spec: RunSpec<'_, W>) -> Result<SimReport, SimError> {
+        let RunSpec {
+            platform,
+            config,
+            workload,
+            trace,
+            families,
+            faults,
+            portfolio,
+        } = spec;
+        let effective;
+        let config = match portfolio {
+            Some(pc) => {
+                let mut c = config.clone();
+                c.portfolio = Some(pc);
+                effective = c;
+                &effective
+            }
+            None => config,
+        };
+        let plan = &faults;
         let appranks = workload.appranks();
         if appranks == 0 {
             return Err(SimError::Shape("workload has no appranks".into()));
@@ -2180,6 +2309,7 @@ impl<W: Workload> World for State<W> {
 mod tests {
     use super::*;
     use crate::SpecWorkload;
+    use tlb_core::Preset;
 
     fn uniform(ranks: usize, tasks: usize, dur: f64, iters: usize) -> SpecWorkload {
         SpecWorkload::iterated(
@@ -2195,7 +2325,10 @@ mod tests {
         // 1 apprank, 1 node, 4 cores, 40 tasks of 0.1 s: 10 waves = 1 s.
         let wl = uniform(1, 40, 0.1, 1);
         let p = Platform::homogeneous(1, 4);
-        let r = ClusterSim::run(&p, &BalanceConfig::baseline(), wl).unwrap();
+        let r = ClusterSim::execute(
+            RunSpec::new(&p, &BalanceConfig::preset(Preset::Baseline), wl).trace(true),
+        )
+        .unwrap();
         let secs = r.makespan.as_secs_f64();
         assert!((secs - 1.0).abs() < 1e-6, "makespan {secs}");
         assert_eq!(r.total_tasks, 40);
@@ -2206,7 +2339,10 @@ mod tests {
     fn baseline_never_offloads() {
         let wl = uniform(2, 30, 0.05, 2);
         let p = Platform::homogeneous(2, 4);
-        let r = ClusterSim::run(&p, &BalanceConfig::baseline(), wl).unwrap();
+        let r = ClusterSim::execute(
+            RunSpec::new(&p, &BalanceConfig::preset(Preset::Baseline), wl).trace(true),
+        )
+        .unwrap();
         assert_eq!(r.offloaded_tasks, 0);
         assert_eq!(r.iteration_times.len(), 2);
     }
@@ -2219,7 +2355,10 @@ mod tests {
         let light: Vec<TaskSpec> = (0..20).map(|_| TaskSpec::compute(0.05)).collect();
         let wl = SpecWorkload::iterated(vec![heavy, light], 1);
         let p = Platform::homogeneous(2, 4);
-        let r = ClusterSim::run(&p, &BalanceConfig::baseline(), wl).unwrap();
+        let r = ClusterSim::execute(
+            RunSpec::new(&p, &BalanceConfig::preset(Preset::Baseline), wl).trace(true),
+        )
+        .unwrap();
         let secs = r.makespan.as_secs_f64();
         assert!((secs - 1.0).abs() < 0.01, "makespan {secs}");
     }
@@ -2230,9 +2369,15 @@ mod tests {
         let light: Vec<TaskSpec> = (0..20).map(|_| TaskSpec::compute(0.05)).collect();
         let wl = SpecWorkload::iterated(vec![heavy, light], 4);
         let p = Platform::homogeneous(2, 4);
-        let base = ClusterSim::run(&p, &BalanceConfig::baseline(), wl.clone()).unwrap();
-        let cfg = BalanceConfig::offloading(2, DromPolicy::Global);
-        let bal = ClusterSim::run(&p, &cfg, wl).unwrap();
+        let base = ClusterSim::execute(
+            RunSpec::new(&p, &BalanceConfig::preset(Preset::Baseline), wl.clone()).trace(true),
+        )
+        .unwrap();
+        let cfg = BalanceConfig::preset(Preset::Offload {
+            degree: 2,
+            drom: DromPolicy::Global,
+        });
+        let bal = ClusterSim::execute(RunSpec::new(&p, &cfg, wl).trace(true)).unwrap();
         assert!(
             bal.makespan.as_secs_f64() < 0.8 * base.makespan.as_secs_f64(),
             "balanced {} vs baseline {}",
@@ -2248,12 +2393,29 @@ mod tests {
         let light: Vec<TaskSpec> = (0..40).map(|_| TaskSpec::compute(0.05)).collect();
         let wl = SpecWorkload::iterated(vec![heavy, light], 4);
         let p = Platform::homogeneous(2, 4);
-        let base = ClusterSim::run(&p, &BalanceConfig::baseline(), wl.clone()).unwrap();
-        let mut lewi_cfg = BalanceConfig::offloading(2, DromPolicy::Off);
+        let base = ClusterSim::execute(
+            RunSpec::new(&p, &BalanceConfig::preset(Preset::Baseline), wl.clone()).trace(true),
+        )
+        .unwrap();
+        let mut lewi_cfg = BalanceConfig::preset(Preset::Offload {
+            degree: 2,
+            drom: DromPolicy::Off,
+        });
         lewi_cfg.lewi = true;
-        let lewi = ClusterSim::run(&p, &lewi_cfg, wl.clone()).unwrap();
-        let drom =
-            ClusterSim::run(&p, &BalanceConfig::offloading(2, DromPolicy::Global), wl).unwrap();
+        let lewi =
+            ClusterSim::execute(RunSpec::new(&p, &lewi_cfg, wl.clone()).trace(true)).unwrap();
+        let drom = ClusterSim::execute(
+            RunSpec::new(
+                &p,
+                &BalanceConfig::preset(Preset::Offload {
+                    degree: 2,
+                    drom: DromPolicy::Global,
+                }),
+                wl,
+            )
+            .trace(true),
+        )
+        .unwrap();
         assert!(
             lewi.makespan < base.makespan,
             "LeWI {} vs baseline {}",
@@ -2273,8 +2435,11 @@ mod tests {
         let tasks: Vec<TaskSpec> = (0..40).map(|_| TaskSpec::pinned(0.05)).collect();
         let wl = SpecWorkload::iterated(vec![tasks.clone(), tasks], 2);
         let p = Platform::homogeneous(2, 4);
-        let cfg = BalanceConfig::offloading(2, DromPolicy::Global);
-        let r = ClusterSim::run(&p, &cfg, wl).unwrap();
+        let cfg = BalanceConfig::preset(Preset::Offload {
+            degree: 2,
+            drom: DromPolicy::Global,
+        });
+        let r = ClusterSim::execute(RunSpec::new(&p, &cfg, wl).trace(true)).unwrap();
         assert_eq!(r.offloaded_tasks, 0);
     }
 
@@ -2283,8 +2448,14 @@ mod tests {
         let wl = uniform(2, 40, 0.05, 1);
         let fast = Platform::homogeneous(2, 4);
         let slow = Platform::homogeneous(2, 4).with_slowdown(1, 2.0);
-        let rf = ClusterSim::run(&fast, &BalanceConfig::baseline(), wl.clone()).unwrap();
-        let rs = ClusterSim::run(&slow, &BalanceConfig::baseline(), wl).unwrap();
+        let rf = ClusterSim::execute(
+            RunSpec::new(&fast, &BalanceConfig::preset(Preset::Baseline), wl.clone()).trace(true),
+        )
+        .unwrap();
+        let rs = ClusterSim::execute(
+            RunSpec::new(&slow, &BalanceConfig::preset(Preset::Baseline), wl).trace(true),
+        )
+        .unwrap();
         let ratio = rs.makespan.as_secs_f64() / rf.makespan.as_secs_f64();
         assert!((ratio - 2.0).abs() < 0.05, "slowdown ratio {ratio}");
     }
@@ -2293,9 +2464,22 @@ mod tests {
     fn offloading_rescues_slow_node() {
         let wl = uniform(2, 80, 0.05, 4);
         let p = Platform::homogeneous(2, 4).with_slowdown(1, 3.0);
-        let base = ClusterSim::run(&p, &BalanceConfig::baseline(), wl.clone()).unwrap();
-        let bal =
-            ClusterSim::run(&p, &BalanceConfig::offloading(2, DromPolicy::Global), wl).unwrap();
+        let base = ClusterSim::execute(
+            RunSpec::new(&p, &BalanceConfig::preset(Preset::Baseline), wl.clone()).trace(true),
+        )
+        .unwrap();
+        let bal = ClusterSim::execute(
+            RunSpec::new(
+                &p,
+                &BalanceConfig::preset(Preset::Offload {
+                    degree: 2,
+                    drom: DromPolicy::Global,
+                }),
+                wl,
+            )
+            .trace(true),
+        )
+        .unwrap();
         assert!(
             bal.makespan.as_secs_f64() < 0.85 * base.makespan.as_secs_f64(),
             "balanced {} vs baseline {}",
@@ -2310,9 +2494,12 @@ mod tests {
         let light: Vec<TaskSpec> = (0..10).map(|_| TaskSpec::compute(0.02)).collect();
         let wl = SpecWorkload::iterated(vec![heavy, light], 3);
         let p = Platform::homogeneous(2, 4);
-        let cfg = BalanceConfig::offloading(2, DromPolicy::Global);
-        let a = ClusterSim::run(&p, &cfg, wl.clone()).unwrap();
-        let b = ClusterSim::run(&p, &cfg, wl).unwrap();
+        let cfg = BalanceConfig::preset(Preset::Offload {
+            degree: 2,
+            drom: DromPolicy::Global,
+        });
+        let a = ClusterSim::execute(RunSpec::new(&p, &cfg, wl.clone()).trace(true)).unwrap();
+        let b = ClusterSim::execute(RunSpec::new(&p, &cfg, wl).trace(true)).unwrap();
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.offloaded_tasks, b.offloaded_tasks);
         assert_eq!(a.events, b.events);
@@ -2324,9 +2511,22 @@ mod tests {
         let light: Vec<TaskSpec> = (0..20).map(|_| TaskSpec::compute(0.05)).collect();
         let wl = SpecWorkload::iterated(vec![heavy, light], 4);
         let p = Platform::homogeneous(2, 4);
-        let base = ClusterSim::run(&p, &BalanceConfig::baseline(), wl.clone()).unwrap();
-        let local =
-            ClusterSim::run(&p, &BalanceConfig::offloading(2, DromPolicy::Local), wl).unwrap();
+        let base = ClusterSim::execute(
+            RunSpec::new(&p, &BalanceConfig::preset(Preset::Baseline), wl.clone()).trace(true),
+        )
+        .unwrap();
+        let local = ClusterSim::execute(
+            RunSpec::new(
+                &p,
+                &BalanceConfig::preset(Preset::Offload {
+                    degree: 2,
+                    drom: DromPolicy::Local,
+                }),
+                wl,
+            )
+            .trace(true),
+        )
+        .unwrap();
         assert!(
             local.makespan.as_secs_f64() < 0.85 * base.makespan.as_secs_f64(),
             "local {} vs baseline {}",
@@ -2339,8 +2539,11 @@ mod tests {
     fn report_bookkeeping() {
         let wl = uniform(2, 10, 0.01, 3);
         let p = Platform::homogeneous(2, 4);
-        let cfg = BalanceConfig::offloading(2, DromPolicy::Global);
-        let r = ClusterSim::run(&p, &cfg, wl).unwrap();
+        let cfg = BalanceConfig::preset(Preset::Offload {
+            degree: 2,
+            drom: DromPolicy::Global,
+        });
+        let r = ClusterSim::execute(RunSpec::new(&p, &cfg, wl).trace(true)).unwrap();
         assert_eq!(r.total_tasks, 60);
         assert_eq!(r.iteration_times.len(), 3);
         assert_eq!(r.trace.iteration_ends.len(), 3);
@@ -2359,7 +2562,10 @@ mod tests {
             .collect();
         let wl = SpecWorkload::iterated(vec![chain], 1);
         let p = Platform::homogeneous(1, 4);
-        let rep = ClusterSim::run(&p, &BalanceConfig::baseline(), wl).unwrap();
+        let rep = ClusterSim::execute(
+            RunSpec::new(&p, &BalanceConfig::preset(Preset::Baseline), wl).trace(true),
+        )
+        .unwrap();
         let secs = rep.makespan.as_secs_f64();
         assert!((secs - 0.5).abs() < 1e-6, "chained makespan {secs}");
     }
@@ -2377,7 +2583,10 @@ mod tests {
         }
         let wl = SpecWorkload::iterated(vec![tasks], 1);
         let p = Platform::homogeneous(1, 4);
-        let rep = ClusterSim::run(&p, &BalanceConfig::baseline(), wl).unwrap();
+        let rep = ClusterSim::execute(
+            RunSpec::new(&p, &BalanceConfig::preset(Preset::Baseline), wl).trace(true),
+        )
+        .unwrap();
         let secs = rep.makespan.as_secs_f64();
         assert!((secs - 0.2).abs() < 1e-6, "fan-out makespan {secs}");
     }
@@ -2395,9 +2604,22 @@ mod tests {
             .collect();
         let wl = SpecWorkload::iterated(vec![chains, Vec::new()], 2);
         let p = Platform::homogeneous(2, 4);
-        let base = ClusterSim::run(&p, &BalanceConfig::baseline(), wl.clone()).unwrap();
-        let bal =
-            ClusterSim::run(&p, &BalanceConfig::offloading(2, DromPolicy::Global), wl).unwrap();
+        let base = ClusterSim::execute(
+            RunSpec::new(&p, &BalanceConfig::preset(Preset::Baseline), wl.clone()).trace(true),
+        )
+        .unwrap();
+        let bal = ClusterSim::execute(
+            RunSpec::new(
+                &p,
+                &BalanceConfig::preset(Preset::Offload {
+                    degree: 2,
+                    drom: DromPolicy::Global,
+                }),
+                wl,
+            )
+            .trace(true),
+        )
+        .unwrap();
         assert!(
             bal.makespan < base.makespan,
             "offloading chains: {} vs {}",
@@ -2424,7 +2646,10 @@ mod tests {
         let wl = SpecWorkload::iterated(vec![r0, r1], 1);
         let mut p = Platform::homogeneous(2, 2);
         p.net_bandwidth = 1e9; // 10 MB at 1 GB/s = 10 ms on the wire
-        let rep = ClusterSim::run(&p, &BalanceConfig::baseline(), wl).unwrap();
+        let rep = ClusterSim::execute(
+            RunSpec::new(&p, &BalanceConfig::preset(Preset::Baseline), wl).trace(true),
+        )
+        .unwrap();
         // Critical path: 0.1 (compute) + 0.001 (pack) + 0.010 (wire)
         // + 0.001 (unpack) + 0.05 (consume) ≈ 0.162.
         let secs = rep.makespan.as_secs_f64();
@@ -2444,7 +2669,10 @@ mod tests {
         ];
         let wl = SpecWorkload::iterated(vec![r0, r1], 2);
         let p = Platform::homogeneous(2, 2);
-        let rep = ClusterSim::run(&p, &BalanceConfig::baseline(), wl).unwrap();
+        let rep = ClusterSim::execute(
+            RunSpec::new(&p, &BalanceConfig::preset(Preset::Baseline), wl).trace(true),
+        )
+        .unwrap();
         assert_eq!(rep.total_tasks, 8);
         // Two latencies + four task bodies per iteration, two iterations.
         assert!(rep.makespan.as_secs_f64() > 2.0 * 0.004);
@@ -2456,7 +2684,9 @@ mod tests {
         let r1 = vec![TaskSpec::mpi_recv(0.001, 0, 99)];
         let wl = SpecWorkload::iterated(vec![r0, r1], 1);
         let p = Platform::homogeneous(2, 2);
-        match ClusterSim::run(&p, &BalanceConfig::baseline(), wl) {
+        match ClusterSim::execute(
+            RunSpec::new(&p, &BalanceConfig::preset(Preset::Baseline), wl).trace(true),
+        ) {
             Err(SimError::Shape(msg)) => assert!(msg.contains("deadlock"), "{msg}"),
             other => panic!("expected deadlock error, got {other:?}"),
         }
@@ -2468,7 +2698,10 @@ mod tests {
         bad.offloadable = true;
         let wl = SpecWorkload::iterated(vec![vec![bad], vec![TaskSpec::mpi_recv(0.001, 0, 1)]], 1);
         let p = Platform::homogeneous(2, 2);
-        let err = ClusterSim::run(&p, &BalanceConfig::baseline(), wl).unwrap_err();
+        let err = ClusterSim::execute(
+            RunSpec::new(&p, &BalanceConfig::preset(Preset::Baseline), wl).trace(true),
+        )
+        .unwrap_err();
         match err {
             SimError::Shape(msg) => assert!(msg.contains("non-offloadable"), "{msg}"),
             other => panic!("expected Shape error, got {other}"),
@@ -2481,10 +2714,18 @@ mod tests {
         // Balanced workload; node 1 throttles to one third speed midway.
         let wl = uniform(2, 120, 0.05, 8);
         let p = Platform::homogeneous(2, 4).with_speed_event(SimTime::from_secs(3), 1, 1.0 / 3.0);
-        let base = ClusterSim::run_opts(&p, &BalanceConfig::baseline(), wl.clone(), false).unwrap();
-        let mut cfg = BalanceConfig::offloading(2, DromPolicy::Global);
+        let base = ClusterSim::execute(RunSpec::new(
+            &p,
+            &BalanceConfig::preset(Preset::Baseline),
+            wl.clone(),
+        ))
+        .unwrap();
+        let mut cfg = BalanceConfig::preset(Preset::Offload {
+            degree: 2,
+            drom: DromPolicy::Global,
+        });
         cfg.global_period = SimTime::from_millis(500);
-        let bal = ClusterSim::run_opts(&p, &cfg, wl.clone(), false).unwrap();
+        let bal = ClusterSim::execute(RunSpec::new(&p, &cfg, wl.clone())).unwrap();
         // Without throttling both would take ~6s; with it the baseline's
         // later iterations stretch ~3x on node 1 while the balanced run
         // re-spreads the work.
@@ -2496,7 +2737,12 @@ mod tests {
         );
         // And a no-event control shows the event really was the cause.
         let calm = Platform::homogeneous(2, 4);
-        let calm_base = ClusterSim::run_opts(&calm, &BalanceConfig::baseline(), wl, false).unwrap();
+        let calm_base = ClusterSim::execute(RunSpec::new(
+            &calm,
+            &BalanceConfig::preset(Preset::Baseline),
+            wl,
+        ))
+        .unwrap();
         assert!(base.makespan.as_secs_f64() > 1.5 * calm_base.makespan.as_secs_f64());
     }
 
@@ -2507,9 +2753,12 @@ mod tests {
         let p = Platform::homogeneous(2, 4)
             .with_speed_event(SimTime::from_millis(200), 0, 0.5)
             .with_speed_event(SimTime::from_millis(500), 0, 1.0);
-        let cfg = BalanceConfig::offloading(2, DromPolicy::Global);
-        let a = ClusterSim::run_opts(&p, &cfg, wl.clone(), false).unwrap();
-        let b = ClusterSim::run_opts(&p, &cfg, wl, false).unwrap();
+        let cfg = BalanceConfig::preset(Preset::Offload {
+            degree: 2,
+            drom: DromPolicy::Global,
+        });
+        let a = ClusterSim::execute(RunSpec::new(&p, &cfg, wl.clone())).unwrap();
+        let b = ClusterSim::execute(RunSpec::new(&p, &cfg, wl)).unwrap();
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.events, b.events);
     }
@@ -2522,14 +2771,22 @@ mod tests {
         let light: Vec<TaskSpec> = (0..20).map(|_| TaskSpec::compute(0.05)).collect();
         let wl = SpecWorkload::iterated(vec![heavy, light.clone(), light.clone(), light], 8);
         let p = Platform::homogeneous(4, 4);
-        let mut dyn_cfg = BalanceConfig::dynamic_spreading(3);
+        let mut dyn_cfg = BalanceConfig::preset(Preset::DynamicSpread { max_degree: 3 });
         dyn_cfg.global_period = SimTime::from_millis(300);
-        let mut static_cfg = BalanceConfig::offloading(3, DromPolicy::Global);
+        let mut static_cfg = BalanceConfig::preset(Preset::Offload {
+            degree: 3,
+            drom: DromPolicy::Global,
+        });
         static_cfg.global_period = SimTime::from_millis(300);
 
-        let base = ClusterSim::run_opts(&p, &BalanceConfig::baseline(), wl.clone(), false).unwrap();
-        let dynamic = ClusterSim::run_opts(&p, &dyn_cfg, wl.clone(), false).unwrap();
-        let statically = ClusterSim::run_opts(&p, &static_cfg, wl, false).unwrap();
+        let base = ClusterSim::execute(RunSpec::new(
+            &p,
+            &BalanceConfig::preset(Preset::Baseline),
+            wl.clone(),
+        ))
+        .unwrap();
+        let dynamic = ClusterSim::execute(RunSpec::new(&p, &dyn_cfg, wl.clone())).unwrap();
+        let statically = ClusterSim::execute(RunSpec::new(&p, &static_cfg, wl)).unwrap();
 
         assert!(dynamic.spawned_helpers >= 1, "no helpers spawned");
         assert!(
@@ -2557,8 +2814,8 @@ mod tests {
     fn dynamic_spreading_spawns_nothing_when_balanced() {
         let wl = uniform(4, 40, 0.05, 4);
         let p = Platform::homogeneous(4, 4);
-        let cfg = BalanceConfig::dynamic_spreading(3);
-        let r = ClusterSim::run_opts(&p, &cfg, wl, false).unwrap();
+        let cfg = BalanceConfig::preset(Preset::DynamicSpread { max_degree: 3 });
+        let r = ClusterSim::execute(RunSpec::new(&p, &cfg, wl)).unwrap();
         assert_eq!(r.spawned_helpers, 0, "balanced load spawned helpers");
         assert_eq!(r.offloaded_tasks, 0);
     }
@@ -2567,10 +2824,10 @@ mod tests {
     fn dynamic_requires_global_policy() {
         let wl = uniform(2, 10, 0.01, 1);
         let p = Platform::homogeneous(2, 4);
-        let mut cfg = BalanceConfig::dynamic_spreading(2);
+        let mut cfg = BalanceConfig::preset(Preset::DynamicSpread { max_degree: 2 });
         cfg.drom = DromPolicy::Local;
         assert!(matches!(
-            ClusterSim::run_opts(&p, &cfg, wl, false),
+            ClusterSim::execute(RunSpec::new(&p, &cfg, wl)),
             Err(SimError::Shape(_))
         ));
     }
@@ -2580,7 +2837,10 @@ mod tests {
         // Perfectly parallel single-rank fill: efficiency near 1.
         let wl = uniform(1, 40, 0.1, 2);
         let p = Platform::homogeneous(1, 4);
-        let r = ClusterSim::run(&p, &BalanceConfig::baseline(), wl).unwrap();
+        let r = ClusterSim::execute(
+            RunSpec::new(&p, &BalanceConfig::preset(Preset::Baseline), wl).trace(true),
+        )
+        .unwrap();
         assert!(
             r.parallel_efficiency > 0.95,
             "efficiency {}",
@@ -2592,7 +2852,10 @@ mod tests {
         let light: Vec<TaskSpec> = (0..20).map(|_| TaskSpec::compute(0.05)).collect();
         let wl = SpecWorkload::iterated(vec![heavy, light], 1);
         let p = Platform::homogeneous(2, 4);
-        let r = ClusterSim::run(&p, &BalanceConfig::baseline(), wl).unwrap();
+        let r = ClusterSim::execute(
+            RunSpec::new(&p, &BalanceConfig::preset(Preset::Baseline), wl).trace(true),
+        )
+        .unwrap();
         let expected = 5.0 / (r.makespan.as_secs_f64() * 8.0);
         assert!(
             (r.parallel_efficiency - expected).abs() < 0.02,
@@ -2606,17 +2869,22 @@ mod tests {
         let wl = uniform(3, 5, 0.01, 1);
         let p = Platform::homogeneous(2, 4);
         assert!(matches!(
-            ClusterSim::run(&p, &BalanceConfig::baseline(), wl),
+            ClusterSim::execute(
+                RunSpec::new(&p, &BalanceConfig::preset(Preset::Baseline), wl).trace(true)
+            ),
             Err(SimError::Shape(_))
         ));
         // Degree too large for the cores.
         let wl = uniform(4, 5, 0.01, 1);
         let p = Platform::homogeneous(2, 4);
-        let mut cfg = BalanceConfig::offloading(2, DromPolicy::Off);
+        let mut cfg = BalanceConfig::preset(Preset::Offload {
+            degree: 2,
+            drom: DromPolicy::Off,
+        });
         cfg.degree = 2; // 2 appranks/node * degree 2 = 4 workers on 4 cores: ok
-        assert!(ClusterSim::run(&p, &cfg, wl.clone()).is_ok());
+        assert!(ClusterSim::execute(RunSpec::new(&p, &cfg, wl.clone()).trace(true)).is_ok());
         cfg.degree = 3; // would need 6 workers > 4 cores... but degree 3 > nodes(2) anyway
-        assert!(ClusterSim::run(&p, &cfg, wl).is_err());
+        assert!(ClusterSim::execute(RunSpec::new(&p, &cfg, wl).trace(true)).is_err());
     }
 
     #[test]
@@ -2627,8 +2895,11 @@ mod tests {
         let wl = SpecWorkload::iterated(vec![heavy, light], 2);
         let total = wl.total_work();
         let p = Platform::homogeneous(2, 4);
-        let cfg = BalanceConfig::offloading(2, DromPolicy::Global);
-        let r = ClusterSim::run(&p, &cfg, wl).unwrap();
+        let cfg = BalanceConfig::preset(Preset::Offload {
+            degree: 2,
+            drom: DromPolicy::Global,
+        });
+        let r = ClusterSim::execute(RunSpec::new(&p, &cfg, wl).trace(true)).unwrap();
         let bound = total / 8.0;
         assert!(
             r.makespan.as_secs_f64() >= bound - 1e-9,
@@ -2645,10 +2916,13 @@ mod tests {
         let light: Vec<TaskSpec> = (0..10).map(|_| TaskSpec::compute(0.05)).collect();
         let wl = SpecWorkload::iterated(vec![heavy, light], 2);
         let p = Platform::homogeneous(2, 4);
-        let mut cfg = BalanceConfig::offloading(2, DromPolicy::Global);
+        let mut cfg = BalanceConfig::preset(Preset::Offload {
+            degree: 2,
+            drom: DromPolicy::Global,
+        });
         cfg.lewi = true;
         cfg.global_period = SimTime::from_millis(500);
-        let r = ClusterSim::run(&p, &cfg, wl.clone()).unwrap();
+        let r = ClusterSim::execute(RunSpec::new(&p, &cfg, wl.clone()).trace(true)).unwrap();
         let log = &r.trace.log;
         // Exactly one created/ready/started/completed per task.
         for pred in [
@@ -2685,7 +2959,7 @@ mod tests {
         assert_eq!(c.count("solver_invocations"), r.solver_runs as u64);
         assert_eq!(c.count("iterations_completed"), 2);
         // Disabled tracing records nothing at all.
-        let off = ClusterSim::run_opts(&p, &cfg, wl, false).unwrap();
+        let off = ClusterSim::execute(RunSpec::new(&p, &cfg, wl)).unwrap();
         assert!(off.trace.log.is_empty());
         assert!(off.trace.counters.is_empty());
     }
@@ -2696,10 +2970,13 @@ mod tests {
         let light: Vec<TaskSpec> = (0..10).map(|_| TaskSpec::compute(0.02)).collect();
         let wl = SpecWorkload::iterated(vec![heavy, light], 2);
         let p = Platform::homogeneous(2, 4);
-        let mut cfg = BalanceConfig::offloading(2, DromPolicy::Global);
+        let mut cfg = BalanceConfig::preset(Preset::Offload {
+            degree: 2,
+            drom: DromPolicy::Global,
+        });
         cfg.lewi = true;
-        let a = ClusterSim::run(&p, &cfg, wl.clone()).unwrap();
-        let b = ClusterSim::run(&p, &cfg, wl).unwrap();
+        let a = ClusterSim::execute(RunSpec::new(&p, &cfg, wl.clone()).trace(true)).unwrap();
+        let b = ClusterSim::execute(RunSpec::new(&p, &cfg, wl).trace(true)).unwrap();
         assert_eq!(a.trace.log.merged(), b.trace.log.merged());
         assert_eq!(
             a.trace.counters.sorted_counts(),
@@ -2718,9 +2995,12 @@ mod tests {
         };
         let mut p = Platform::homogeneous(2, 4);
         p.net_bandwidth = 1e8; // slow network to make the effect visible
-        let cfg = BalanceConfig::offloading(2, DromPolicy::Global);
-        let small = ClusterSim::run(&p, &cfg, mk(0)).unwrap();
-        let big = ClusterSim::run(&p, &cfg, mk(4_000_000)).unwrap();
+        let cfg = BalanceConfig::preset(Preset::Offload {
+            degree: 2,
+            drom: DromPolicy::Global,
+        });
+        let small = ClusterSim::execute(RunSpec::new(&p, &cfg, mk(0)).trace(true)).unwrap();
+        let big = ClusterSim::execute(RunSpec::new(&p, &cfg, mk(4_000_000)).trace(true)).unwrap();
         assert!(
             big.makespan > small.makespan,
             "transfer cost not charged: {} vs {}",
@@ -2736,7 +3016,10 @@ mod tests {
         let light: Vec<TaskSpec> = (0..20).map(|_| TaskSpec::compute(0.05)).collect();
         let wl = SpecWorkload::iterated(vec![heavy, light], 4);
         let p = Platform::homogeneous(2, 4);
-        let mut cfg = BalanceConfig::offloading(2, DromPolicy::Global);
+        let mut cfg = BalanceConfig::preset(Preset::Offload {
+            degree: 2,
+            drom: DromPolicy::Global,
+        });
         // Tick fast enough that mid-run fault windows cover solver runs.
         cfg.global_period = SimTime::from_millis(500);
         (p, cfg, wl)
@@ -2744,14 +3027,19 @@ mod tests {
 
     fn run_plan(plan: &FaultPlan) -> SimReport {
         let (p, cfg, wl) = faulty_setup();
-        ClusterSim::run_with_faults(&p, &cfg, wl, true, None, plan).unwrap()
+        ClusterSim::execute(RunSpec::new(&p, &cfg, wl).trace(true).faults(plan)).unwrap()
     }
 
     #[test]
     fn empty_fault_plan_is_bitwise_identical() {
         let (p, cfg, wl) = faulty_setup();
-        let a = ClusterSim::run_trace_cfg(&p, &cfg, wl.clone(), true, None).unwrap();
-        let b = ClusterSim::run_with_faults(&p, &cfg, wl, true, None, &FaultPlan::none()).unwrap();
+        let a = ClusterSim::execute(RunSpec::new(&p, &cfg, wl.clone()).trace(true)).unwrap();
+        let b = ClusterSim::execute(
+            RunSpec::new(&p, &cfg, wl)
+                .trace(true)
+                .faults(&FaultPlan::none()),
+        )
+        .unwrap();
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.iteration_times, b.iteration_times);
         assert_eq!(a.events, b.events);
@@ -2770,7 +3058,7 @@ mod tests {
         let (_, _, wl) = faulty_setup();
         let baseline = {
             let (p, cfg, _) = faulty_setup();
-            ClusterSim::run(&p, &cfg, wl.clone()).unwrap()
+            ClusterSim::execute(RunSpec::new(&p, &cfg, wl.clone()).trace(true)).unwrap()
         };
         for error in [
             LpError::IterationLimit,
@@ -2868,17 +3156,17 @@ mod tests {
     fn fault_plan_validation_is_a_setup_error() {
         let (p, cfg, wl) = faulty_setup();
         let bad_node = FaultPlan::new(1).with_straggler(0.1, 99, 2.0, 0.5);
-        match ClusterSim::run_with_faults(&p, &cfg, wl.clone(), false, None, &bad_node) {
+        match ClusterSim::execute(RunSpec::new(&p, &cfg, wl.clone()).faults(&bad_node)) {
             Err(SimError::Shape(msg)) => assert!(msg.contains("out of range"), "{msg}"),
             other => panic!("expected shape error, got {other:?}"),
         }
         let bad_victim = FaultPlan::new(1).with_kill_of(0.1, 0, 0);
-        match ClusterSim::run_with_faults(&p, &cfg, wl.clone(), false, None, &bad_victim) {
+        match ClusterSim::execute(RunSpec::new(&p, &cfg, wl.clone()).faults(&bad_victim)) {
             Err(SimError::Shape(msg)) => assert!(msg.contains("helper"), "{msg}"),
             other => panic!("expected shape error, got {other:?}"),
         }
         let bad_rate = FaultPlan::new(1).with_loss(0.0, 1.0, 1.5, 3, 0.001);
-        match ClusterSim::run_with_faults(&p, &cfg, wl, false, None, &bad_rate) {
+        match ClusterSim::execute(RunSpec::new(&p, &cfg, wl).faults(&bad_rate)) {
             Err(SimError::Shape(msg)) => assert!(msg.contains("loss rate"), "{msg}"),
             other => panic!("expected shape error, got {other:?}"),
         }
@@ -2896,7 +3184,12 @@ mod tests {
     #[test]
     fn portfolio_run_completes_and_accounts_every_solve() {
         let (p, cfg, wl) = portfolio_setup(1);
-        let r = ClusterSim::run_with_faults(&p, &cfg, wl, true, None, &FaultPlan::none()).unwrap();
+        let r = ClusterSim::execute(
+            RunSpec::new(&p, &cfg, wl)
+                .trace(true)
+                .faults(&FaultPlan::none()),
+        )
+        .unwrap();
         assert_eq!(r.total_tasks, 4 * 100);
         let stats = r.portfolio.expect("portfolio stats missing");
         assert_eq!(stats.solves, r.solver_runs, "one race per solver run");
@@ -2928,7 +3221,12 @@ mod tests {
             .iter()
             .map(|&threads| {
                 let (p, cfg, wl) = portfolio_setup(threads);
-                ClusterSim::run_with_faults(&p, &cfg, wl, true, None, &FaultPlan::none()).unwrap()
+                ClusterSim::execute(
+                    RunSpec::new(&p, &cfg, wl)
+                        .trace(true)
+                        .faults(&FaultPlan::none()),
+                )
+                .unwrap()
             })
             .collect();
         for r in &runs[1..] {
@@ -2949,7 +3247,7 @@ mod tests {
         let (p, mut cfg, wl) = portfolio_setup(1);
         cfg.drom = DromPolicy::Local;
         cfg.dynamic = None;
-        match ClusterSim::run_with_faults(&p, &cfg, wl, false, None, &FaultPlan::none()) {
+        match ClusterSim::execute(RunSpec::new(&p, &cfg, wl).faults(&FaultPlan::none())) {
             Err(SimError::Shape(msg)) => assert!(msg.contains("global DROM"), "{msg}"),
             other => panic!("expected shape error, got {other:?}"),
         }
@@ -2965,7 +3263,7 @@ mod tests {
             LpError::IterationLimit,
             Strategy::Flow,
         );
-        match ClusterSim::run_with_faults(&p, &cfg, wl, false, None, &plan) {
+        match ClusterSim::execute(RunSpec::new(&p, &cfg, wl).faults(&plan)) {
             Err(SimError::Shape(msg)) => assert!(msg.contains("portfolio"), "{msg}"),
             other => panic!("expected shape error, got {other:?}"),
         }
@@ -2978,7 +3276,7 @@ mod tests {
             LpError::IterationLimit,
             Strategy::Greedy,
         );
-        match ClusterSim::run_with_faults(&p, &cfg, wl, false, None, &plan) {
+        match ClusterSim::execute(RunSpec::new(&p, &cfg, wl).faults(&plan)) {
             Err(SimError::Shape(msg)) => assert!(msg.contains("not raced"), "{msg}"),
             other => panic!("expected shape error, got {other:?}"),
         }
@@ -2995,7 +3293,7 @@ mod tests {
             LpError::IterationLimit,
             Strategy::Simplex,
         );
-        let r = ClusterSim::run_with_faults(&p, &cfg, wl, true, None, &plan).unwrap();
+        let r = ClusterSim::execute(RunSpec::new(&p, &cfg, wl).trace(true).faults(&plan)).unwrap();
         assert_eq!(r.total_tasks, 4 * 100);
         assert_eq!(r.faults.injected, 1);
         assert_eq!(r.faults.recovered, 1);
@@ -3031,7 +3329,12 @@ mod tests {
         let whole = FaultPlan::new(1).with_outage(0.3, 1.0, LpError::Infeasible);
         let run = |plan: &FaultPlan| {
             let (p, cfg, wl) = portfolio_setup(1);
-            ClusterSim::run_with_faults(&p, &cfg, wl, true, Some(families), plan).unwrap()
+            ClusterSim::execute(
+                RunSpec::new(&p, &cfg, wl)
+                    .trace_families(families)
+                    .faults(plan),
+            )
+            .unwrap()
         };
         let a = run(&all_down);
         let b = run(&whole);
@@ -3041,5 +3344,33 @@ mod tests {
         assert_eq!(a.iteration_times, b.iteration_times);
         assert_eq!(a.total_tasks, b.total_tasks);
         assert_eq!(a.trace.log.merged(), b.trace.log.merged());
+    }
+
+    /// The four legacy entry points are thin shims over `execute`; each
+    /// must reproduce its historical behaviour bit-for-bit.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_entry_points_match_execute() {
+        let p = Platform::homogeneous(2, 2);
+        let cfg = BalanceConfig::preset(Preset::NodeDlb);
+        let wl = uniform(2, 6, 0.05, 2);
+        let traced = ClusterSim::execute(RunSpec::new(&p, &cfg, wl.clone()).trace(true)).unwrap();
+        let untraced = ClusterSim::execute(RunSpec::new(&p, &cfg, wl.clone())).unwrap();
+
+        let via_run = ClusterSim::run(&p, &cfg, wl.clone()).unwrap();
+        assert_eq!(via_run.makespan, traced.makespan);
+        assert_eq!(via_run.trace.busy.len(), traced.trace.busy.len());
+
+        let via_opts = ClusterSim::run_opts(&p, &cfg, wl.clone(), false).unwrap();
+        assert_eq!(via_opts.makespan, untraced.makespan);
+        assert!(!via_opts.trace.enabled);
+
+        let via_cfg = ClusterSim::run_trace_cfg(&p, &cfg, wl.clone(), true, None).unwrap();
+        assert_eq!(via_cfg.makespan, traced.makespan);
+
+        let via_faults =
+            ClusterSim::run_with_faults(&p, &cfg, wl, true, None, &FaultPlan::none()).unwrap();
+        assert_eq!(via_faults.makespan, traced.makespan);
+        assert_eq!(via_faults.iteration_times, traced.iteration_times);
     }
 }

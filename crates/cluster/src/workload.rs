@@ -159,6 +159,26 @@ pub trait Workload {
     fn end_iteration(&mut self, _iteration: usize, _rank_seconds: &[f64]) {}
 }
 
+/// Boxed workloads run like their contents — what lets a scenario sweep
+/// hold heterogeneous applications behind `Box<dyn Workload + Send>`.
+impl<W: Workload + ?Sized> Workload for Box<W> {
+    fn appranks(&self) -> usize {
+        (**self).appranks()
+    }
+
+    fn iterations(&self) -> usize {
+        (**self).iterations()
+    }
+
+    fn tasks(&mut self, rank: usize, iteration: usize) -> Vec<TaskSpec> {
+        (**self).tasks(rank, iteration)
+    }
+
+    fn end_iteration(&mut self, iteration: usize, rank_seconds: &[f64]) {
+        (**self).end_iteration(iteration, rank_seconds)
+    }
+}
+
 /// A workload given by explicit task lists.
 #[derive(Clone, Debug)]
 pub struct SpecWorkload {

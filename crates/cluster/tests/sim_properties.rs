@@ -3,8 +3,8 @@
 //! respect physical bounds, and be deterministic. Seeded `tlb-rng` loops
 //! stand in for proptest (no registry deps).
 
-use tlb_cluster::{ClusterSim, SpecWorkload, TaskSpec};
-use tlb_core::{BalanceConfig, DromPolicy, Platform, StealGate, WorkSignal};
+use tlb_cluster::{ClusterSim, RunSpec, SpecWorkload, TaskSpec};
+use tlb_core::{BalanceConfig, DromPolicy, Platform, Preset, StealGate, WorkSignal};
 use tlb_rng::Rng;
 
 #[derive(Clone, Debug)]
@@ -123,7 +123,7 @@ fn simulation_always_completes_and_respects_bounds() {
             .flatten()
             .map(|&(ms, _)| ms as f64 / 1000.0)
             .sum();
-        let report = ClusterSim::run_opts(&platform, &cfg, wl.clone(), false).unwrap();
+        let report = ClusterSim::execute(RunSpec::new(&platform, &cfg, wl.clone())).unwrap();
 
         // All tasks executed.
         let n_tasks: usize = specs.iter().flatten().map(|t| t.len()).sum();
@@ -150,7 +150,7 @@ fn simulation_always_completes_and_respects_bounds() {
         }
 
         // Determinism.
-        let again = ClusterSim::run_opts(&platform, &cfg, wl, false).unwrap();
+        let again = ClusterSim::execute(RunSpec::new(&platform, &cfg, wl)).unwrap();
         assert_eq!(report.makespan, again.makespan, "case {case}");
         assert_eq!(report.events, again.events, "case {case}");
         assert_eq!(report.offloaded_tasks, again.offloaded_tasks, "case {case}");
@@ -169,16 +169,22 @@ fn balancing_is_never_catastrophic() {
         let raw = gen_workload(&mut rng, 4);
         let platform = Platform::homogeneous(2, 6);
         let wl = build(&raw);
-        let base = ClusterSim::run_opts(&platform, &BalanceConfig::baseline(), wl.clone(), false)
-            .unwrap()
-            .makespan
-            .as_secs_f64();
-        let glob = ClusterSim::run_opts(
+        let base = ClusterSim::execute(RunSpec::new(
             &platform,
-            &BalanceConfig::offloading(2, DromPolicy::Global),
+            &BalanceConfig::preset(Preset::Baseline),
+            wl.clone(),
+        ))
+        .unwrap()
+        .makespan
+        .as_secs_f64();
+        let glob = ClusterSim::execute(RunSpec::new(
+            &platform,
+            &BalanceConfig::preset(Preset::Offload {
+                degree: 2,
+                drom: DromPolicy::Global,
+            }),
             wl,
-            false,
-        )
+        ))
         .unwrap()
         .makespan
         .as_secs_f64();

@@ -254,36 +254,101 @@ impl Default for BalanceConfig {
     }
 }
 
+/// A named balancing configuration. The old constructors mixed policy
+/// and mechanism in their names (`baseline`, `dlb_only`, `offloading`,
+/// `dynamic_spreading`); a `Preset` states exactly which combination of
+/// degree, LeWI, and DROM it stands for, and every preset goes through
+/// the single [`BalanceConfig::preset`] constructor.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Preset {
+    /// No balancing at all: degree 1, no LeWI, no DROM (the paper's
+    /// baseline series).
+    Baseline,
+    /// DLB confined to each node (the paper's "DLB" series): degree 1
+    /// with LeWI and the local DROM policy.
+    NodeDlb,
+    /// Offloading at `degree` under `drom`, LeWI on — the paper's
+    /// LeWI+DROM configurations.
+    Offload {
+        /// Nodes per apprank including home.
+        degree: usize,
+        /// DROM core-allocation policy.
+        drom: DromPolicy,
+    },
+    /// Dynamic work spreading (paper §5.2 future work): start at degree
+    /// 1 and spawn helpers up to `max_degree` under the global policy.
+    DynamicSpread {
+        /// Hard cap on nodes per apprank (home included).
+        max_degree: usize,
+    },
+}
+
 impl BalanceConfig {
-    /// The no-balancing baseline: degree 1, no LeWI, no DROM.
+    /// The single preset constructor: build the configuration a
+    /// [`Preset`] names, with every other knob at its default. Refine
+    /// with the `with_*` builders.
+    pub fn preset(preset: Preset) -> Self {
+        match preset {
+            Preset::Baseline => BalanceConfig {
+                degree: 1,
+                lewi: false,
+                drom: DromPolicy::Off,
+                ..BalanceConfig::default()
+            },
+            Preset::NodeDlb => BalanceConfig {
+                degree: 1,
+                lewi: true,
+                drom: DromPolicy::Local,
+                ..BalanceConfig::default()
+            },
+            Preset::Offload { degree, drom } => BalanceConfig {
+                degree,
+                lewi: true,
+                drom,
+                ..BalanceConfig::default()
+            },
+            Preset::DynamicSpread { max_degree } => BalanceConfig {
+                degree: 1,
+                lewi: true,
+                drom: DromPolicy::Global,
+                dynamic: Some(DynamicSpreading {
+                    max_degree,
+                    ..DynamicSpreading::default()
+                }),
+                ..BalanceConfig::default()
+            },
+        }
+    }
+
+    /// Deprecated alias for [`BalanceConfig::preset`]`(Preset::Baseline)`.
+    #[deprecated(since = "0.1.0", note = "use BalanceConfig::preset(Preset::Baseline)")]
     pub fn baseline() -> Self {
-        BalanceConfig {
-            degree: 1,
-            lewi: false,
-            drom: DromPolicy::Off,
-            ..BalanceConfig::default()
-        }
+        Self::preset(Preset::Baseline)
     }
 
-    /// Single-node DLB only (the paper's "DLB" series): degree 1 with
-    /// LeWI and DROM active *within* each node.
+    /// Deprecated alias for [`BalanceConfig::preset`]`(Preset::NodeDlb)`.
+    #[deprecated(since = "0.1.0", note = "use BalanceConfig::preset(Preset::NodeDlb)")]
     pub fn dlb_only() -> Self {
-        BalanceConfig {
-            degree: 1,
-            lewi: true,
-            drom: DromPolicy::Local,
-            ..BalanceConfig::default()
-        }
+        Self::preset(Preset::NodeDlb)
     }
 
-    /// Offloading at `degree` with the given policy, LeWI on.
+    /// Deprecated alias for [`BalanceConfig::preset`]`(Preset::Offload { .. })`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use BalanceConfig::preset(Preset::Offload { degree, drom })"
+    )]
     pub fn offloading(degree: usize, drom: DromPolicy) -> Self {
-        BalanceConfig {
-            degree,
-            lewi: true,
-            drom,
-            ..BalanceConfig::default()
-        }
+        Self::preset(Preset::Offload { degree, drom })
+    }
+
+    /// Deprecated alias for
+    /// [`BalanceConfig::preset`]`(Preset::DynamicSpread { .. })`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use BalanceConfig::preset(Preset::DynamicSpread { max_degree })"
+    )]
+    pub fn dynamic_spreading(max_degree: usize) -> Self {
+        Self::preset(Preset::DynamicSpread { max_degree })
     }
 
     /// Builder: set the expander seed.
@@ -298,18 +363,28 @@ impl BalanceConfig {
         self
     }
 
-    /// Dynamic work spreading from degree 1 (paper §5.2 future work).
-    pub fn dynamic_spreading(max_degree: usize) -> Self {
-        BalanceConfig {
-            degree: 1,
-            lewi: true,
-            drom: DromPolicy::Global,
-            dynamic: Some(DynamicSpreading {
-                max_degree,
-                ..DynamicSpreading::default()
-            }),
-            ..BalanceConfig::default()
-        }
+    /// Builder: set the offloading degree.
+    pub fn with_degree(mut self, degree: usize) -> Self {
+        self.degree = degree;
+        self
+    }
+
+    /// Builder: set the DROM policy.
+    pub fn with_drom(mut self, drom: DromPolicy) -> Self {
+        self.drom = drom;
+        self
+    }
+
+    /// Builder: set the global solver backend.
+    pub fn with_solver(mut self, solver: GlobalSolverKind) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Builder: race a solver portfolio on every global tick.
+    pub fn with_portfolio(mut self, portfolio: PortfolioConfig) -> Self {
+        self.portfolio = Some(portfolio);
+        self
     }
 }
 
@@ -341,15 +416,67 @@ mod tests {
 
     #[test]
     fn config_presets() {
-        let b = BalanceConfig::baseline();
+        let b = BalanceConfig::preset(Preset::Baseline);
         assert_eq!(b.degree, 1);
         assert!(!b.lewi);
         assert_eq!(b.drom, DromPolicy::Off);
-        let d = BalanceConfig::dlb_only();
+        let d = BalanceConfig::preset(Preset::NodeDlb);
         assert_eq!(d.degree, 1);
         assert!(d.lewi);
-        let o = BalanceConfig::offloading(4, DromPolicy::Global);
+        assert_eq!(d.drom, DromPolicy::Local);
+        let o = BalanceConfig::preset(Preset::Offload {
+            degree: 4,
+            drom: DromPolicy::Global,
+        });
         assert_eq!(o.degree, 4);
         assert_eq!(o.queue_depth_per_core, 2);
+        let dy = BalanceConfig::preset(Preset::DynamicSpread { max_degree: 3 });
+        assert_eq!(dy.degree, 1);
+        assert_eq!(dy.dynamic.map(|d| d.max_degree), Some(3));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_aliases_match_presets() {
+        assert_eq!(
+            format!("{:?}", BalanceConfig::baseline()),
+            format!("{:?}", BalanceConfig::preset(Preset::Baseline))
+        );
+        assert_eq!(
+            format!("{:?}", BalanceConfig::dlb_only()),
+            format!("{:?}", BalanceConfig::preset(Preset::NodeDlb))
+        );
+        assert_eq!(
+            format!("{:?}", BalanceConfig::offloading(2, DromPolicy::Local)),
+            format!(
+                "{:?}",
+                BalanceConfig::preset(Preset::Offload {
+                    degree: 2,
+                    drom: DromPolicy::Local,
+                })
+            )
+        );
+        assert_eq!(
+            format!("{:?}", BalanceConfig::dynamic_spreading(4)),
+            format!(
+                "{:?}",
+                BalanceConfig::preset(Preset::DynamicSpread { max_degree: 4 })
+            )
+        );
+    }
+
+    #[test]
+    fn builders_refine_presets() {
+        let c = BalanceConfig::preset(Preset::Baseline)
+            .with_degree(2)
+            .with_drom(DromPolicy::Global)
+            .with_lewi(true)
+            .with_solver(GlobalSolverKind::Flow)
+            .with_seed(9);
+        assert_eq!(c.degree, 2);
+        assert_eq!(c.drom, DromPolicy::Global);
+        assert!(c.lewi);
+        assert_eq!(c.solver, GlobalSolverKind::Flow);
+        assert_eq!(c.seed, 9);
     }
 }

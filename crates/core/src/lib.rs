@@ -42,8 +42,8 @@ pub use tlb_portfolio as portfolio;
 pub use tlb_portfolio::{PortfolioConfig, PortfolioEngine, PortfolioStats, Strategy};
 
 pub use config::{
-    BalanceConfig, DromPolicy, DynamicSpreading, GlobalSolverKind, Platform, SpeedEvent, StealGate,
-    WorkSignal,
+    BalanceConfig, DromPolicy, DynamicSpreading, GlobalSolverKind, Platform, Preset, SpeedEvent,
+    StealGate, WorkSignal,
 };
 pub use layout::{ProcessLayout, WorkerRef};
 pub use metrics::{imbalance, node_imbalance, perfect_time, Loads};

@@ -1,0 +1,167 @@
+//! Incremental result cache keyed by content hashes of sweep points.
+//!
+//! The key hashes the canonical JSON of everything that can change a
+//! point's result: the engine version, the scenario's code-relevant
+//! knobs (application, machine, sizes, faults, portfolio), and the
+//! point's own axis values. The cosmetic scenario `name` is excluded,
+//! so renaming a sweep keeps its cache warm, while editing any knob
+//! changes every affected key and forces re-execution.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use tlb_json::Value;
+
+use crate::scenario::{Scenario, SweepPoint};
+
+/// Bumped whenever the simulator's observable behaviour changes, so
+/// stale caches from older engine builds can never be replayed as
+/// current results.
+pub const ENGINE_VERSION: u64 = 1;
+
+/// 64-bit FNV-1a over a byte string: tiny, dependency-free, and stable
+/// across platforms — exactly what a content-addressed cache key needs
+/// (collisions are harmless beyond a spurious re-run guard: the cached
+/// payload is full JSON, not a pointer).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The cache key of one scenario point: FNV-1a over the canonical
+/// compact JSON of the code-relevant configuration.
+pub fn point_key(scenario: &Scenario, point: &SweepPoint) -> u64 {
+    let mut fields = vec![
+        ("engine_version", ENGINE_VERSION.into()),
+        ("app", scenario.app.name().into()),
+        ("machine", scenario.machine.name().into()),
+        ("nodes", scenario.nodes.into()),
+        ("iterations", scenario.iterations.into()),
+        ("imbalance", scenario.imbalance.into()),
+        ("appranks_per_node", point.appranks_per_node.into()),
+        ("degree", point.degree.into()),
+        ("policy", point.policy.name().into()),
+        ("seed", point.seed.into()),
+    ];
+    if let Some(f) = &scenario.faults {
+        fields.push(("faults", f.as_str().into()));
+        fields.push(("fault_seed", scenario.fault_seed.into()));
+    }
+    if let Some(p) = &scenario.portfolio {
+        fields.push(("portfolio", p.as_str().into()));
+        if let Some(b) = scenario.portfolio_budget {
+            fields.push(("portfolio_budget", b.into()));
+        }
+    }
+    fnv1a64(Value::object(fields).to_string_compact().as_bytes())
+}
+
+/// A directory of per-point result files, named by their hex cache key.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    dir: PathBuf,
+}
+
+impl Cache {
+    /// Open (creating if needed) a cache directory.
+    pub fn open(dir: &Path) -> io::Result<Cache> {
+        std::fs::create_dir_all(dir)?;
+        Ok(Cache {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The file a key lives in.
+    pub fn path_of(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.json"))
+    }
+
+    /// Fetch a cached point result. Any unreadable or unparseable entry
+    /// reads as a miss, so a corrupt file costs one re-run, not an error.
+    pub fn load(&self, key: u64) -> Option<Value> {
+        let text = std::fs::read_to_string(self.path_of(key)).ok()?;
+        tlb_json::parse(&text).ok()
+    }
+
+    /// Store a point result. Written via a temporary file and rename so
+    /// a crash mid-write cannot leave a truncated entry behind.
+    pub fn store(&self, key: u64, value: &Value) -> io::Result<()> {
+        let path = self.path_of(key);
+        let tmp = self.dir.join(format!("{key:016x}.json.tmp"));
+        std::fs::write(&tmp, value.to_string_pretty())?;
+        std::fs::rename(&tmp, &path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::PolicyAxis;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    fn point(sc: &Scenario) -> SweepPoint {
+        sc.expand()[0]
+    }
+
+    #[test]
+    fn key_ignores_name_but_sees_knobs() {
+        let sc = Scenario::default();
+        let mut renamed = sc.clone();
+        renamed.name = "other".into();
+        assert_eq!(
+            point_key(&sc, &point(&sc)),
+            point_key(&renamed, &point(&renamed))
+        );
+
+        let mut more_iters = sc.clone();
+        more_iters.iterations += 1;
+        assert_ne!(
+            point_key(&sc, &point(&sc)),
+            point_key(&more_iters, &point(&more_iters))
+        );
+
+        let mut faulty = sc.clone();
+        faulty.faults = Some("delay@0.1".into());
+        assert_ne!(
+            point_key(&sc, &point(&sc)),
+            point_key(&faulty, &point(&faulty))
+        );
+    }
+
+    #[test]
+    fn key_separates_points() {
+        let mut sc = Scenario::default();
+        sc.axes.policy = vec![PolicyAxis::Baseline, PolicyAxis::Lewi];
+        sc.axes.seed = vec![1, 2];
+        let pts = sc.expand();
+        let mut keys: Vec<u64> = pts.iter().map(|p| point_key(&sc, p)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), pts.len(), "colliding point keys");
+    }
+
+    #[test]
+    fn cache_round_trips_and_survives_garbage() {
+        let dir = std::env::temp_dir().join(format!("tlb_sweep_cache_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = Cache::open(&dir).unwrap();
+        let value = Value::object(vec![("makespan_s", 1.25.into())]);
+        assert!(cache.load(7).is_none());
+        cache.store(7, &value).unwrap();
+        assert_eq!(cache.load(7).unwrap(), value);
+        std::fs::write(cache.path_of(8), "{ not json").unwrap();
+        assert!(cache.load(8).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

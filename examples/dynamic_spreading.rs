@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example dynamic_spreading`
 
-use tlb::cluster::{ClusterSim, SpecWorkload, TaskSpec};
-use tlb::core::{BalanceConfig, DromPolicy, Platform};
+use tlb::cluster::{ClusterSim, RunSpec, SpecWorkload, TaskSpec};
+use tlb::core::{BalanceConfig, DromPolicy, Platform, Preset};
 use tlb::des::SimTime;
 
 fn main() {
@@ -19,16 +19,28 @@ fn main() {
     let workload = SpecWorkload::iterated(ranks, 10);
 
     let mut configs: Vec<(&str, BalanceConfig)> = vec![
-        ("baseline (degree 1)", BalanceConfig::baseline()),
+        (
+            "baseline (degree 1)",
+            BalanceConfig::preset(Preset::Baseline),
+        ),
         (
             "static degree 2",
-            BalanceConfig::offloading(2, DromPolicy::Global),
+            BalanceConfig::preset(Preset::Offload {
+                degree: 2,
+                drom: DromPolicy::Global,
+            }),
         ),
         (
             "static degree 4",
-            BalanceConfig::offloading(4, DromPolicy::Global),
+            BalanceConfig::preset(Preset::Offload {
+                degree: 4,
+                drom: DromPolicy::Global,
+            }),
         ),
-        ("dynamic (1 -> <=4)", BalanceConfig::dynamic_spreading(4)),
+        (
+            "dynamic (1 -> <=4)",
+            BalanceConfig::preset(Preset::DynamicSpread { max_degree: 4 }),
+        ),
     ];
     for (_, cfg) in configs.iter_mut() {
         cfg.global_period = SimTime::from_millis(500);
@@ -36,7 +48,7 @@ fn main() {
 
     println!("one hot apprank on {nodes} nodes x {cores} cores; 10 iterations\n");
     for (name, cfg) in configs {
-        let r = ClusterSim::run_opts(&platform, &cfg, workload.clone(), false).unwrap();
+        let r = ClusterSim::execute(RunSpec::new(&platform, &cfg, workload.clone())).unwrap();
         println!(
             "{name:22} {:7.3} s/iter   helpers spawned: {:2}   offloaded {:4.1}%",
             r.mean_iteration_secs(4),

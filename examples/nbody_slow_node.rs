@@ -8,8 +8,8 @@
 use tlb::apps::nbody::{
     direct_accelerations, orb_partition, Body, NBodyConfig, NBodyWorkload, Octree,
 };
-use tlb::cluster::ClusterSim;
-use tlb::core::{BalanceConfig, DromPolicy, Platform};
+use tlb::cluster::{ClusterSim, RunSpec};
+use tlb::core::{BalanceConfig, DromPolicy, Platform, Preset};
 use tlb::smprt::parallel_for;
 
 fn main() {
@@ -67,14 +67,17 @@ fn main() {
         NBodyWorkload::new(cfg)
     };
     for (name, cfg) in [
-        ("baseline", BalanceConfig::baseline()),
-        ("single-node DLB", BalanceConfig::dlb_only()),
+        ("baseline", BalanceConfig::preset(Preset::Baseline)),
+        ("single-node DLB", BalanceConfig::preset(Preset::NodeDlb)),
         (
             "degree-3 offloading",
-            BalanceConfig::offloading(3, DromPolicy::Global),
+            BalanceConfig::preset(Preset::Offload {
+                degree: 3,
+                drom: DromPolicy::Global,
+            }),
         ),
     ] {
-        let r = ClusterSim::run_opts(&platform, &cfg, mk(), false).unwrap();
+        let r = ClusterSim::execute(RunSpec::new(&platform, &cfg, mk())).unwrap();
         println!("{name:22} {:7.3} s/iter", r.mean_iteration_secs(2));
     }
 }

@@ -3,8 +3,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use tlb::cluster::{ClusterSim, SpecWorkload, TaskSpec};
-use tlb::core::{BalanceConfig, DromPolicy, Platform};
+use tlb::cluster::{ClusterSim, RunSpec, SpecWorkload, TaskSpec};
+use tlb::core::{BalanceConfig, DromPolicy, Platform, Preset};
 
 fn main() {
     // A 2-node, 8-cores-per-node virtual cluster.
@@ -24,25 +24,35 @@ fn main() {
     let configs = [
         (
             "baseline (no DLB, no offloading)",
-            BalanceConfig::baseline(),
+            BalanceConfig::preset(Preset::Baseline),
         ),
-        ("single-node DLB", BalanceConfig::dlb_only()),
+        ("single-node DLB", BalanceConfig::preset(Preset::NodeDlb)),
         (
             "LeWI only, degree 2",
-            BalanceConfig::offloading(2, DromPolicy::Off),
+            BalanceConfig::preset(Preset::Offload {
+                degree: 2,
+                drom: DromPolicy::Off,
+            }),
         ),
         (
             "local policy, degree 2",
-            BalanceConfig::offloading(2, DromPolicy::Local),
+            BalanceConfig::preset(Preset::Offload {
+                degree: 2,
+                drom: DromPolicy::Local,
+            }),
         ),
         (
             "global policy, degree 2",
-            BalanceConfig::offloading(2, DromPolicy::Global),
+            BalanceConfig::preset(Preset::Offload {
+                degree: 2,
+                drom: DromPolicy::Global,
+            }),
         ),
     ];
     for (name, cfg) in configs {
         let report =
-            ClusterSim::run(&platform, &cfg, workload.clone()).expect("valid configuration");
+            ClusterSim::execute(RunSpec::new(&platform, &cfg, workload.clone()).trace(true))
+                .expect("valid configuration");
         println!(
             "{name:36} {:7.3} s/iter  (offloaded {:4.1}% of tasks, {} events)",
             report.mean_iteration_secs(2),

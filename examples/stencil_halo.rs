@@ -8,8 +8,8 @@
 
 use std::sync::Arc;
 use tlb::apps::stencil::{JacobiGrid, StencilConfig, StencilWorkload};
-use tlb::cluster::ClusterSim;
-use tlb::core::{BalanceConfig, DromPolicy, Platform};
+use tlb::cluster::{ClusterSim, RunSpec};
+use tlb::core::{BalanceConfig, DromPolicy, Platform, Preset};
 use tlb::smprt::{GraphRun, Pool};
 use tlb::tasking::{DataRegion, TaskDef};
 
@@ -86,18 +86,24 @@ fn main() {
         StencilWorkload::new(cfg)
     };
     for (name, mut cfg) in [
-        ("baseline", BalanceConfig::baseline()),
+        ("baseline", BalanceConfig::preset(Preset::Baseline)),
         (
             "degree-2 global",
-            BalanceConfig::offloading(2, DromPolicy::Global),
+            BalanceConfig::preset(Preset::Offload {
+                degree: 2,
+                drom: DromPolicy::Global,
+            }),
         ),
         (
             "degree-3 global",
-            BalanceConfig::offloading(3, DromPolicy::Global),
+            BalanceConfig::preset(Preset::Offload {
+                degree: 3,
+                drom: DromPolicy::Global,
+            }),
         ),
     ] {
         cfg.global_period = tlb::des::SimTime::from_millis(100);
-        let r = ClusterSim::run_opts(&platform, &cfg, mk(), false).unwrap();
+        let r = ClusterSim::execute(RunSpec::new(&platform, &cfg, mk())).unwrap();
         println!(
             "{name:18} {:7.3} s/iter  (offloaded {:4.1}%, efficiency {:.2})",
             r.mean_iteration_secs(5),

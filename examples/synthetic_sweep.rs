@@ -5,8 +5,8 @@
 //! Run with: `cargo run --release --example synthetic_sweep`
 
 use tlb::apps::synthetic::{synthetic_workload, SyntheticConfig};
-use tlb::cluster::ClusterSim;
-use tlb::core::{BalanceConfig, DromPolicy, Platform};
+use tlb::cluster::{ClusterSim, RunSpec};
+use tlb::core::{BalanceConfig, DromPolicy, Platform, Preset};
 
 fn main() {
     let nodes = 8;
@@ -29,11 +29,14 @@ fn main() {
         print!("{imb:>10.1}");
         for d in degrees {
             let bc = if d == 1 {
-                BalanceConfig::dlb_only()
+                BalanceConfig::preset(Preset::NodeDlb)
             } else {
-                BalanceConfig::offloading(d, DromPolicy::Global)
+                BalanceConfig::preset(Preset::Offload {
+                    degree: d,
+                    drom: DromPolicy::Global,
+                })
             };
-            let r = ClusterSim::run_opts(&platform, &bc, wl.clone(), false).unwrap();
+            let r = ClusterSim::execute(RunSpec::new(&platform, &bc, wl.clone())).unwrap();
             print!("{:>12.3}", r.mean_iteration_secs(1));
         }
         println!("{perfect:>12.3}");

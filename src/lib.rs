@@ -16,22 +16,25 @@
 //! * [`smprt`] — real-thread malleable work-stealing runtime;
 //! * [`core`] — layout, scheduler rule, policies, metrics, configs;
 //! * [`cluster`] — the simulated OmpSs-2@Cluster distributed runtime;
+//! * [`sweep`] — declarative scenario sweeps with caching and sharding;
 //! * [`apps`] — MicroPP, Barnes–Hut n-body with ORB, and the synthetic
 //!   benchmark.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use tlb::cluster::{ClusterSim, SpecWorkload, TaskSpec};
-//! use tlb::core::{BalanceConfig, DromPolicy, Platform};
+//! use tlb::cluster::{ClusterSim, RunSpec, SpecWorkload, TaskSpec};
+//! use tlb::core::{BalanceConfig, DromPolicy, Platform, Preset};
 //!
 //! // Two appranks on two 4-core nodes; apprank 0 is 3x heavier.
 //! let mk = |n: usize| (0..n).map(|_| TaskSpec::compute(0.05)).collect();
 //! let wl = SpecWorkload::iterated(vec![mk(120), mk(40)], 4);
 //! let platform = Platform::homogeneous(2, 4);
 //!
-//! let base = ClusterSim::run(&platform, &BalanceConfig::baseline(), wl.clone()).unwrap();
-//! let bal = ClusterSim::run(&platform, &BalanceConfig::offloading(2, DromPolicy::Global), wl).unwrap();
+//! let base_cfg = BalanceConfig::preset(Preset::Baseline);
+//! let bal_cfg = BalanceConfig::preset(Preset::Offload { degree: 2, drom: DromPolicy::Global });
+//! let base = ClusterSim::execute(RunSpec::new(&platform, &base_cfg, wl.clone()).trace(true)).unwrap();
+//! let bal = ClusterSim::execute(RunSpec::new(&platform, &bal_cfg, wl).trace(true)).unwrap();
 //! assert!(bal.makespan < base.makespan);
 //! ```
 
@@ -43,4 +46,5 @@ pub use tlb_dlb as dlb;
 pub use tlb_expander as expander;
 pub use tlb_linprog as linprog;
 pub use tlb_smprt as smprt;
+pub use tlb_sweep as sweep;
 pub use tlb_tasking as tasking;

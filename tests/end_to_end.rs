@@ -4,8 +4,8 @@
 use tlb::apps::micropp::{micropp_workload, MicroPpConfig};
 use tlb::apps::nbody::{NBodyConfig, NBodyWorkload};
 use tlb::apps::synthetic::{synthetic_workload, SyntheticConfig};
-use tlb::cluster::{ClusterSim, SpecWorkload, TaskSpec};
-use tlb::core::{imbalance, BalanceConfig, DromPolicy, Platform};
+use tlb::cluster::{ClusterSim, RunSpec, SpecWorkload, TaskSpec};
+use tlb::core::{imbalance, BalanceConfig, DromPolicy, Platform, Preset};
 
 /// Degree-1 DLB cannot fix cross-node imbalance: execution time tracks
 /// the imbalance metric linearly (the paper's Fig. 8 degree-1 line).
@@ -18,7 +18,12 @@ fn degree_one_time_tracks_imbalance() {
         cfg.iterations = 2;
         cfg.tasks_per_core = 20;
         let wl = synthetic_workload(&cfg, &platform);
-        let r = ClusterSim::run_opts(&platform, &BalanceConfig::dlb_only(), wl, false).unwrap();
+        let r = ClusterSim::execute(RunSpec::new(
+            &platform,
+            &BalanceConfig::preset(Preset::NodeDlb),
+            wl,
+        ))
+        .unwrap();
         times.push(r.mean_iteration_secs(0));
     }
     let r21 = times[1] / times[0];
@@ -37,12 +42,14 @@ fn offloading_approaches_perfect_balance() {
     cfg.tasks_per_core = 50;
     let wl = synthetic_workload(&cfg, &platform);
     let perfect = wl.rank_work(0).iter().sum::<f64>() / platform.effective_capacity();
-    let r = ClusterSim::run_opts(
+    let r = ClusterSim::execute(RunSpec::new(
         &platform,
-        &BalanceConfig::offloading(3, DromPolicy::Global),
+        &BalanceConfig::preset(Preset::Offload {
+            degree: 3,
+            drom: DromPolicy::Global,
+        }),
         wl,
-        false,
-    )
+    ))
     .unwrap();
     let t = r.mean_iteration_secs(2);
     assert!(
@@ -61,14 +68,20 @@ fn config_ladder_is_ordered() {
     let wl = SpecWorkload::iterated(vec![heavy, light], 4);
 
     let run = |cfg: &BalanceConfig| {
-        ClusterSim::run_opts(&platform, cfg, wl.clone(), false)
+        ClusterSim::execute(RunSpec::new(&platform, cfg, wl.clone()))
             .unwrap()
             .makespan
             .as_secs_f64()
     };
-    let base = run(&BalanceConfig::baseline());
-    let lewi = run(&BalanceConfig::offloading(2, DromPolicy::Off));
-    let glob = run(&BalanceConfig::offloading(2, DromPolicy::Global));
+    let base = run(&BalanceConfig::preset(Preset::Baseline));
+    let lewi = run(&BalanceConfig::preset(Preset::Offload {
+        degree: 2,
+        drom: DromPolicy::Off,
+    }));
+    let glob = run(&BalanceConfig::preset(Preset::Offload {
+        degree: 2,
+        drom: DromPolicy::Global,
+    }));
     assert!(lewi <= base * 1.001, "LeWI {lewi} vs baseline {base}");
     assert!(glob <= lewi * 1.05, "global {glob} vs LeWI {lewi}");
     assert!(glob < base * 0.8, "global should clearly beat baseline");
@@ -89,12 +102,19 @@ fn micropp_reduction_vs_dlb() {
     let platform = Platform::mn4(4);
     // Iterations here are far shorter than the paper's, so tick DROM
     // proportionally faster (a config knob).
-    let mut glob_cfg = BalanceConfig::offloading(4, DromPolicy::Global);
+    let mut glob_cfg = BalanceConfig::preset(Preset::Offload {
+        degree: 4,
+        drom: DromPolicy::Global,
+    });
     glob_cfg.global_period = tlb::des::SimTime::from_millis(200);
-    let dlb = ClusterSim::run_opts(&platform, &BalanceConfig::dlb_only(), wl.clone(), false)
-        .unwrap()
-        .mean_iteration_secs(2);
-    let glob = ClusterSim::run_opts(&platform, &glob_cfg, wl, false)
+    let dlb = ClusterSim::execute(RunSpec::new(
+        &platform,
+        &BalanceConfig::preset(Preset::NodeDlb),
+        wl.clone(),
+    ))
+    .unwrap()
+    .mean_iteration_secs(2);
+    let glob = ClusterSim::execute(RunSpec::new(&platform, &glob_cfg, wl))
         .unwrap()
         .mean_iteration_secs(2);
     assert!(
@@ -116,14 +136,21 @@ fn nbody_slow_node_recovery() {
         NBodyWorkload::new(cfg)
     };
     let platform = Platform::nord3(nodes, &[0]);
-    let base = ClusterSim::run_opts(&platform, &BalanceConfig::baseline(), mk(), false)
-        .unwrap()
-        .mean_iteration_secs(2);
+    let base = ClusterSim::execute(RunSpec::new(
+        &platform,
+        &BalanceConfig::preset(Preset::Baseline),
+        mk(),
+    ))
+    .unwrap()
+    .mean_iteration_secs(2);
     // Iterations here are short, so let DROM react faster than the
     // paper's 2 s default (a config knob, not a code change).
-    let mut cfg = BalanceConfig::offloading(3, DromPolicy::Global);
+    let mut cfg = BalanceConfig::preset(Preset::Offload {
+        degree: 3,
+        drom: DromPolicy::Global,
+    });
     cfg.global_period = tlb::des::SimTime::from_millis(500);
-    let d3 = ClusterSim::run_opts(&platform, &cfg, mk(), false)
+    let d3 = ClusterSim::execute(RunSpec::new(&platform, &cfg, mk()))
         .unwrap()
         .mean_iteration_secs(2);
     assert!(d3 < 0.8 * base, "degree 3 {d3} vs baseline {base}");
@@ -138,12 +165,15 @@ fn reproducibility_and_seed_sensitivity() {
     cfg.iterations = 2;
     cfg.tasks_per_core = 20;
     let wl = synthetic_workload(&cfg, &platform);
-    let bc = BalanceConfig::offloading(2, DromPolicy::Global);
-    let a = ClusterSim::run_opts(&platform, &bc, wl.clone(), false).unwrap();
-    let b = ClusterSim::run_opts(&platform, &bc, wl.clone(), false).unwrap();
+    let bc = BalanceConfig::preset(Preset::Offload {
+        degree: 2,
+        drom: DromPolicy::Global,
+    });
+    let a = ClusterSim::execute(RunSpec::new(&platform, &bc, wl.clone())).unwrap();
+    let b = ClusterSim::execute(RunSpec::new(&platform, &bc, wl.clone())).unwrap();
     assert_eq!(a.makespan, b.makespan);
     assert_eq!(a.events, b.events);
-    let c = ClusterSim::run_opts(&platform, &bc.clone().with_seed(99), wl, false).unwrap();
+    let c = ClusterSim::execute(RunSpec::new(&platform, &bc.clone().with_seed(99), wl)).unwrap();
     // A different graph may or may not change the makespan, but the run
     // must still complete all tasks.
     assert_eq!(c.total_tasks, a.total_tasks);
@@ -157,10 +187,16 @@ fn trace_core_accounting() {
     let heavy: Vec<TaskSpec> = (0..120).map(|_| TaskSpec::compute(0.02)).collect();
     let light: Vec<TaskSpec> = (0..40).map(|_| TaskSpec::compute(0.02)).collect();
     let wl = SpecWorkload::iterated(vec![heavy, light], 3);
-    let r = ClusterSim::run(
-        &platform,
-        &BalanceConfig::offloading(2, DromPolicy::Global),
-        wl,
+    let r = ClusterSim::execute(
+        RunSpec::new(
+            &platform,
+            &BalanceConfig::preset(Preset::Offload {
+                degree: 2,
+                drom: DromPolicy::Global,
+            }),
+            wl,
+        )
+        .trace(true),
     )
     .unwrap();
     let end = r.makespan;
