@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Offline CI gate: format, build, tier-1 tests, smoke benches (perf,
-# trace, robustness, portfolio, sweep).
+# trace, robustness, portfolio, sweep, serve).
 # The workspace is hermetic (no registry deps), so everything here runs
 # with no network access. Mirrors .github/workflows/ci.yml.
 set -euo pipefail
@@ -32,5 +32,8 @@ cargo run --release --offline -p tlb-bench --bin portfolio_smoke -- --quick
 
 echo "== sweep smoke (--quick)"
 cargo run --release --offline -p tlb-bench --bin sweep_smoke -- --quick
+
+echo "== serve smoke (--quick, loopback only)"
+cargo run --release --offline -p tlb-bench --bin serve_smoke -- --quick
 
 echo "CI gate passed."

@@ -198,7 +198,7 @@ fn cluster_sim_step(effort: Effort, reps: usize) -> (f64, String) {
 /// Time the same simulation at three instrumentation levels and grab the
 /// counter registry from a fully traced run:
 ///
-/// * `disabled_ms`  — no tracing at all (`run_opts(.., false)`);
+/// * `disabled_ms`  — no tracing at all (`RunSpec::trace(false)`);
 /// * `timelines_ms` — Paraver-style timelines only, event families off;
 /// * `events_ms`    — timelines plus the full structured event log.
 ///

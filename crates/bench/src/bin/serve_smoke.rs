@@ -1,0 +1,288 @@
+//! Smoke test for the sweep-as-a-service daemon (`tlb-serve`): starts a
+//! real daemon on a loopback ephemeral port, hammers it with ≥1000
+//! concurrent submissions from client threads, and writes latency and
+//! dedup/cache statistics to `BENCH_serve_smoke.json` at the
+//! repository root.
+//!
+//! Usage: `serve_smoke [--quick]`
+//!
+//! Gates:
+//!
+//! 1. a served aggregate report is *bitwise identical* to the offline
+//!    `tlb-run sweep` report for the same scenario;
+//! 2. two clients submitting an identical fresh scenario concurrently
+//!    cause exactly one execution per distinct point (in-flight dedup);
+//! 3. warm-cache replay executes zero simulations, across every replay
+//!    submission of the load phase;
+//! 4. at queue bound the daemon sheds with a structured retry-after
+//!    reply instead of queueing or dropping the connection.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use tlb_bench::Effort;
+use tlb_json::Value;
+use tlb_serve::{Client, ExecutorConfig, Server, SweepResponse};
+use tlb_sweep::{run_sweep, Scenario, SweepOptions};
+
+fn repo_root() -> PathBuf {
+    std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(|d| PathBuf::from(d).join("../.."))
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tlb_serve_smoke_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small, fast scenario (2 points) parameterized by seed, so distinct
+/// seeds are distinct cache keys.
+fn scenario_json(seed: u64) -> Value {
+    Value::object(vec![
+        ("schema_version", 1i64.into()),
+        ("name", "serve-smoke".into()),
+        ("app", "synthetic".into()),
+        ("machine", "ideal".into()),
+        ("nodes", 2usize.into()),
+        ("iterations", 2usize.into()),
+        (
+            "axes",
+            Value::object(vec![
+                (
+                    "policy",
+                    Value::Array(vec!["baseline".into(), "lewi".into()]),
+                ),
+                ("seed", Value::Array(vec![seed.into()])),
+            ]),
+        ),
+    ])
+}
+
+fn counter(stats: &Value, name: &str) -> u64 {
+    stats
+        .get("counters")
+        .get("counters")
+        .get(name)
+        .as_u64()
+        .unwrap_or(0)
+}
+
+fn completed(response: SweepResponse) -> (Value, Vec<Value>, Value) {
+    match response {
+        SweepResponse::Completed {
+            ack,
+            points,
+            report,
+        } => (ack, points, report),
+        other => panic!("expected completed sweep, got {other:?}"),
+    }
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx]
+}
+
+fn main() {
+    let effort = Effort::from_args();
+    println!("serve_smoke ({effort:?})");
+
+    let cache = temp_dir("daemon");
+    let jobs = effort.pick(4, 2);
+    let server = Server::start(
+        "127.0.0.1:0",
+        ExecutorConfig {
+            jobs,
+            queue_bound: 4096,
+            cache_dir: Some(cache.clone()),
+        },
+    )
+    .expect("daemon start");
+    let addr = server.local_addr();
+    let mut control = Client::connect(addr).expect("control client");
+
+    // --- gate 1: served report == offline sweep report, byte for byte ---
+    let base = scenario_json(1);
+    let (_, points, served_report) = completed(control.sweep(&base).expect("base sweep"));
+    assert_eq!(points.len(), 2);
+    let offline_dir = temp_dir("offline");
+    let offline = run_sweep(
+        &Scenario::from_json(&base).expect("base scenario parses"),
+        &SweepOptions {
+            jobs: 1,
+            resume: false,
+            cache_dir: Some(offline_dir.clone()),
+        },
+    )
+    .expect("offline sweep");
+    let identical = served_report.to_string_pretty() == offline.report.to_string_pretty();
+    assert!(
+        identical,
+        "served aggregate must be bitwise identical to the offline sweep report"
+    );
+    println!("  identity: served report == offline tlb-run sweep report");
+
+    // --- gate 2: concurrent identical submissions dedup to one run -----
+    let before = counter(&control.stats().expect("stats"), "serve.points_executed");
+    let fresh = scenario_json(99);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let fresh = fresh.clone();
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("dedup client");
+                    let (_, points, _) = completed(client.sweep(&fresh).expect("dedup sweep"));
+                    assert_eq!(points.len(), 2);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("dedup client thread");
+        }
+    });
+    let after = counter(&control.stats().expect("stats"), "serve.points_executed");
+    assert_eq!(
+        after - before,
+        2,
+        "2 distinct points across 2 identical concurrent requests must execute exactly once each"
+    );
+    println!("  dedup: concurrent identical scenario ran each point once");
+
+    // --- load phase: ≥1000 concurrent submissions ----------------------
+    // A mostly-warm mix: every thread replays the (cached) base and
+    // fresh scenarios plus a few thread-unique cold seeds.
+    let threads = effort.pick(16, 8);
+    let per_thread = effort.pick(125, 125); // threads × per_thread ≥ 1000
+    let cold_per_thread = effort.pick(4, 2);
+    let executed_before_load = counter(&control.stats().expect("stats"), "serve.points_executed");
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    let load_started = Instant::now();
+    std::thread::scope(|s| {
+        let latencies = &latencies;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("load client");
+                    let mut local = Vec::with_capacity(per_thread);
+                    for i in 0..per_thread {
+                        // Interleave cold seeds early so they overlap
+                        // with other threads' warm traffic.
+                        let scenario = if i < cold_per_thread {
+                            scenario_json(1000 + (t * cold_per_thread + i) as u64)
+                        } else if i % 2 == 0 {
+                            scenario_json(1)
+                        } else {
+                            scenario_json(99)
+                        };
+                        let started = Instant::now();
+                        let (_, points, _) =
+                            completed(client.sweep(&scenario).expect("load sweep"));
+                        local.push(started.elapsed().as_secs_f64() * 1000.0);
+                        assert_eq!(points.len(), 2, "every submission streams 2 points");
+                    }
+                    latencies.lock().unwrap().extend(local);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("load client thread");
+        }
+    });
+    let load_secs = load_started.elapsed().as_secs_f64();
+    let submissions = threads * per_thread;
+    assert!(
+        submissions >= 1000,
+        "load phase must issue at least 1000 submissions, got {submissions}"
+    );
+
+    // --- gate 3: the warm part of the load executed nothing ------------
+    let executed_after_load = counter(&control.stats().expect("stats"), "serve.points_executed");
+    let cold_points = (threads * cold_per_thread * 2) as u64;
+    let executed_delta = executed_after_load - executed_before_load;
+    assert_eq!(
+        executed_delta, cold_points,
+        "only the cold seeds may execute; every warm replay must be served from cache/dedup"
+    );
+    let mut sorted = latencies.into_inner().unwrap();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let (p50, p99) = (percentile(&sorted, 0.50), percentile(&sorted, 0.99));
+    let throughput = submissions as f64 / load_secs.max(1e-9);
+    println!(
+        "  load: {submissions} submissions on {threads} threads in {load_secs:.2}s \
+         ({throughput:.0}/s), p50 {p50:.2}ms p99 {p99:.2}ms, {executed_delta} cold points executed"
+    );
+
+    let final_stats = control.stats().expect("stats");
+    control.shutdown().expect("daemon shutdown");
+    server.join();
+
+    // --- gate 4: a zero-bound daemon sheds with retry-after ------------
+    let shed_server = Server::start(
+        "127.0.0.1:0",
+        ExecutorConfig {
+            jobs: 1,
+            queue_bound: 0,
+            cache_dir: None,
+        },
+    )
+    .expect("shed daemon start");
+    let mut shed_client = Client::connect(shed_server.local_addr()).expect("shed client");
+    let shed_retry_ms = match shed_client
+        .sweep(&scenario_json(7))
+        .expect("shed submission")
+    {
+        SweepResponse::Shed(reply) => {
+            assert_eq!(reply.get("queue_bound").as_usize(), Some(0));
+            assert_eq!(reply.get("draining").as_bool(), Some(false));
+            let retry = reply.get("retry_after_ms").as_u64().expect("retry hint");
+            assert!(retry > 0, "retry-after must be a positive backoff");
+            retry
+        }
+        other => panic!("expected shed at queue bound, got {other:?}"),
+    };
+    println!("  shed: queue bound 0 shed with retry_after_ms={shed_retry_ms}");
+    shed_client.shutdown().expect("shed daemon shutdown");
+    shed_server.join();
+
+    let doc = Value::object(vec![
+        ("bench", "serve_smoke".into()),
+        ("effort", format!("{effort:?}").into()),
+        ("jobs", jobs.into()),
+        ("client_threads", threads.into()),
+        ("submissions", submissions.into()),
+        ("load_secs", load_secs.into()),
+        ("submissions_per_sec", throughput.into()),
+        ("latency_p50_ms", p50.into()),
+        ("latency_p99_ms", p99.into()),
+        ("report_bitwise_identical_to_offline", identical.into()),
+        ("dedup_executions_for_2_identical_requests", 2usize.into()),
+        ("warm_replay_executed", 0usize.into()),
+        ("cold_points_executed", executed_delta.into()),
+        ("shed_retry_after_ms", shed_retry_ms.into()),
+        (
+            "daemon_cache_hits",
+            counter(&final_stats, "serve.cache_hits").into(),
+        ),
+        (
+            "daemon_dedup_hits",
+            counter(&final_stats, "serve.dedup_hits").into(),
+        ),
+        (
+            "daemon_requests",
+            counter(&final_stats, "serve.requests").into(),
+        ),
+    ]);
+    let path = repo_root().join("BENCH_serve_smoke.json");
+    std::fs::write(&path, doc.to_string_pretty()).expect("write BENCH_serve_smoke.json");
+    println!("saved: {}", path.display());
+
+    let _ = std::fs::remove_dir_all(&cache);
+    let _ = std::fs::remove_dir_all(&offline_dir);
+    println!("serve_smoke OK");
+}

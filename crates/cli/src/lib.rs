@@ -8,6 +8,7 @@
 //!         [--trace-csv out.csv] [--chrome out.json] [--json]
 //! tlb-run trace --app nbody --nodes 4   # traced run, Chrome JSON export
 //! tlb-run sweep --scenario examples/policy_matrix.json --jobs 8 --resume
+//! tlb-run serve --addr 127.0.0.1:7070 --jobs 4 --cache-dir tlb_sweep_cache
 //! ```
 
 use std::fmt;
@@ -121,10 +122,13 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 /// Usage text.
-pub const USAGE: &str = "usage: tlb-run [trace|sweep] [options]
+pub const USAGE: &str = "usage: tlb-run [trace|sweep|serve] [options]
   sweep                                   subcommand: batch-run a scenario
                                           file over its axis grid (see
                                           tlb-run sweep --help)
+  serve                                   subcommand: resident sweep daemon
+                                          over TCP (see tlb-run serve
+                                          --help)
   trace                                   subcommand: record the structured
                                           event trace and write a Chrome
                                           trace-event JSON (default
@@ -728,6 +732,89 @@ pub fn run_sweep_cmd(args: &SweepArgs, scenario: &tlb_sweep::Scenario) -> Result
     }
 }
 
+// ---------------------------------------------------------------------------
+// `tlb-run serve`: the resident sweep-as-a-service daemon (tlb-serve).
+// ---------------------------------------------------------------------------
+
+/// Parsed `tlb-run serve` command line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeArgs {
+    /// Bind address, e.g. `127.0.0.1:7070` (`:0` picks a free port).
+    pub addr: String,
+    /// Pool threads executing points.
+    pub jobs: usize,
+    /// Point-result cache directory (shared with `tlb-run sweep`), or
+    /// `None` with `--no-cache`.
+    pub cache_dir: Option<String>,
+    /// Admission-queue bound; requests past it are shed.
+    pub queue_bound: usize,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            addr: "127.0.0.1:7070".into(),
+            jobs: 2,
+            cache_dir: Some("tlb_sweep_cache".into()),
+            queue_bound: 1024,
+        }
+    }
+}
+
+/// Usage text of the `serve` subcommand.
+pub const SERVE_USAGE: &str = "usage: tlb-run serve [options]
+  --addr HOST:PORT   bind address (default 127.0.0.1:7070; :0 = ephemeral)
+  --jobs N           points executed concurrently (default 2)
+  --cache-dir PATH   point-result cache, shared with tlb-run sweep
+                     (default tlb_sweep_cache; created if missing)
+  --no-cache         disable the result cache (dedup still applies)
+  --queue-bound N    admission queue bound; requests that would push the
+                     backlog past it are shed with a retry-after reply
+                     (default 1024)
+  --help             this text
+
+protocol: line-delimited JSON over TCP; one request object in, one or
+more reply objects out. cmds: sweep (scenario -> ack, streamed points,
+report), stats, ping, shutdown (drains, flushes cache, then acks).";
+
+/// Parse the argument list following the `serve` subcommand word.
+pub fn parse_serve_args<I: IntoIterator<Item = String>>(argv: I) -> Result<ServeArgs, ParseError> {
+    let mut args = ServeArgs::default();
+    let mut it = argv.into_iter().peekable();
+    let missing = |flag: &str| ParseError(format!("{flag} needs a value"));
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => args.addr = it.next().ok_or_else(|| missing("--addr"))?,
+            "--jobs" => args.jobs = parse_num(&mut it, "--jobs")?,
+            "--cache-dir" => {
+                args.cache_dir = Some(it.next().ok_or_else(|| missing("--cache-dir"))?)
+            }
+            "--no-cache" => args.cache_dir = None,
+            "--queue-bound" => args.queue_bound = parse_num(&mut it, "--queue-bound")?,
+            "--help" | "-h" => return Err(ParseError(SERVE_USAGE.to_string())),
+            other => {
+                return Err(ParseError(format!(
+                    "unknown serve flag '{other}'\n{SERVE_USAGE}"
+                )))
+            }
+        }
+    }
+    if args.jobs == 0 {
+        return Err(ParseError("--jobs must be positive".into()));
+    }
+    tlb_serve::validate_addr(&args.addr).map_err(ParseError)?;
+    Ok(args)
+}
+
+/// The executor provisioning implied by the parsed arguments.
+pub fn serve_config(args: &ServeArgs) -> tlb_serve::ExecutorConfig {
+    tlb_serve::ExecutorConfig {
+        jobs: args.jobs,
+        queue_bound: args.queue_bound,
+        cache_dir: args.cache_dir.as_ref().map(std::path::PathBuf::from),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1063,5 +1150,79 @@ mod tests {
             std::fs::read_to_string(dir.join("report.json")).unwrap()
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_cmd_creates_missing_nested_cache_dir() {
+        // Regression: `--cache-dir` pointing at a path whose parents do
+        // not exist yet must be created, not rejected.
+        let dir = std::env::temp_dir().join(format!("tlb_cli_sweep_mkdir_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let sc_path = dir.join("sc.json");
+        std::fs::write(
+            &sc_path,
+            r#"{"schema_version": 1, "name": "mkdir", "app": "synthetic",
+                "machine": "ideal", "nodes": 2, "iterations": 2,
+                "axes": {"policy": ["baseline"]}}"#,
+        )
+        .unwrap();
+        let nested = dir.join("deeply/nested/cache");
+        assert!(!nested.exists());
+        let a = SweepArgs {
+            scenario: sc_path.to_string_lossy().into_owned(),
+            out: dir.join("report.json").to_string_lossy().into_owned(),
+            cache_dir: nested.to_string_lossy().into_owned(),
+            ..SweepArgs::default()
+        };
+        let scenario = load_scenario(&a).unwrap();
+        run_sweep_cmd(&a, &scenario).unwrap();
+        assert!(nested.is_dir(), "nested cache dir was not created");
+        assert_eq!(
+            std::fs::read_dir(&nested).unwrap().count(),
+            1,
+            "expected exactly one cached point"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn serve_args(s: &str) -> Result<ServeArgs, ParseError> {
+        parse_serve_args(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn serve_flags_parse() {
+        let a = serve_args("").unwrap();
+        assert_eq!(a.addr, "127.0.0.1:7070");
+        assert_eq!(a.jobs, 2);
+        assert_eq!(a.cache_dir.as_deref(), Some("tlb_sweep_cache"));
+        assert_eq!(a.queue_bound, 1024);
+
+        let b =
+            serve_args("--addr 127.0.0.1:0 --jobs 8 --cache-dir /tmp/c --queue-bound 16").unwrap();
+        assert_eq!(b.addr, "127.0.0.1:0");
+        assert_eq!(b.jobs, 8);
+        assert_eq!(b.cache_dir.as_deref(), Some("/tmp/c"));
+        assert_eq!(b.queue_bound, 16);
+        let cfg = serve_config(&b);
+        assert_eq!(cfg.jobs, 8);
+        assert_eq!(cfg.queue_bound, 16);
+        assert_eq!(cfg.cache_dir, Some(std::path::PathBuf::from("/tmp/c")));
+
+        let c = serve_args("--no-cache").unwrap();
+        assert_eq!(c.cache_dir, None);
+        assert_eq!(serve_config(&c).cache_dir, None);
+    }
+
+    #[test]
+    fn serve_usage_errors_are_parse_errors() {
+        assert!(serve_args("--jobs 0").is_err());
+        assert!(serve_args("--addr not-an-address").is_err());
+        assert!(serve_args("--frobnicate").is_err());
+        assert!(serve_args("--addr").is_err());
+        assert!(serve_args("--help")
+            .unwrap_err()
+            .0
+            .contains("usage: tlb-run serve"));
     }
 }

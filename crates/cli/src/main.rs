@@ -7,6 +7,10 @@ fn main() {
         sweep_main(argv[1..].to_vec());
         return;
     }
+    if argv.first().map(String::as_str) == Some("serve") {
+        serve_main(argv[1..].to_vec());
+        return;
+    }
     let args = match tlb_cli::parse_args(argv) {
         Ok(a) => a,
         Err(e) => {
@@ -53,4 +57,26 @@ fn sweep_main(argv: Vec<String>) {
             std::process::exit(1);
         }
     }
+}
+
+/// The `serve` subcommand: start the resident sweep daemon and block
+/// until a client sends `shutdown` (which drains in-flight points and
+/// flushes the cache before the process exits).
+fn serve_main(argv: Vec<String>) {
+    let args = match tlb_cli::parse_serve_args(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let server = match tlb_serve::Server::start(&args.addr, tlb_cli::serve_config(&args)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: binding {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    println!("tlb-serve listening on {}", server.local_addr());
+    server.join();
 }

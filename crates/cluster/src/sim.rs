@@ -319,77 +319,6 @@ impl<'a, W: Workload> RunSpec<'a, W> {
 pub struct ClusterSim;
 
 impl ClusterSim {
-    /// Deprecated shim: traced run with defaults.
-    /// Use [`ClusterSim::execute`] with [`RunSpec`] instead.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use ClusterSim::execute(RunSpec::new(platform, config, workload).trace(true))"
-    )]
-    pub fn run<W: Workload>(
-        platform: &Platform,
-        config: &BalanceConfig,
-        workload: W,
-    ) -> Result<SimReport, SimError> {
-        ClusterSim::execute(RunSpec::new(platform, config, workload).trace(true))
-    }
-
-    /// Deprecated shim: run with explicit trace control.
-    /// Use [`ClusterSim::execute`] with [`RunSpec`] instead.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use ClusterSim::execute(RunSpec::new(platform, config, workload).trace(trace))"
-    )]
-    pub fn run_opts<W: Workload>(
-        platform: &Platform,
-        config: &BalanceConfig,
-        workload: W,
-        trace: bool,
-    ) -> Result<SimReport, SimError> {
-        ClusterSim::execute(RunSpec::new(platform, config, workload).trace(trace))
-    }
-
-    /// Deprecated shim: run with an explicit event-family selection.
-    /// Use [`ClusterSim::execute`] with [`RunSpec::trace_families`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use ClusterSim::execute(RunSpec::new(..).trace_families(families))"
-    )]
-    pub fn run_trace_cfg<W: Workload>(
-        platform: &Platform,
-        config: &BalanceConfig,
-        workload: W,
-        trace: bool,
-        families: Option<tlb_trace::TraceConfig>,
-    ) -> Result<SimReport, SimError> {
-        let mut spec = RunSpec::new(platform, config, workload).trace(trace);
-        if let Some(f) = families {
-            spec = spec.trace_families(f);
-            spec.trace = trace;
-        }
-        ClusterSim::execute(spec)
-    }
-
-    /// Deprecated shim: run under an injected [`FaultPlan`].
-    /// Use [`ClusterSim::execute`] with [`RunSpec::faults`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use ClusterSim::execute(RunSpec::new(..).faults(plan))"
-    )]
-    pub fn run_with_faults<W: Workload>(
-        platform: &Platform,
-        config: &BalanceConfig,
-        workload: W,
-        trace: bool,
-        families: Option<tlb_trace::TraceConfig>,
-        plan: &FaultPlan,
-    ) -> Result<SimReport, SimError> {
-        let mut spec = RunSpec::new(platform, config, workload)
-            .trace(trace)
-            .faults(plan);
-        spec.families = families;
-        ClusterSim::execute(spec)
-    }
-
     /// Execute a [`RunSpec`] and return the report — the single
     /// simulation entry point every other API reduces to.
     pub fn execute<W: Workload>(spec: RunSpec<'_, W>) -> Result<SimReport, SimError> {
@@ -3344,33 +3273,5 @@ mod tests {
         assert_eq!(a.iteration_times, b.iteration_times);
         assert_eq!(a.total_tasks, b.total_tasks);
         assert_eq!(a.trace.log.merged(), b.trace.log.merged());
-    }
-
-    /// The four legacy entry points are thin shims over `execute`; each
-    /// must reproduce its historical behaviour bit-for-bit.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_entry_points_match_execute() {
-        let p = Platform::homogeneous(2, 2);
-        let cfg = BalanceConfig::preset(Preset::NodeDlb);
-        let wl = uniform(2, 6, 0.05, 2);
-        let traced = ClusterSim::execute(RunSpec::new(&p, &cfg, wl.clone()).trace(true)).unwrap();
-        let untraced = ClusterSim::execute(RunSpec::new(&p, &cfg, wl.clone())).unwrap();
-
-        let via_run = ClusterSim::run(&p, &cfg, wl.clone()).unwrap();
-        assert_eq!(via_run.makespan, traced.makespan);
-        assert_eq!(via_run.trace.busy.len(), traced.trace.busy.len());
-
-        let via_opts = ClusterSim::run_opts(&p, &cfg, wl.clone(), false).unwrap();
-        assert_eq!(via_opts.makespan, untraced.makespan);
-        assert!(!via_opts.trace.enabled);
-
-        let via_cfg = ClusterSim::run_trace_cfg(&p, &cfg, wl.clone(), true, None).unwrap();
-        assert_eq!(via_cfg.makespan, traced.makespan);
-
-        let via_faults =
-            ClusterSim::run_with_faults(&p, &cfg, wl, true, None, &FaultPlan::none()).unwrap();
-        assert_eq!(via_faults.makespan, traced.makespan);
-        assert_eq!(via_faults.iteration_times, traced.iteration_times);
     }
 }

@@ -320,37 +320,6 @@ impl BalanceConfig {
         }
     }
 
-    /// Deprecated alias for [`BalanceConfig::preset`]`(Preset::Baseline)`.
-    #[deprecated(since = "0.1.0", note = "use BalanceConfig::preset(Preset::Baseline)")]
-    pub fn baseline() -> Self {
-        Self::preset(Preset::Baseline)
-    }
-
-    /// Deprecated alias for [`BalanceConfig::preset`]`(Preset::NodeDlb)`.
-    #[deprecated(since = "0.1.0", note = "use BalanceConfig::preset(Preset::NodeDlb)")]
-    pub fn dlb_only() -> Self {
-        Self::preset(Preset::NodeDlb)
-    }
-
-    /// Deprecated alias for [`BalanceConfig::preset`]`(Preset::Offload { .. })`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use BalanceConfig::preset(Preset::Offload { degree, drom })"
-    )]
-    pub fn offloading(degree: usize, drom: DromPolicy) -> Self {
-        Self::preset(Preset::Offload { degree, drom })
-    }
-
-    /// Deprecated alias for
-    /// [`BalanceConfig::preset`]`(Preset::DynamicSpread { .. })`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use BalanceConfig::preset(Preset::DynamicSpread { max_degree })"
-    )]
-    pub fn dynamic_spreading(max_degree: usize) -> Self {
-        Self::preset(Preset::DynamicSpread { max_degree })
-    }
-
     /// Builder: set the expander seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -433,36 +402,6 @@ mod tests {
         let dy = BalanceConfig::preset(Preset::DynamicSpread { max_degree: 3 });
         assert_eq!(dy.degree, 1);
         assert_eq!(dy.dynamic.map(|d| d.max_degree), Some(3));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_aliases_match_presets() {
-        assert_eq!(
-            format!("{:?}", BalanceConfig::baseline()),
-            format!("{:?}", BalanceConfig::preset(Preset::Baseline))
-        );
-        assert_eq!(
-            format!("{:?}", BalanceConfig::dlb_only()),
-            format!("{:?}", BalanceConfig::preset(Preset::NodeDlb))
-        );
-        assert_eq!(
-            format!("{:?}", BalanceConfig::offloading(2, DromPolicy::Local)),
-            format!(
-                "{:?}",
-                BalanceConfig::preset(Preset::Offload {
-                    degree: 2,
-                    drom: DromPolicy::Local,
-                })
-            )
-        );
-        assert_eq!(
-            format!("{:?}", BalanceConfig::dynamic_spreading(4)),
-            format!(
-                "{:?}",
-                BalanceConfig::preset(Preset::DynamicSpread { max_degree: 4 })
-            )
-        );
     }
 
     #[test]

@@ -1,0 +1,413 @@
+//! The point executor: a bounded admission queue in front of the
+//! `tlb-smprt` pool, with an in-flight registry that dedupes identical
+//! points across concurrent requests.
+//!
+//! Admission is a single atomic classification under one lock: every
+//! distinct point of a request is either *cached* (served immediately,
+//! the pool never sees it), *in flight* (another request is already
+//! computing it — subscribe to its completion), or *new* (enqueue).
+//! A request whose new points would overflow the bounded queue is shed
+//! whole — nothing is enqueued, nothing is subscribed — with a
+//! retry-after hint derived from the queue depth, the pool occupancy,
+//! and an EMA of recent point execution times.
+//!
+//! Completion publishes in a fixed order: store to cache **then** take
+//! the subscriber list out of the registry **then** send. A racing
+//! admission therefore either finds the key in the registry (and will
+//! get the send) or no longer finds it (and its under-lock cache
+//! re-check hits), so no subscriber can be stranded and no point can
+//! run twice.
+
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use tlb_json::Value;
+use tlb_smprt::Pool;
+use tlb_sweep::{point_key, point_key_input, run_point, Cache, Scenario, SweepPoint};
+use tlb_trace::Counters;
+
+/// How the executor is provisioned.
+#[derive(Clone, Debug)]
+pub struct ExecutorConfig {
+    /// Pool threads executing points.
+    pub jobs: usize,
+    /// Maximum number of points waiting in the admission queue; a
+    /// request whose new points would push the depth past this bound
+    /// is shed whole.
+    pub queue_bound: usize,
+    /// Result cache directory; `None` disables caching (every point
+    /// executes, dedup still works).
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            jobs: 2,
+            queue_bound: 1024,
+            cache_dir: None,
+        }
+    }
+}
+
+/// What a subscriber receives for one completed point: its cache key
+/// and the record (or the execution error).
+pub type PointResult = (u64, Result<Value, String>);
+
+/// One enqueued unit of work.
+struct WorkItem {
+    scenario: Arc<Scenario>,
+    point: SweepPoint,
+    key: u64,
+    key_input: Value,
+}
+
+/// State behind the executor's single lock.
+struct State {
+    queue: VecDeque<WorkItem>,
+    /// key → subscribers awaiting that point's completion. Presence in
+    /// this map *is* the in-flight marker; the queue holds the subset
+    /// not yet picked up by the dispatcher.
+    inflight: HashMap<u64, Vec<Sender<PointResult>>>,
+    /// EMA of recent point execution times, seeding the retry-after
+    /// hint. Starts at a conservative guess and converges quickly.
+    ema_point_secs: f64,
+    counters: Counters,
+    draining: bool,
+}
+
+/// The outcome of [`Executor::admit`] for one request.
+pub enum Admission {
+    /// The request is in: cache hits are pre-filled, the rest will
+    /// arrive on `rx` (one message per *distinct* pending key).
+    Admitted(AdmittedRequest),
+    /// The queue is full (or the executor is draining): nothing was
+    /// enqueued or subscribed; retry after the hinted delay.
+    Shed {
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u64,
+        /// Queue depth observed at the shed decision.
+        queue_depth: usize,
+        /// The configured bound the request did not fit under.
+        queue_bound: usize,
+        /// True when the shed was caused by drain-for-shutdown rather
+        /// than queue pressure.
+        draining: bool,
+    },
+}
+
+/// An admitted request's handle: everything the connection handler
+/// needs to stream results and assemble the deterministic report.
+pub struct AdmittedRequest {
+    /// The expanded points, in expansion order.
+    pub points: Vec<SweepPoint>,
+    /// Cache key per point (expansion order; duplicates possible).
+    pub keys: Vec<u64>,
+    /// Pre-filled records for points served from cache at admission.
+    pub slots: Vec<Option<Value>>,
+    /// Distinct keys still pending (in flight or newly enqueued).
+    pub pending: usize,
+    /// Completions arrive here, one per distinct pending key.
+    pub rx: Receiver<PointResult>,
+    /// Points served from cache at admission.
+    pub cache_hits: usize,
+    /// Distinct points that were already in flight for some other
+    /// request (this request subscribed instead of enqueueing).
+    pub dedup_hits: usize,
+    /// Distinct points newly enqueued by this request.
+    pub enqueued: usize,
+}
+
+/// A snapshot of the executor's observable load, for `/stats` replies
+/// and admission heuristics.
+#[derive(Clone, Debug)]
+pub struct ExecutorStats {
+    /// Points waiting in the admission queue.
+    pub queue_depth: usize,
+    /// Distinct points admitted but not yet completed (queued or
+    /// executing).
+    pub inflight: usize,
+    /// Pool saturation (outstanding work per active thread).
+    pub pool_saturation: f64,
+    /// Monotonic counters (`serve.*`) since startup.
+    pub counters: Value,
+}
+
+/// The resident executor: admission queue + dispatcher thread + pool.
+pub struct Executor {
+    config: ExecutorConfig,
+    cache: Option<Cache>,
+    pool: Arc<Pool>,
+    state: Mutex<State>,
+    /// Signals the dispatcher (work arrived / draining) and waiters in
+    /// [`Executor::drain`] (a batch completed).
+    cond: Condvar,
+    stop: AtomicBool,
+    dispatcher: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Executor {
+    /// Provision the pool, open the cache, and start the dispatcher.
+    pub fn start(config: ExecutorConfig) -> std::io::Result<Arc<Executor>> {
+        let cache = match &config.cache_dir {
+            Some(dir) => Some(Cache::open(dir)?),
+            None => None,
+        };
+        let exec = Arc::new(Executor {
+            pool: Arc::new(Pool::new(config.jobs.max(1))),
+            cache,
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                inflight: HashMap::new(),
+                ema_point_secs: 0.05,
+                counters: Counters::new(),
+                draining: false,
+            }),
+            cond: Condvar::new(),
+            stop: AtomicBool::new(false),
+            dispatcher: Mutex::new(None),
+            config,
+        });
+        let worker = Arc::clone(&exec);
+        let handle = std::thread::Builder::new()
+            .name("tlb-serve-dispatch".into())
+            .spawn(move || worker.dispatch_loop())?;
+        *exec.dispatcher.lock().unwrap() = Some(handle);
+        Ok(exec)
+    }
+
+    /// The executor's provisioning.
+    pub fn config(&self) -> &ExecutorConfig {
+        &self.config
+    }
+
+    /// Atomically classify and admit (or shed) one request. See the
+    /// module docs for the cached / in-flight / new classification and
+    /// the shed-whole rule.
+    pub fn admit(&self, scenario: &Scenario) -> Admission {
+        let scenario = Arc::new(scenario.clone());
+        let points = scenario.expand();
+        let keys: Vec<u64> = points.iter().map(|p| point_key(&scenario, p)).collect();
+        let key_inputs: Vec<Value> = points
+            .iter()
+            .map(|p| point_key_input(&scenario, p))
+            .collect();
+
+        // Distinct keys in first-seen order, with the indices they
+        // cover (a request may repeat a point via duplicate axis
+        // values; each distinct key is computed at most once).
+        let mut distinct: Vec<(u64, usize)> = Vec::new();
+        for (i, &k) in keys.iter().enumerate() {
+            if !distinct.iter().any(|&(dk, _)| dk == k) {
+                distinct.push((k, i));
+            }
+        }
+
+        // Optimistic cache pass outside the lock: disk reads are slow
+        // and a hit here never needs the registry. A point completing
+        // concurrently is caught by the under-lock re-check below.
+        let mut slots: Vec<Option<Value>> = vec![None; points.len()];
+        let mut unresolved: Vec<(u64, usize)> = Vec::new();
+        for &(k, i) in &distinct {
+            match self.cache.as_ref().and_then(|c| c.load(k, &key_inputs[i])) {
+                Some(record) => fill_slots(&mut slots, &keys, k, &record),
+                None => unresolved.push((k, i)),
+            }
+        }
+
+        let (tx, rx) = std::sync::mpsc::channel::<PointResult>();
+        let mut state = self.lock_state();
+        state.counters.inc("serve.requests");
+        if state.draining {
+            state.counters.inc("serve.shed");
+            let retry = self.retry_after_ms(&state);
+            return Admission::Shed {
+                retry_after_ms: retry,
+                queue_depth: state.queue.len(),
+                queue_bound: self.config.queue_bound,
+                draining: true,
+            };
+        }
+
+        // Classify the unresolved keys under the lock. Nothing is
+        // registered or enqueued until the shed decision is made, so a
+        // shed request leaves no trace.
+        let mut dedup = Vec::new();
+        let mut fresh = Vec::new();
+        for &(k, i) in &unresolved {
+            if state.inflight.contains_key(&k) {
+                dedup.push(k);
+            } else if let Some(record) = self.cache.as_ref().and_then(|c| c.load(k, &key_inputs[i]))
+            {
+                // Completed between the optimistic pass and this lock.
+                fill_slots(&mut slots, &keys, k, &record);
+            } else {
+                fresh.push((k, i));
+            }
+        }
+
+        if state.queue.len() + fresh.len() > self.config.queue_bound {
+            state.counters.inc("serve.shed");
+            let retry = self.retry_after_ms(&state);
+            return Admission::Shed {
+                retry_after_ms: retry,
+                queue_depth: state.queue.len(),
+                queue_bound: self.config.queue_bound,
+                draining: false,
+            };
+        }
+
+        for &k in &dedup {
+            state
+                .inflight
+                .get_mut(&k)
+                .expect("classified in-flight under the same lock")
+                .push(tx.clone());
+        }
+        for &(k, i) in &fresh {
+            state.inflight.insert(k, vec![tx.clone()]);
+            state.queue.push_back(WorkItem {
+                scenario: Arc::clone(&scenario),
+                point: points[i],
+                key: k,
+                key_input: key_inputs[i].clone(),
+            });
+        }
+
+        let cache_hits = slots.iter().filter(|s| s.is_some()).count();
+        state.counters.inc("serve.sweeps");
+        state
+            .counters
+            .add("serve.points_total", points.len() as u64);
+        state.counters.add("serve.cache_hits", cache_hits as u64);
+        state
+            .counters
+            .add("serve.cache_misses", (dedup.len() + fresh.len()) as u64);
+        state.counters.add("serve.dedup_hits", dedup.len() as u64);
+        state.counters.add("serve.enqueued", fresh.len() as u64);
+        let pending = dedup.len() + fresh.len();
+        let enqueued = fresh.len();
+        let dedup_hits = dedup.len();
+        drop(state);
+        self.cond.notify_all();
+
+        Admission::Admitted(AdmittedRequest {
+            points,
+            keys,
+            slots,
+            pending,
+            rx,
+            cache_hits,
+            dedup_hits,
+            enqueued,
+        })
+    }
+
+    /// Load snapshot for `/stats` and admission hints.
+    pub fn stats(&self) -> ExecutorStats {
+        let state = self.lock_state();
+        ExecutorStats {
+            queue_depth: state.queue.len(),
+            inflight: state.inflight.len(),
+            pool_saturation: self.pool.occupancy().saturation(),
+            counters: state.counters.to_json(),
+        }
+    }
+
+    /// Begin draining: every subsequent request is shed, and this call
+    /// returns once the queue is empty and every in-flight point has
+    /// completed (and therefore been flushed to the cache). Idempotent.
+    pub fn drain(&self) {
+        {
+            let mut state = self.lock_state();
+            state.draining = true;
+        }
+        self.cond.notify_all();
+        let mut state = self.lock_state();
+        while !(state.queue.is_empty() && state.inflight.is_empty()) {
+            state = self.cond.wait(state).unwrap();
+        }
+        drop(state);
+        self.stop.store(true, Ordering::Release);
+        self.cond.notify_all();
+        if let Some(handle) = self.dispatcher.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Retry hint: expected time for the backlog to clear through
+    /// `jobs` lanes, floored at 10ms so clients never spin.
+    fn retry_after_ms(&self, state: &State) -> u64 {
+        let backlog = state.queue.len() as f64 + self.pool.occupancy().outstanding() as f64;
+        let lanes = self.config.jobs.max(1) as f64;
+        let secs = (backlog / lanes + 1.0) * state.ema_point_secs;
+        ((secs * 1000.0).ceil() as u64).max(10)
+    }
+
+    /// Dispatcher: pop a batch, execute it on the pool (one point per
+    /// pool slot), publish each completion as it lands. The batch size
+    /// caps latency for requests arriving behind a large one.
+    fn dispatch_loop(self: Arc<Self>) {
+        let batch_cap = self.config.jobs.max(1) * 4;
+        loop {
+            let batch: Vec<WorkItem> = {
+                let mut state = self.lock_state();
+                while state.queue.is_empty() && !self.stop.load(Ordering::Acquire) {
+                    state = self.cond.wait(state).unwrap();
+                }
+                if state.queue.is_empty() && self.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                let take = state.queue.len().min(batch_cap);
+                state.queue.drain(..take).collect()
+            };
+
+            let started = Instant::now();
+            let items = &batch;
+            self.pool.parallel_for(items.len(), 1, |i| {
+                let item = &items[i];
+                let result = run_point(&item.scenario, &item.point);
+                if let (Ok(record), Some(cache)) = (&result, &self.cache) {
+                    // Flush before publication so a subscriber (or a
+                    // racing admission) never observes a completed key
+                    // that is absent from the cache.
+                    let _ = cache.store(item.key, &item.key_input, record);
+                }
+                let subscribers = {
+                    let mut state = self.lock_state();
+                    state.counters.inc("serve.points_executed");
+                    if result.is_err() {
+                        state.counters.inc("serve.point_errors");
+                    }
+                    state.inflight.remove(&item.key).unwrap_or_default()
+                };
+                self.cond.notify_all();
+                for tx in subscribers {
+                    let _ = tx.send((item.key, result.clone()));
+                }
+            });
+            let per_point = started.elapsed().as_secs_f64() / batch.len().max(1) as f64;
+            let mut state = self.lock_state();
+            state.ema_point_secs = 0.7 * state.ema_point_secs + 0.3 * per_point;
+        }
+    }
+}
+
+/// Copy one completed record into every expansion slot sharing its key.
+fn fill_slots(slots: &mut [Option<Value>], keys: &[u64], key: u64, record: &Value) {
+    for (i, &k) in keys.iter().enumerate() {
+        if k == key {
+            slots[i] = Some(record.clone());
+        }
+    }
+}

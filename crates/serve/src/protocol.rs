@@ -1,0 +1,213 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! Every request and reply is one compact JSON object on one line.
+//! Requests carry a `"cmd"` key (`sweep`, `stats`, `ping`,
+//! `shutdown`); replies carry a `"type"` key. A `sweep` request is
+//! answered by an `ack`, then one `point` reply per expansion index
+//! *as each result lands* (cache hits first, in index order), then a
+//! single `report` carrying the deterministic aggregate — or by a
+//! `shed` / `error` reply and nothing else.
+//!
+//! The protocol is versioned: `ack` and `pong` replies carry
+//! [`PROTOCOL_VERSION`], and a breaking change to any reply layout
+//! bumps it.
+
+use tlb_json::Value;
+
+/// Wire protocol version, echoed in `ack` and `pong` replies.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// A parsed request line.
+#[derive(Debug)]
+pub enum Request {
+    /// Validate, execute, and stream one scenario sweep.
+    Sweep(Value),
+    /// Report executor counters and load.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Drain in-flight work, flush the cache, and stop the server.
+    Shutdown,
+}
+
+/// Why a request line could not be turned into a [`Request`].
+#[derive(Debug)]
+pub struct RequestError {
+    /// Human-readable reason, sent back verbatim in an `error` reply.
+    pub message: String,
+}
+
+/// Parse one request line. Unknown commands and malformed JSON yield a
+/// structured [`RequestError`] (the daemon never disconnects a client
+/// for a bad request — it replies and keeps reading).
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    let value = tlb_json::parse(line).map_err(|e| RequestError {
+        message: format!("malformed request JSON: {e}"),
+    })?;
+    let cmd = value.get("cmd").as_str().ok_or_else(|| RequestError {
+        message: "request is missing string key \"cmd\"".into(),
+    })?;
+    match cmd {
+        "sweep" => match value.get("scenario") {
+            Value::Null => Err(RequestError {
+                message: "sweep request is missing key \"scenario\"".into(),
+            }),
+            scenario => Ok(Request::Sweep(scenario.clone())),
+        },
+        "stats" => Ok(Request::Stats),
+        "ping" => Ok(Request::Ping),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(RequestError {
+            message: format!("unknown cmd {other:?} (expected sweep, stats, ping, or shutdown)"),
+        }),
+    }
+}
+
+/// `{"type":"error","message":...}` — request-level failure (parse
+/// error, invalid scenario, failed point). The connection stays open.
+pub fn error_reply(message: &str) -> Value {
+    Value::object(vec![("type", "error".into()), ("message", message.into())])
+}
+
+/// `{"type":"shed",...}` — the admission queue could not take the
+/// request; retry after the hinted backoff.
+pub fn shed_reply(
+    retry_after_ms: u64,
+    queue_depth: usize,
+    queue_bound: usize,
+    draining: bool,
+) -> Value {
+    Value::object(vec![
+        ("type", "shed".into()),
+        ("retry_after_ms", retry_after_ms.into()),
+        ("queue_depth", queue_depth.into()),
+        ("queue_bound", queue_bound.into()),
+        ("draining", draining.into()),
+    ])
+}
+
+/// `{"type":"ack",...}` — the sweep was admitted; point replies follow.
+pub fn ack_reply(
+    points_total: usize,
+    cache_hits: usize,
+    dedup_hits: usize,
+    enqueued: usize,
+) -> Value {
+    Value::object(vec![
+        ("type", "ack".into()),
+        ("protocol_version", PROTOCOL_VERSION.into()),
+        ("points_total", points_total.into()),
+        ("cache_hits", cache_hits.into()),
+        ("dedup_hits", dedup_hits.into()),
+        ("enqueued", enqueued.into()),
+    ])
+}
+
+/// `{"type":"point",...}` — one expansion index's record, streamed as
+/// soon as its result is available.
+pub fn point_reply(index: usize, key: u64, record: &Value) -> Value {
+    Value::object(vec![
+        ("type", "point".into()),
+        ("index", index.into()),
+        ("key", format!("{key:016x}").into()),
+        ("record", record.clone()),
+    ])
+}
+
+/// `{"type":"report",...}` — the sweep's aggregate, bitwise identical
+/// to the offline `tlb-run sweep` report for the same scenario.
+pub fn report_reply(report: &Value) -> Value {
+    Value::object(vec![("type", "report".into()), ("report", report.clone())])
+}
+
+/// `{"type":"pong",...}` — liveness reply.
+pub fn pong_reply() -> Value {
+    Value::object(vec![
+        ("type", "pong".into()),
+        ("protocol_version", PROTOCOL_VERSION.into()),
+    ])
+}
+
+/// `{"type":"stats",...}` — executor counters and load snapshot.
+pub fn stats_reply(
+    queue_depth: usize,
+    inflight: usize,
+    pool_saturation: f64,
+    counters: &Value,
+) -> Value {
+    Value::object(vec![
+        ("type", "stats".into()),
+        ("queue_depth", queue_depth.into()),
+        ("inflight", inflight.into()),
+        ("pool_saturation", pool_saturation.into()),
+        ("counters", counters.clone()),
+    ])
+}
+
+/// `{"type":"shutdown_ack"}` — sent once the drain has completed and
+/// the cache is flushed; the server exits after this reply.
+pub fn shutdown_ack_reply() -> Value {
+    Value::object(vec![("type", "shutdown_ack".into())])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_command() {
+        assert!(matches!(
+            parse_request(r#"{"cmd":"ping"}"#),
+            Ok(Request::Ping)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"stats"}"#),
+            Ok(Request::Stats)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"shutdown"}"#),
+            Ok(Request::Shutdown)
+        ));
+        match parse_request(r#"{"cmd":"sweep","scenario":{"name":"x"}}"#) {
+            Ok(Request::Sweep(s)) => assert_eq!(s.get("name").as_str(), Some("x")),
+            other => panic!("expected sweep, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage_with_structured_messages() {
+        assert!(parse_request("not json")
+            .unwrap_err()
+            .message
+            .contains("malformed"));
+        assert!(parse_request("{}").unwrap_err().message.contains("cmd"));
+        assert!(parse_request(r#"{"cmd":"sweep"}"#)
+            .unwrap_err()
+            .message
+            .contains("scenario"));
+        assert!(parse_request(r#"{"cmd":"dance"}"#)
+            .unwrap_err()
+            .message
+            .contains("unknown cmd"));
+    }
+
+    #[test]
+    fn replies_are_single_line_compact_json() {
+        for reply in [
+            error_reply("boom"),
+            shed_reply(25, 3, 2, false),
+            ack_reply(8, 2, 1, 5),
+            point_reply(
+                0,
+                0xdead_beef,
+                &Value::object(vec![("makespan_s", 1.0.into())]),
+            ),
+            pong_reply(),
+            shutdown_ack_reply(),
+        ] {
+            let line = reply.to_string_compact();
+            assert!(!line.contains('\n'));
+            assert_eq!(tlb_json::parse(&line).unwrap(), reply);
+        }
+    }
+}

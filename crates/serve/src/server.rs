@@ -1,0 +1,320 @@
+//! The TCP front end: accept loop, per-connection handlers, and
+//! graceful shutdown.
+//!
+//! Connections speak the line-delimited protocol of
+//! [`crate::protocol`]. Each connection gets its own handler thread;
+//! the accept loop and every handler poll a shared stop flag (reads
+//! carry a short timeout), so a `shutdown` request on *any* connection
+//! winds the whole server down: the executor drains its admitted
+//! points (flushing the cache), new sweeps are shed while draining,
+//! and only then is the `shutdown_ack` written.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use tlb_json::Value;
+use tlb_sweep::{aggregate, Scenario};
+
+use crate::executor::{Admission, Executor, ExecutorConfig};
+use crate::protocol::{
+    ack_reply, error_reply, parse_request, point_reply, pong_reply, report_reply, shed_reply,
+    shutdown_ack_reply, stats_reply, Request,
+};
+
+/// How often blocked reads wake up to poll the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// A running daemon: listener address, executor, and thread handles.
+pub struct Server {
+    addr: SocketAddr,
+    executor: Arc<Executor>,
+    stop: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port), start
+    /// the executor and the accept loop, and return immediately.
+    pub fn start(addr: &str, config: ExecutorConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let executor = Executor::start(config)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+
+        let accept = {
+            let executor = Arc::clone(&executor);
+            let stop = Arc::clone(&stop);
+            let handlers = Arc::clone(&handlers);
+            std::thread::Builder::new()
+                .name("tlb-serve-accept".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        match listener.accept() {
+                            Ok((stream, _peer)) => {
+                                // Replies are many small writes (ack,
+                                // streamed points, report); Nagle would
+                                // add ~40ms to every round trip.
+                                let _ = stream.set_nodelay(true);
+                                let executor = Arc::clone(&executor);
+                                let stop = Arc::clone(&stop);
+                                let handle = std::thread::Builder::new()
+                                    .name("tlb-serve-conn".into())
+                                    .spawn(move || handle_connection(stream, executor, stop))
+                                    .expect("spawn connection handler");
+                                handlers.lock().unwrap().push(handle);
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(POLL_INTERVAL);
+                            }
+                            Err(_) => std::thread::sleep(POLL_INTERVAL),
+                        }
+                    }
+                })?
+        };
+
+        Ok(Server {
+            addr: local,
+            executor,
+            stop,
+            accept: Some(accept),
+            handlers,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The executor, for direct stats access in tests and benches.
+    pub fn executor(&self) -> &Arc<Executor> {
+        &self.executor
+    }
+
+    /// True until a shutdown (request or [`Server::shutdown`]) landed.
+    pub fn running(&self) -> bool {
+        !self.stop.load(Ordering::Acquire)
+    }
+
+    /// Drain the executor and stop accepting. Identical to receiving a
+    /// `shutdown` request; idempotent.
+    pub fn shutdown(&self) {
+        self.executor.drain();
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Block until the server has stopped and every thread has exited.
+    /// The normal daemon lifecycle is `start(...)` then `join()`; the
+    /// process leaves `join` when some client sends `shutdown`.
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        let handles: Vec<_> = std::mem::take(&mut *self.handlers.lock().unwrap());
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Safety net for tests that drop without an explicit shutdown:
+        // stop accepting and unblock handlers. (Does not drain; call
+        // `shutdown()` first for a graceful exit.)
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        let handles: Vec<_> = std::mem::take(&mut *self.handlers.lock().unwrap());
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Incremental line reader over a stream with a read timeout, so
+/// handlers can poll the stop flag while idle without dropping bytes
+/// of a partially received line.
+struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl LineReader {
+    fn new(stream: TcpStream) -> io::Result<LineReader> {
+        stream.set_read_timeout(Some(POLL_INTERVAL))?;
+        Ok(LineReader {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Next full line, or `None` on EOF / server stop.
+    fn next_line(&mut self, stop: &AtomicBool) -> Option<String> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buf.drain(..=pos).collect();
+                return Some(String::from_utf8_lossy(&line[..line.len() - 1]).into_owned());
+            }
+            if stop.load(Ordering::Acquire) {
+                return None;
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return None,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut => {}
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+fn write_reply(stream: &mut TcpStream, reply: &Value) -> io::Result<()> {
+    let mut line = reply.to_string_compact();
+    line.push('\n');
+    stream.write_all(line.as_bytes())
+}
+
+fn handle_connection(stream: TcpStream, executor: Arc<Executor>, stop: Arc<AtomicBool>) {
+    let mut out = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = match LineReader::new(stream) {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    while let Some(line) = reader.next_line(&stop) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let outcome = match parse_request(&line) {
+            Err(e) => write_reply(&mut out, &error_reply(&e.message)),
+            Ok(Request::Ping) => write_reply(&mut out, &pong_reply()),
+            Ok(Request::Stats) => {
+                let stats = executor.stats();
+                write_reply(
+                    &mut out,
+                    &stats_reply(
+                        stats.queue_depth,
+                        stats.inflight,
+                        stats.pool_saturation,
+                        &stats.counters,
+                    ),
+                )
+            }
+            Ok(Request::Shutdown) => {
+                executor.drain();
+                stop.store(true, Ordering::Release);
+                let _ = write_reply(&mut out, &shutdown_ack_reply());
+                return;
+            }
+            Ok(Request::Sweep(scenario_json)) => handle_sweep(&executor, &scenario_json, &mut out),
+        };
+        if outcome.is_err() {
+            return; // client went away mid-reply
+        }
+    }
+}
+
+/// Validate, admit, stream, and report one sweep request.
+fn handle_sweep(executor: &Executor, scenario_json: &Value, out: &mut TcpStream) -> io::Result<()> {
+    // The same strict parser as `tlb-run sweep` — but a schema error
+    // becomes a structured reply instead of an exit code.
+    let scenario = match Scenario::from_json(scenario_json).and_then(|s| {
+        s.validate()?;
+        Ok(s)
+    }) {
+        Ok(s) => s,
+        Err(e) => return write_reply(out, &error_reply(&format!("invalid scenario: {e}"))),
+    };
+
+    let admitted = match executor.admit(&scenario) {
+        Admission::Shed {
+            retry_after_ms,
+            queue_depth,
+            queue_bound,
+            draining,
+        } => {
+            return write_reply(
+                out,
+                &shed_reply(retry_after_ms, queue_depth, queue_bound, draining),
+            )
+        }
+        Admission::Admitted(req) => req,
+    };
+
+    write_reply(
+        out,
+        &ack_reply(
+            admitted.points.len(),
+            admitted.cache_hits,
+            admitted.dedup_hits,
+            admitted.enqueued,
+        ),
+    )?;
+
+    // Stream cache hits immediately (in index order), then live
+    // completions as they land.
+    let mut slots = admitted.slots;
+    let mut sent = vec![false; slots.len()];
+    for (i, slot) in slots.iter().enumerate() {
+        if let Some(record) = slot {
+            write_reply(out, &point_reply(i, admitted.keys[i], record))?;
+            sent[i] = true;
+        }
+    }
+    let mut failure: Option<String> = None;
+    for _ in 0..admitted.pending {
+        match admitted.rx.recv() {
+            Ok((key, Ok(record))) => {
+                for (i, &k) in admitted.keys.iter().enumerate() {
+                    if k == key && !sent[i] {
+                        write_reply(out, &point_reply(i, key, &record))?;
+                        sent[i] = true;
+                        slots[i] = Some(record.clone());
+                    }
+                }
+            }
+            Ok((_key, Err(message))) => {
+                failure.get_or_insert(message);
+            }
+            Err(_) => {
+                failure.get_or_insert_with(|| "executor stopped".into());
+                break;
+            }
+        }
+    }
+    if let Some(message) = failure {
+        return write_reply(out, &error_reply(&format!("point failed: {message}")));
+    }
+
+    // Every slot is filled; aggregate sequentially in expansion order —
+    // the same pure function the offline sweep uses, so the report is
+    // bitwise identical to `tlb-run sweep` on this scenario.
+    let records: Vec<Value> = slots
+        .into_iter()
+        .map(|s| s.expect("all points resolved"))
+        .collect();
+    let report = aggregate(&scenario, &admitted.points, records);
+    write_reply(out, &report_reply(&report))
+}
+
+/// Resolve-and-bind helper shared by the CLI: surfaces a clear message
+/// when `addr` does not parse instead of a bare io error.
+pub fn validate_addr(addr: &str) -> Result<(), String> {
+    addr.to_socket_addrs()
+        .map(|_| ())
+        .map_err(|e| format!("invalid --addr {addr:?}: {e}"))
+}

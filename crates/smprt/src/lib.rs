@@ -58,5 +58,5 @@ mod run;
 
 pub use coupler::LewiCoupler;
 pub use par::parallel_for;
-pub use pool::{Pool, PoolProfile, RegionProfile, RunStats, TaskCtx};
+pub use pool::{Occupancy, Pool, PoolProfile, RegionProfile, RunStats, TaskCtx};
 pub use run::GraphRun;

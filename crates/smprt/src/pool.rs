@@ -23,6 +23,39 @@ pub struct RunStats {
     pub elapsed: Duration,
 }
 
+/// Instantaneous occupancy snapshot of a [`Pool`] ([`Pool::occupancy`]).
+///
+/// This is the admission-control signal a caller queueing work *onto*
+/// the pool reads: the `tlb-serve` daemon compares outstanding work
+/// against its queue bound to decide whether to shed a request, and
+/// reports these numbers from `/stats`. The snapshot is advisory — the
+/// counters move concurrently — but each field is individually
+/// consistent.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Occupancy {
+    /// Total worker threads (active or parked).
+    pub threads: usize,
+    /// Current active-worker limit (malleability).
+    pub active_threads: usize,
+    /// Tasks of the current graph run not yet completed.
+    pub graph_outstanding: usize,
+    /// Indices of the in-flight `parallel_for`, if any, not yet done.
+    pub dp_outstanding: usize,
+}
+
+impl Occupancy {
+    /// Total outstanding work items of both kinds.
+    pub fn outstanding(&self) -> usize {
+        self.graph_outstanding + self.dp_outstanding
+    }
+
+    /// Outstanding work per active worker — > 1.0 means the pool has a
+    /// backlog, the signal backpressure policies key off.
+    pub fn saturation(&self) -> f64 {
+        self.outstanding() as f64 / self.active_threads.max(1) as f64
+    }
+}
+
 /// Accumulated wall-clock profile of one named `parallel_for` region
 /// (see [`Pool::parallel_for_named`]).
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -195,6 +228,29 @@ impl Pool {
     /// the LeWI coupler polls.
     pub fn load(&self) -> usize {
         self.shared.lock_state().as_ref().map_or(0, |a| a.remaining)
+    }
+
+    /// Instantaneous [`Occupancy`] snapshot: thread counts plus the
+    /// outstanding work of the current graph run and the in-flight
+    /// `parallel_for` (its unfinished index count). Callers that feed
+    /// the pool from their own queue use this for admission control —
+    /// see the `tlb-serve` daemon.
+    pub fn occupancy(&self) -> Occupancy {
+        let dp_outstanding = self
+            .shared
+            .dp
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .as_ref()
+            .map_or(0, |job| {
+                job.n.saturating_sub(job.done.load(Ordering::Acquire))
+            });
+        Occupancy {
+            threads: self.threads,
+            active_threads: self.active_threads(),
+            graph_outstanding: self.load(),
+            dp_outstanding,
+        }
     }
 
     /// Run `body(i)` for every `i in 0..n` across the pool's *active*
@@ -937,6 +993,76 @@ mod tests {
         let p = pool.profile();
         assert!(p.malleability_parks > 0, "no malleability parks");
         assert!(p.idle_parks > 0, "no idle parks");
+    }
+
+    #[test]
+    fn occupancy_idle_pool_reads_zero() {
+        let pool = Pool::new(3);
+        let occ = pool.occupancy();
+        assert_eq!(occ.threads, 3);
+        assert_eq!(occ.active_threads, 3);
+        assert_eq!(occ.graph_outstanding, 0);
+        assert_eq!(occ.dp_outstanding, 0);
+        assert_eq!(occ.outstanding(), 0);
+        assert_eq!(occ.saturation(), 0.0);
+    }
+
+    #[test]
+    fn occupancy_sees_outstanding_work() {
+        let pool = Arc::new(Pool::new(2));
+        // Graph run: tasks that block until released, so the snapshot
+        // deterministically observes outstanding > 0.
+        let release = Arc::new(AtomicBool::new(false));
+        let mut run = GraphRun::new();
+        for _ in 0..8 {
+            let release = Arc::clone(&release);
+            run.task(TaskDef::new("hold"), move || {
+                while !release.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            })
+            .unwrap();
+        }
+        let runner = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || pool.run(run))
+        };
+        // Wait until the run is installed, then sample.
+        let mut seen = 0;
+        for _ in 0..2000 {
+            seen = pool.occupancy().graph_outstanding;
+            if seen > 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        assert!(seen > 0, "graph occupancy never became visible");
+        assert!(pool.occupancy().saturation() > 0.0);
+        release.store(true, Ordering::Relaxed);
+        runner.join().unwrap();
+        assert_eq!(pool.occupancy().outstanding(), 0);
+
+        // parallel_for: sample from another thread mid-flight.
+        let sampler = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                let mut peak = 0;
+                for _ in 0..2000 {
+                    peak = peak.max(pool.occupancy().dp_outstanding);
+                    if peak > 0 {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+                peak
+            })
+        };
+        pool.parallel_for(512, 1, |_| std::thread::sleep(Duration::from_micros(200)));
+        assert!(
+            sampler.join().unwrap() > 0,
+            "dp occupancy never became visible"
+        );
+        assert_eq!(pool.occupancy().dp_outstanding, 0);
     }
 
     #[test]

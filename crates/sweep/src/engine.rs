@@ -10,7 +10,7 @@ use tlb_core::Platform;
 use tlb_json::Value;
 use tlb_smprt::Pool;
 
-use crate::cache::{point_key, Cache};
+use crate::cache::{point_key, point_key_input, Cache};
 use crate::scenario::{PolicyAxis, Scenario, SweepPoint};
 
 /// How to run a sweep.
@@ -117,9 +117,10 @@ pub fn run_sweep(scenario: &Scenario, opts: &SweepOptions) -> Result<SweepOutcom
     let pool = Pool::new(opts.jobs.max(1));
     pool.parallel_for(points.len(), 1, |i| {
         let outcome = (|| {
+            let key_input = point_key_input(scenario, &points[i]);
             if opts.resume {
                 if let Some(cache) = &cache {
-                    if let Some(value) = cache.load(keys[i]) {
+                    if let Some(value) = cache.load(keys[i], &key_input) {
                         return Ok((value, true));
                     }
                 }
@@ -127,7 +128,7 @@ pub fn run_sweep(scenario: &Scenario, opts: &SweepOptions) -> Result<SweepOutcom
             let value = run_point(scenario, &points[i])?;
             if let Some(cache) = &cache {
                 cache
-                    .store(keys[i], &value)
+                    .store(keys[i], &key_input, &value)
                     .map_err(|e| format!("cache write: {e}"))?;
             }
             Ok((value, false))
@@ -169,7 +170,12 @@ pub fn run_sweep(scenario: &Scenario, opts: &SweepOptions) -> Result<SweepOutcom
 /// Run one grid point: build platform, config, and workload, execute the
 /// simulation (untraced — sweeps measure results, not timelines), and
 /// summarize into the point's JSON record.
-fn run_point(scenario: &Scenario, point: &SweepPoint) -> Result<Value, String> {
+///
+/// Public because the batch driver is not the only executor anymore:
+/// the `tlb-serve` daemon runs single points on demand through exactly
+/// this function, so a served record and a swept record are the same
+/// bytes by construction.
+pub fn run_point(scenario: &Scenario, point: &SweepPoint) -> Result<Value, String> {
     let platform = scenario.platform();
     let config = scenario.config(point).map_err(|e| e.to_string())?;
     let plan = match &scenario.faults {
@@ -236,7 +242,11 @@ fn build_workload(
 
 /// One point's JSON record. Only virtual-time results appear here —
 /// never wall-clock — so the record is a pure function of the point's
-/// configuration.
+/// configuration. Deliberately *excludes* the expansion index: the
+/// record (and therefore the cache entry) must be identical no matter
+/// which scenario's grid a point was reached through, so overlapping
+/// sweeps and the serve daemon share cache entries byte for byte.
+/// [`aggregate`] re-attaches each record's index positionally.
 fn point_record(
     scenario: &Scenario,
     point: &SweepPoint,
@@ -246,7 +256,6 @@ fn point_record(
 ) -> Value {
     let mean_iteration = report.mean_iteration_secs(scenario.iterations / 3);
     let mut fields = vec![
-        ("index", point.index.into()),
         ("appranks_per_node", point.appranks_per_node.into()),
         ("degree", point.degree.into()),
         ("policy", point.policy.name().into()),
@@ -320,8 +329,11 @@ fn get_f64(record: &Value, key: &str) -> f64 {
 
 /// Sequential aggregation in expansion order: attach speedup-vs-baseline
 /// to every point, then fold per-axis tables and the per-policy
-/// iteration-time series. Pure function of the ordered records.
-fn aggregate(scenario: &Scenario, points: &[SweepPoint], records: Vec<Value>) -> Value {
+/// iteration-time series. Pure function of the ordered records — which
+/// is why the `tlb-serve` daemon can call it on records gathered from
+/// any mix of cache hits, deduped in-flight points, and fresh runs and
+/// still reply with a report bitwise identical to an offline sweep.
+pub fn aggregate(scenario: &Scenario, points: &[SweepPoint], records: Vec<Value>) -> Value {
     let base_degree = baseline_degree(scenario);
     // Baseline makespan per (appranks_per_node, seed).
     let baseline_of = |apn: usize, seed: u64| -> Option<f64> {
@@ -338,13 +350,16 @@ fn aggregate(scenario: &Scenario, points: &[SweepPoint], records: Vec<Value>) ->
 
     let mut points_json = Vec::with_capacity(records.len());
     let mut speedups: Vec<Option<f64>> = Vec::with_capacity(records.len());
-    for (point, record) in points.iter().zip(&records) {
+    for (i, (point, record)) in points.iter().zip(&records).enumerate() {
         let speedup = baseline_of(point.appranks_per_node, point.seed).and_then(|base| {
             let own = get_f64(record, "makespan_s");
             (own > 0.0).then(|| base / own)
         });
         speedups.push(speedup);
-        let mut fields: Vec<(String, Value)> = record.as_object().cloned().unwrap_or_default();
+        // The expansion index is positional, not part of the cached
+        // record (see `point_record`); attach it here.
+        let mut fields: Vec<(String, Value)> = vec![("index".into(), i.into())];
+        fields.extend(record.as_object().cloned().unwrap_or_default());
         fields.push((
             "speedup_vs_baseline".into(),
             speedup.map_or(Value::Null, Value::from),

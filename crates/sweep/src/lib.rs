@@ -42,8 +42,10 @@ mod cache;
 mod engine;
 mod scenario;
 
-pub use cache::{fnv1a64, point_key, Cache, ENGINE_VERSION};
-pub use engine::{run_sweep, SweepError, SweepOptions, SweepOutcome, SweepStats};
+pub use cache::{fnv1a64, point_key, point_key_input, Cache, ENGINE_VERSION};
+pub use engine::{
+    aggregate, run_point, run_sweep, SweepError, SweepOptions, SweepOutcome, SweepStats,
+};
 pub use scenario::{
     Axes, PolicyAxis, Scenario, ScenarioError, SweepApp, SweepMachine, SweepPoint, SCHEMA_VERSION,
 };
