@@ -25,6 +25,7 @@
 //!   with non-offloadable MPI tasks and region dependencies; not one of
 //!   the paper's benchmarks, but the pattern its model section targets.
 
+pub mod amr;
 pub mod cholesky;
 pub mod micropp;
 pub mod nbody;
@@ -32,4 +33,5 @@ pub(crate) mod par;
 pub mod stencil;
 pub mod synthetic;
 
+pub use amr::{amr_workload, AmrConfig, AmrWorkload};
 pub use synthetic::{synthetic_workload, SyntheticConfig};

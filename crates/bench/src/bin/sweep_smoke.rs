@@ -12,18 +12,27 @@
 //!    into results);
 //! 2. a resumed sweep over a warm cache executes zero simulations and
 //!    reproduces the fresh report byte for byte;
-//! 3. invalidating one cache entry re-executes exactly that one point.
+//! 3. invalidating one cache entry re-executes exactly that one point;
+//! 4. each registry-new policy (`reactive-offload`, `diffusion`) runs a
+//!    two-point sweep end-to-end with the same 1-vs-8 bitwise identity,
+//!    and changing one policy *parameter* invalidates every cached
+//!    point (keys must see parameters, not just policy names).
 
 use std::path::PathBuf;
 use std::time::Instant;
 use tlb_bench::Effort;
+use tlb_core::PolicySpec;
 use tlb_json::Value;
-use tlb_sweep::{run_sweep, Axes, PolicyAxis, Scenario, SweepMachine, SweepOptions, SweepOutcome};
+use tlb_sweep::{run_sweep, Axes, Scenario, SweepApp, SweepMachine, SweepOptions, SweepOutcome};
 
 fn repo_root() -> PathBuf {
     std::env::var_os("CARGO_MANIFEST_DIR")
         .map(|d| PathBuf::from(d).join("../.."))
         .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn pol(text: &str) -> PolicySpec {
+    PolicySpec::parse(text).expect("sweep_smoke policies are registered")
 }
 
 fn scenario(effort: Effort) -> Scenario {
@@ -37,16 +46,39 @@ fn scenario(effort: Effort) -> Scenario {
             appranks_per_node: effort.pick(vec![1, 2], vec![1]),
             degree: effort.pick(vec![1, 2, 4], vec![1, 2]),
             policy: vec![
-                PolicyAxis::Baseline,
-                PolicyAxis::Lewi,
-                PolicyAxis::LewiDromLocal,
-                PolicyAxis::LewiDromGlobal,
+                pol("baseline"),
+                pol("lewi"),
+                pol("lewi+drom-local"),
+                pol("lewi+drom-global"),
             ],
             seed: effort.pick(vec![1, 2], vec![1, 2]),
         },
         ..Scenario::default()
     };
     sc.validate().expect("sweep_smoke scenario must be valid");
+    sc
+}
+
+/// A two-point sweep of one policy over the AMR (time-varying
+/// imbalance) app: the end-to-end exercise for the registry-new
+/// policies.
+fn family_scenario(effort: Effort, policy: &str) -> Scenario {
+    let sc = Scenario {
+        name: format!("sweep-smoke-{policy}"),
+        app: SweepApp::Amr,
+        machine: SweepMachine::Ideal,
+        nodes: 2,
+        iterations: effort.pick(6, 4),
+        imbalance: 2.0,
+        axes: Axes {
+            appranks_per_node: vec![1],
+            degree: vec![2],
+            policy: vec![pol(policy)],
+            seed: vec![1, 2],
+        },
+        ..Scenario::default()
+    };
+    sc.validate().expect("family scenario must be valid");
     sc
 }
 
@@ -60,6 +92,69 @@ fn timed_sweep(sc: &Scenario, opts: &SweepOptions) -> (SweepOutcome, f64) {
     let start = Instant::now();
     let out = run_sweep(sc, opts).expect("sweep_smoke sweep must succeed");
     (out, start.elapsed().as_secs_f64())
+}
+
+/// Gate 4 for one new policy: two-point 1-vs-8 bitwise identity, then a
+/// parameter tweak over the warm cache must re-execute everything.
+fn check_new_policy(effort: Effort, policy: &str, tweaked: &str) {
+    let sc = family_scenario(effort, policy);
+    let dir = temp_dir(&format!(
+        "family_{}",
+        policy.replace(['(', ')', '=', ','], "_")
+    ));
+    let (one, _) = timed_sweep(
+        &sc,
+        &SweepOptions {
+            jobs: 1,
+            resume: false,
+            cache_dir: Some(dir.clone()),
+        },
+    );
+    let (eight, _) = timed_sweep(
+        &sc,
+        &SweepOptions {
+            jobs: 8,
+            resume: false,
+            cache_dir: Some(dir.clone()),
+        },
+    );
+    assert_eq!(one.stats.executed, 2, "{policy}: two points expected");
+    assert!(
+        one.report.to_string_pretty() == eight.report.to_string_pretty() && one.keys == eight.keys,
+        "{policy}: jobs=1 and jobs=8 reports must be bitwise identical"
+    );
+    // Warm resume of the identical scenario: zero sims.
+    let (warm, _) = timed_sweep(
+        &sc,
+        &SweepOptions {
+            jobs: 8,
+            resume: true,
+            cache_dir: Some(dir.clone()),
+        },
+    );
+    assert_eq!(warm.stats.executed, 0, "{policy}: warm resume re-ran sims");
+    // Same policy, one parameter changed: every key must differ, so a
+    // resumed run over the same cache re-executes every point.
+    let mut changed = sc.clone();
+    changed.axes.policy = vec![pol(tweaked)];
+    let (tweaked_out, _) = timed_sweep(
+        &changed,
+        &SweepOptions {
+            jobs: 8,
+            resume: true,
+            cache_dir: Some(dir.clone()),
+        },
+    );
+    assert!(
+        tweaked_out.keys.iter().all(|k| !warm.keys.contains(k)),
+        "{policy}: parameter change must change every cache key"
+    );
+    assert_eq!(
+        tweaked_out.stats.executed, 2,
+        "{policy}: parameter change must invalidate the cache"
+    );
+    println!("  new policy '{policy}': 2 points bitwise at 1-vs-8 jobs, param change invalidates");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 fn main() {
@@ -144,6 +239,10 @@ fn main() {
         total - 1
     );
 
+    // --- gate 4: the registry-new policies, end to end ------------------
+    check_new_policy(effort, "reactive-offload", "reactive-offload(hi=0.4)");
+    check_new_policy(effort, "diffusion", "diffusion(alpha=0.25)");
+
     let doc = Value::object(vec![
         ("bench", "sweep_smoke".into()),
         ("effort", format!("{effort:?}").into()),
@@ -162,6 +261,10 @@ fn main() {
         ("resume_cache_hit_rate", hit_rate.into()),
         ("resume_executed", resumed.stats.executed.into()),
         ("resume_secs", resumed_secs.into()),
+        (
+            "new_policies_checked",
+            Value::Array(vec!["reactive-offload".into(), "diffusion".into()]),
+        ),
     ]);
     let path = repo_root().join("BENCH_sweep_smoke.json");
     std::fs::write(&path, doc.to_string_pretty()).expect("write BENCH_sweep_smoke.json");

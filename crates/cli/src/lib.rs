@@ -13,7 +13,7 @@
 
 use std::fmt;
 use tlb_cluster::{ClusterSim, FaultPlan, FaultStats, RunSpec, SimReport, SpecWorkload, Workload};
-use tlb_core::{BalanceConfig, DromPolicy, Platform, PortfolioConfig, Strategy};
+use tlb_core::{BalanceConfig, Platform, PolicySpec, PortfolioConfig, Strategy};
 use tlb_des::SimTime;
 
 /// Which application to run.
@@ -27,6 +27,8 @@ pub enum App {
     Synthetic,
     /// Halo-exchange stencil.
     Stencil,
+    /// AMR-style time-varying imbalance (the hot ranks move mid-run).
+    Amr,
 }
 
 /// Machine preset.
@@ -51,10 +53,10 @@ pub struct Args {
     pub appranks_per_node: usize,
     /// Offloading degree (1 = no offloading).
     pub degree: usize,
-    /// DROM policy.
-    pub policy: DromPolicy,
-    /// LeWI enabled.
-    pub lewi: bool,
+    /// Balancing policy (registry name, optionally parameterized).
+    pub policy: PolicySpec,
+    /// LeWI override from `--lewi`; `None` follows the policy.
+    pub lewi: Option<bool>,
     /// Iterations.
     pub iterations: usize,
     /// Machine preset.
@@ -90,8 +92,8 @@ impl Default for Args {
             nodes: 4,
             appranks_per_node: 1,
             degree: 4,
-            policy: DromPolicy::Global,
-            lewi: true,
+            policy: PolicySpec::named("lewi+drom-global").expect("default policy is registered"),
+            lewi: None,
             iterations: 6,
             machine: Machine::Mn4,
             slow_node: None,
@@ -134,12 +136,23 @@ pub const USAGE: &str = "usage: tlb-run [trace|sweep|serve] [options]
                                           trace-event JSON (default
                                           tlb_trace.chrome.json; open in
                                           Perfetto / chrome://tracing)
-  --app micropp|nbody|synthetic|stencil   workload (default synthetic)
+  --app micropp|nbody|synthetic|stencil|amr
+                                          workload (default synthetic)
   --nodes N                               node count (default 4)
   --appranks-per-node N                   (default 1)
   --degree D                              offloading degree (default 4)
-  --policy off|local|global               DROM policy (default global)
-  --lewi on|off                           fine-grained lending (default on)
+  --policy NAME[(k=v,...)]                balancing policy from the registry:
+                                          baseline, lewi, lewi+drom-local,
+                                          lewi+drom-global, reactive-offload,
+                                          diffusion — optionally with typed
+                                          parameters, e.g.
+                                          'reactive-offload(hi=0.4)'; the
+                                          legacy shorthands off|local|global
+                                          map to lewi|lewi+drom-local|
+                                          lewi+drom-global (default
+                                          lewi+drom-global)
+  --lewi on|off                           fine-grained lending override
+                                          (default: what the policy says)
   --iterations N                          timesteps (default 6)
   --machine mn4|nord3|ideal               platform preset (default mn4)
   --slow-node I                           run node I at 1.8/3.0 GHz speed
@@ -187,6 +200,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, Parse
                     "nbody" => App::Nbody,
                     "synthetic" => App::Synthetic,
                     "stencil" => App::Stencil,
+                    "amr" => App::Amr,
                     other => return Err(ParseError(format!("unknown app '{other}'"))),
                 }
             }
@@ -196,17 +210,22 @@ pub fn parse_args<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, Parse
             }
             "--degree" => args.degree = parse_num(&mut it, "--degree")?,
             "--policy" => {
-                args.policy = match it.next().ok_or_else(|| missing("--policy"))?.as_str() {
-                    "off" => DromPolicy::Off,
-                    "local" => DromPolicy::Local,
-                    "global" => DromPolicy::Global,
-                    other => return Err(ParseError(format!("unknown policy '{other}'"))),
-                }
+                let value = it.next().ok_or_else(|| missing("--policy"))?;
+                // Legacy DROM shorthands keep old command lines working;
+                // everything else goes straight to the policy registry.
+                let text = match value.as_str() {
+                    "off" => "lewi",
+                    "local" => "lewi+drom-local",
+                    "global" => "lewi+drom-global",
+                    other => other,
+                };
+                args.policy =
+                    PolicySpec::parse(text).map_err(|e| ParseError(format!("--policy: {e}")))?;
             }
             "--lewi" => {
                 args.lewi = match it.next().ok_or_else(|| missing("--lewi"))?.as_str() {
-                    "on" => true,
-                    "off" => false,
+                    "on" => Some(true),
+                    "off" => Some(false),
                     other => return Err(ParseError(format!("--lewi on|off, got '{other}'"))),
                 }
             }
@@ -265,8 +284,10 @@ pub fn parse_args<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, Parse
     }
     if let Some(spec) = &args.portfolio {
         PortfolioConfig::parse(spec).map_err(|e| ParseError(format!("--portfolio: {e}")))?;
-        if args.policy != DromPolicy::Global {
-            return Err(ParseError("--portfolio requires --policy global".into()));
+        if !args.policy.uses_solver() {
+            return Err(ParseError(
+                "--portfolio requires a global-solver policy (--policy global)".into(),
+            ));
         }
     }
     if let Some(budget) = args.portfolio_budget {
@@ -302,14 +323,17 @@ pub fn build_platform(args: &Args) -> Platform {
     p
 }
 
+/// The LeWI setting a run will actually use: the `--lewi` override if
+/// given, the policy's own setting otherwise.
+pub fn effective_lewi(args: &Args) -> bool {
+    args.lewi.unwrap_or_else(|| args.policy.lewi())
+}
+
 /// Build the balancing configuration.
 pub fn build_config(args: &Args) -> BalanceConfig {
-    let mut cfg = BalanceConfig {
-        degree: args.degree,
-        lewi: args.lewi,
-        drom: args.policy,
-        ..BalanceConfig::default()
-    };
+    let mut cfg = BalanceConfig::default().with_policy(args.policy.clone());
+    cfg.degree = args.degree;
+    cfg.lewi = effective_lewi(args);
     cfg.seed = args.seed;
     if let Some(spec) = &args.portfolio {
         let mut pc = PortfolioConfig::parse(spec).expect("validated by parse_args");
@@ -389,6 +413,20 @@ pub fn run(args: &Args) -> Result<(SimReport, f64), String> {
             .map_err(|e| e.to_string())?;
             (r, work)
         }
+        App::Amr => {
+            let mut cfg = tlb_apps::amr::AmrConfig::new(appranks, args.imbalance);
+            cfg.iterations = args.iterations;
+            cfg.seed = args.seed;
+            let wl = tlb_apps::amr::amr_workload(&cfg, &platform);
+            let work = wl.iteration_work();
+            let r = ClusterSim::execute(
+                RunSpec::new(&platform, &build_config(args), wl)
+                    .trace(trace)
+                    .faults(&plan),
+            )
+            .map_err(|e| e.to_string())?;
+            (r, work)
+        }
         App::Stencil => {
             let mut cfg =
                 tlb_apps::stencil::StencilConfig::new(appranks, 128, 128).with_gradient(0.5, 2.0);
@@ -434,13 +472,13 @@ pub fn format_text(args: &Args, report: &SimReport, perfect: f64) -> String {
     use std::fmt::Write as _;
     let _ = writeln!(
         out,
-        "{:?} on {} nodes ({} appranks), degree {}, {:?} policy, LeWI {}",
+        "{:?} on {} nodes ({} appranks), degree {}, policy {}, LeWI {}",
         args.app,
         args.nodes,
         args.nodes * args.appranks_per_node,
         args.degree,
-        args.policy,
-        if args.lewi { "on" } else { "off" },
+        args.policy.canonical(),
+        if effective_lewi(args) { "on" } else { "off" },
     );
     let _ = writeln!(out, "makespan:            {}", report.makespan);
     let _ = writeln!(
@@ -530,8 +568,8 @@ pub fn format_json(args: &Args, report: &SimReport, perfect: f64) -> String {
         ("nodes", args.nodes.into()),
         ("appranks", (args.nodes * args.appranks_per_node).into()),
         ("degree", args.degree.into()),
-        ("policy", format!("{:?}", args.policy).into()),
-        ("lewi", args.lewi.into()),
+        ("policy", args.policy.canonical().as_str().into()),
+        ("lewi", effective_lewi(args).into()),
         ("makespan_s", report.makespan.as_secs_f64().into()),
         (
             "mean_iteration_s",
@@ -828,7 +866,9 @@ mod tests {
         let a = args("").unwrap();
         assert_eq!(a.app, App::Synthetic);
         assert_eq!(a.degree, 4);
-        assert!(a.lewi);
+        assert_eq!(a.policy.name(), "lewi+drom-global");
+        assert_eq!(a.lewi, None);
+        assert!(effective_lewi(&a));
     }
 
     #[test]
@@ -843,8 +883,9 @@ mod tests {
         assert_eq!(a.nodes, 8);
         assert_eq!(a.appranks_per_node, 2);
         assert_eq!(a.degree, 3);
-        assert_eq!(a.policy, DromPolicy::Local);
-        assert!(!a.lewi);
+        assert_eq!(a.policy.name(), "lewi+drom-local");
+        assert_eq!(a.lewi, Some(false));
+        assert!(!effective_lewi(&a));
         assert_eq!(a.iterations, 9);
         assert_eq!(a.machine, Machine::Nord3);
         assert_eq!(a.slow_node, Some(0));
@@ -860,6 +901,59 @@ mod tests {
         assert!(args("--policy sometimes").is_err());
         assert!(args("--frobnicate").is_err());
         assert!(args("--nodes").is_err());
+    }
+
+    #[test]
+    fn policy_flag_takes_registry_names_and_parameters() {
+        // Registry names pass straight through.
+        let a = args("--policy baseline").unwrap();
+        assert_eq!(a.policy.name(), "baseline");
+        assert!(!effective_lewi(&a));
+        // Parameterized form (no whitespace; the shell would strip it
+        // anyway before the arg reaches us).
+        let b = args("--policy reactive-offload(hi=0.4,unit=2)").unwrap();
+        assert_eq!(b.policy.canonical(), "reactive-offload(hi=0.4,unit=2)");
+        let c = args("--policy diffusion(order=2)").unwrap();
+        assert_eq!(c.policy.canonical(), "diffusion(order=2)");
+        // Errors carry the registry's vocabulary.
+        let err = args("--policy gossip").unwrap_err();
+        assert!(err.0.contains("reactive-offload"), "{err}");
+        assert!(args("--policy diffusion(gamma=1)").is_err());
+    }
+
+    #[test]
+    fn legacy_policy_shorthands_still_map() {
+        assert_eq!(args("--policy off").unwrap().policy.name(), "lewi");
+        assert_eq!(
+            args("--policy local").unwrap().policy.name(),
+            "lewi+drom-local"
+        );
+        assert_eq!(
+            args("--policy global").unwrap().policy.name(),
+            "lewi+drom-global"
+        );
+        // `--policy off --lewi off` is the old spelling of baseline.
+        let cfg = build_config(&args("--policy off --lewi off").unwrap());
+        assert!(!cfg.lewi);
+        assert_eq!(cfg.drom, tlb_core::DromPolicy::Off);
+    }
+
+    #[test]
+    fn amr_app_runs_end_to_end() {
+        let a = args(
+            "--app amr --nodes 2 --degree 2 --iterations 4 --machine ideal \
+             --policy reactive-offload",
+        )
+        .unwrap();
+        let (report, perfect) = run(&a).unwrap();
+        assert_eq!(report.iteration_times.len(), 4);
+        assert!(perfect > 0.0);
+        // Deterministic: the same arguments reproduce the same report.
+        let (again, _) = run(&a).unwrap();
+        assert_eq!(report.makespan, again.makespan);
+        assert_eq!(report.iteration_times, again.iteration_times);
+        let text = format_text(&a, &report, perfect);
+        assert!(text.contains("policy reactive-offload"), "{text}");
     }
 
     #[test]

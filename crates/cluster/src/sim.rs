@@ -6,9 +6,12 @@ use crate::collective::barrier_cost;
 use crate::{FaultPlan, FaultStats, SimReport, TaskSpec, Trace, Workload};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+#[cfg(test)]
+use tlb_core::DromPolicy;
 use tlb_core::{
-    choose_node_explained, BalanceConfig, CandidateState, ChoiceReason, DromPolicy, GlobalPolicy,
-    LocalPolicy, Placement, Platform, ProcessLayout, StealGate, WorkSignal,
+    choose_node_explained, legacy_policy, BalanceConfig, BalancePolicy, CandidateState,
+    ChoiceReason, GlobalAction, GlobalPolicy, LocalAction, LocalPolicy, Placement, Platform,
+    ProcessLayout, SignalView, StealGate, WorkSignal,
 };
 use tlb_des::{Ctx, SimTime, Simulator, World};
 use tlb_dlb::{DlbEvent, NodeDlb, ProcId, Talp};
@@ -180,6 +183,10 @@ struct State<W: Workload> {
     waiting_recvs: HashMap<(usize, usize, u64), Inst>,
     appranks: Vec<ApprankState>,
     workload: W,
+    /// The balancing policy object driving the tick hooks (see
+    /// `tlb_core::BalancePolicy`). Legacy `(lewi, drom)` configurations
+    /// get an object whose hooks route into the exact legacy paths.
+    balance_policy: Box<dyn BalancePolicy>,
     global_policy: Option<GlobalPolicy>,
     /// The racing solver portfolio (`BalanceConfig::portfolio`); its
     /// per-strategy stats end up in [`SimReport::portfolio`].
@@ -356,7 +363,15 @@ impl ClusterSim {
         let max_degree = config
             .dynamic
             .map_or(config.degree, |d| d.max_degree.max(config.degree));
-        if config.dynamic.is_some() && config.drom != DromPolicy::Global {
+        // Every run dispatches through one policy object; configs that
+        // never went through the registry get the legacy mapping, whose
+        // hooks reproduce the old `drom` dispatch exactly.
+        let balance_policy: Box<dyn BalancePolicy> = match &config.policy {
+            Some(spec) => spec.instantiate(),
+            None => legacy_policy(config.lewi, config.drom),
+        };
+        let uses_solver = balance_policy.spec().uses_solver();
+        if config.dynamic.is_some() && !uses_solver {
             return Err(SimError::Shape(
                 "dynamic spreading requires the global DROM policy".into(),
             ));
@@ -412,8 +427,7 @@ impl ClusterSim {
             .map(|n| vec![0.0; layout.workers_on(n).len()])
             .collect();
 
-        let mut global_policy =
-            (config.drom == DromPolicy::Global).then(|| GlobalPolicy::new(&graph, platform));
+        let mut global_policy = uses_solver.then(|| GlobalPolicy::new(&graph, platform));
         // Setup-time feasibility: a program that cannot be solved for zero
         // demand can never be solved mid-run. Fail hard here, so the only
         // solver errors left at run time are transient ones the fallback
@@ -427,7 +441,7 @@ impl ClusterSim {
         // runs, so anything else is a configuration error, not a silent
         // no-op.
         let portfolio = match &config.portfolio {
-            Some(pc) if config.drom != DromPolicy::Global => {
+            Some(pc) if !uses_solver => {
                 return Err(SimError::Shape(format!(
                     "portfolio ({} strategies) requires the global DROM policy",
                     pc.strategies.len()
@@ -515,6 +529,7 @@ impl ClusterSim {
             waiting_recvs: HashMap::new(),
             appranks: apprank_states,
             workload,
+            balance_policy,
             global_policy,
             portfolio,
             iteration: 0,
@@ -563,10 +578,10 @@ impl ClusterSim {
                 },
             );
         }
-        if state.config.drom == DromPolicy::Local {
+        if state.balance_policy.spec().wants_local_tick() {
             sim.schedule_at(state.config.local_period, Ev::LocalTick);
         }
-        if state.config.drom == DromPolicy::Global {
+        if state.balance_policy.spec().wants_global_tick() {
             sim.schedule_at(state.config.global_period, Ev::GlobalTick);
         }
         for s in &plan.stragglers {
@@ -1713,6 +1728,13 @@ impl<W: Workload> State<W> {
         if self.finished {
             return;
         }
+        match self.balance_policy.on_local_tick() {
+            LocalAction::Converge => {}
+            LocalAction::Keep => {
+                ctx.schedule_in(self.config.local_period, Ev::LocalTick);
+                return;
+            }
+        }
         let now = ctx.now();
         for node in 0..self.platform.nodes {
             let busy = self.talps[node].take_all_windows(now);
@@ -1830,6 +1852,62 @@ impl<W: Workload> State<W> {
             self.last_created.copy_from_slice(&self.created_work);
             if created.iter().sum::<f64>() > 1e-9 {
                 work = created;
+            }
+        }
+        // Assemble the signal view the policy hook sees: everything here
+        // is already measured (TALP deltas, demand, placement, current
+        // ownership targets) — the view adds no new instrumentation.
+        let placement: Vec<Vec<(usize, usize)>> = (0..self.appranks.len())
+            .map(|a| {
+                self.adjacency[a]
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &node)| (node, self.layout.proc_of(a, k)))
+                    .collect()
+            })
+            .collect();
+        let ownership: Vec<Vec<usize>> = (0..self.platform.nodes)
+            .map(|n| self.dlbs[n].target_ownership())
+            .collect();
+        let alive: Vec<Vec<bool>> = (0..self.platform.nodes)
+            .map(|n| {
+                (0..self.layout.workers_on(n).len())
+                    .map(|p| !self.dlbs[n].is_retired(ProcId(p)))
+                    .collect()
+            })
+            .collect();
+        let view = SignalView {
+            window_secs: self.config.global_period.as_secs_f64(),
+            cores_per_node: self.platform.cores_per_node,
+            node_speed: &self.platform.node_speed,
+            work: &work,
+            busy: &deltas,
+            placement: &placement,
+            ownership: &ownership,
+            alive: &alive,
+        };
+        match self.balance_policy.on_global_tick(&view) {
+            GlobalAction::Solve => {}
+            GlobalAction::SetOwnership {
+                per_node,
+                comm_rounds,
+            } => {
+                // Solver-free reallocation: the only cost is shipping the
+                // new ownership map, charged through the interconnect
+                // latency model (one latency per communication round).
+                let cost = SimTime::from_secs_f64(
+                    self.platform.net_latency.as_secs_f64() * comm_rounds.max(1) as f64,
+                );
+                if self.counters_on() {
+                    self.trace.counters.inc("policy_reallocations");
+                }
+                ctx.schedule_in(cost, Ev::ApplyOwnership { per_node });
+                ctx.schedule_in(self.config.global_period, Ev::GlobalTick);
+                return;
+            }
+            GlobalAction::Keep => {
+                ctx.schedule_in(self.config.global_period, Ev::GlobalTick);
+                return;
             }
         }
         // During an injected outage the solver "runs" but reports the

@@ -231,6 +231,11 @@ pub struct BalanceConfig {
     /// `solver` (requires `drom == Global`). `None` keeps the paper's
     /// single-solver behaviour.
     pub portfolio: Option<PortfolioConfig>,
+    /// The balancing policy from the open registry. `None` means the
+    /// legacy mechanical combination of `lewi` + `drom` (exactly what
+    /// every pre-registry configuration ran); `Some` dispatches the
+    /// simulator through the named [`crate::BalancePolicy`] object.
+    pub policy: Option<crate::PolicySpec>,
 }
 
 impl Default for BalanceConfig {
@@ -250,6 +255,7 @@ impl Default for BalanceConfig {
             steal_gate: StealGate::Usable,
             dynamic: None,
             portfolio: None,
+            policy: None,
         }
     }
 }
@@ -353,6 +359,16 @@ impl BalanceConfig {
     /// Builder: race a solver portfolio on every global tick.
     pub fn with_portfolio(mut self, portfolio: PortfolioConfig) -> Self {
         self.portfolio = Some(portfolio);
+        self
+    }
+
+    /// Builder: select a registry policy. Sets `lewi` and `drom` to the
+    /// policy's defaults (refine afterwards with [`Self::with_lewi`] to
+    /// override lending) and stores the spec for trait dispatch.
+    pub fn with_policy(mut self, spec: crate::PolicySpec) -> Self {
+        self.lewi = spec.lewi();
+        self.drom = spec.drom();
+        self.policy = Some(spec);
         self
     }
 }

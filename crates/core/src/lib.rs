@@ -24,7 +24,12 @@
 //! * [`BalanceConfig`] / [`Platform`] — experiment configuration,
 //!   including presets for the paper's two machines (MareNostrum 4 and
 //!   Nord3).
+//! * [`PolicySpec`] / [`BalancePolicy`] — the open policy API: a
+//!   deterministic registry of named, parameterized balancing policies
+//!   (the paper's four plus `reactive-offload` and `diffusion`) parsed
+//!   from one `name(k=v,...)` string form everywhere.
 
+mod balance;
 mod config;
 mod layout;
 mod metrics;
@@ -41,6 +46,11 @@ pub use tlb_rng as rng;
 pub use tlb_portfolio as portfolio;
 pub use tlb_portfolio::{PortfolioConfig, PortfolioEngine, PortfolioStats, Strategy};
 
+pub use balance::{
+    known_policy_names, legacy_policy, BalancePolicy, Diffusion, GlobalAction, LocalAction,
+    ParamDef, ParamKind, PolicyDef, PolicyError, PolicySpec, ReactiveOffload, SignalView,
+    POLICY_REGISTRY,
+};
 pub use config::{
     BalanceConfig, DromPolicy, DynamicSpreading, GlobalSolverKind, Platform, Preset, SpeedEvent,
     StealGate, WorkSignal,

@@ -272,7 +272,7 @@ impl Executor {
             state.inflight.insert(k, vec![tx.clone()]);
             state.queue.push_back(WorkItem {
                 scenario: Arc::clone(&scenario),
-                point: points[i],
+                point: points[i].clone(),
                 key: k,
                 key_input: key_inputs[i].clone(),
             });

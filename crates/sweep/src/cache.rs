@@ -30,8 +30,9 @@ use crate::scenario::{Scenario, SweepPoint};
 
 /// Bumped whenever the simulator's observable behaviour changes, so
 /// stale caches from older engine builds can never be replayed as
-/// current results.
-pub const ENGINE_VERSION: u64 = 2;
+/// current results. Version 3: point keys carry the canonical policy
+/// string (name *plus* parameters) instead of the bare policy name.
+pub const ENGINE_VERSION: u64 = 3;
 
 /// 64-bit FNV-1a over a byte string: tiny, dependency-free, and stable
 /// across platforms — exactly what a content-addressed cache key needs
@@ -60,7 +61,10 @@ pub fn point_key_input(scenario: &Scenario, point: &SweepPoint) -> Value {
         ("imbalance", scenario.imbalance.into()),
         ("appranks_per_node", point.appranks_per_node.into()),
         ("degree", point.degree.into()),
-        ("policy", point.policy.name().into()),
+        // The *canonical* policy string, never the bare name: two
+        // parameterizations of one policy must never share a key, and
+        // two spellings of one parameterization always must.
+        ("policy", point.policy.canonical().as_str().into()),
         ("seed", point.seed.into()),
     ];
     if let Some(f) = &scenario.faults {
@@ -153,7 +157,7 @@ impl Cache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::PolicyAxis;
+    use tlb_core::PolicySpec;
 
     #[test]
     fn fnv_matches_reference_vectors() {
@@ -164,7 +168,7 @@ mod tests {
     }
 
     fn point(sc: &Scenario) -> SweepPoint {
-        sc.expand()[0]
+        sc.expand().into_iter().next().unwrap()
     }
 
     #[test]
@@ -195,13 +199,32 @@ mod tests {
     #[test]
     fn key_separates_points() {
         let mut sc = Scenario::default();
-        sc.axes.policy = vec![PolicyAxis::Baseline, PolicyAxis::Lewi];
+        sc.axes.policy = vec![
+            PolicySpec::named("baseline").unwrap(),
+            PolicySpec::named("lewi").unwrap(),
+        ];
         sc.axes.seed = vec![1, 2];
         let pts = sc.expand();
         let mut keys: Vec<u64> = pts.iter().map(|p| point_key(&sc, p)).collect();
         keys.sort_unstable();
         keys.dedup();
         assert_eq!(keys.len(), pts.len(), "colliding point keys");
+    }
+
+    #[test]
+    fn key_sees_policy_parameters() {
+        // Two parameterizations of one policy must never collide, and
+        // two spellings of one parameterization must always agree.
+        let mut sc = Scenario::default();
+        sc.axes.policy = vec![PolicySpec::parse("reactive-offload").unwrap()];
+        let base = point_key(&sc, &point(&sc));
+        let mut tuned = sc.clone();
+        tuned.axes.policy = vec![PolicySpec::parse("reactive-offload(hi=0.4)").unwrap()];
+        assert_ne!(base, point_key(&tuned, &point(&tuned)));
+        let mut spelled = sc.clone();
+        spelled.axes.policy =
+            vec![PolicySpec::parse("reactive-offload(hi=0.25, lo=0.1, unit=1)").unwrap()];
+        assert_eq!(base, point_key(&spelled, &point(&spelled)));
     }
 
     fn temp_cache(tag: &str) -> (PathBuf, Cache) {

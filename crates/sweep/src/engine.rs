@@ -11,7 +11,7 @@ use tlb_json::Value;
 use tlb_smprt::Pool;
 
 use crate::cache::{point_key, point_key_input, Cache};
-use crate::scenario::{PolicyAxis, Scenario, SweepPoint};
+use crate::scenario::{Scenario, SweepPoint};
 
 /// How to run a sweep.
 #[derive(Clone, Debug)]
@@ -237,6 +237,14 @@ fn build_workload(
             let work: f64 = (0..appranks).map(|r| wl.rank_work(r)).sum();
             (Box::new(tlb_apps::stencil::StencilWorkload::new(cfg)), work)
         }
+        crate::scenario::SweepApp::Amr => {
+            let mut cfg = tlb_apps::amr::AmrConfig::new(appranks, scenario.imbalance);
+            cfg.iterations = scenario.iterations;
+            cfg.seed = point.seed;
+            let wl = tlb_apps::amr::amr_workload(&cfg, platform);
+            let work = wl.iteration_work();
+            (Box::new(wl), work)
+        }
     }
 }
 
@@ -258,7 +266,7 @@ fn point_record(
     let mut fields = vec![
         ("appranks_per_node", point.appranks_per_node.into()),
         ("degree", point.degree.into()),
-        ("policy", point.policy.name().into()),
+        ("policy", point.policy.canonical().as_str().into()),
         ("seed", point.seed.into()),
         ("appranks", appranks.into()),
         ("makespan_s", report.makespan.as_secs_f64().into()),
@@ -340,7 +348,7 @@ pub fn aggregate(scenario: &Scenario, points: &[SweepPoint], records: Vec<Value>
         points
             .iter()
             .position(|p| {
-                p.policy == PolicyAxis::Baseline
+                p.policy.name() == "baseline"
                     && p.degree == base_degree
                     && p.appranks_per_node == apn
                     && p.seed == seed
@@ -416,11 +424,11 @@ pub fn aggregate(scenario: &Scenario, points: &[SweepPoint], records: Vec<Value>
     // Per-policy mean iteration-time series (the imbalance-convergence
     // view: DROM policies should bend these curves down over time).
     let mut series: Vec<(String, Value)> = Vec::new();
-    for &policy in &scenario.axes.policy {
+    for policy in &scenario.axes.policy {
         let idx: Vec<usize> = points
             .iter()
             .enumerate()
-            .filter(|(_, p)| p.policy == policy)
+            .filter(|(_, p)| p.policy == *policy)
             .map(|(i, _)| i)
             .collect();
         if idx.is_empty() {
@@ -437,7 +445,7 @@ pub fn aggregate(scenario: &Scenario, points: &[SweepPoint], records: Vec<Value>
             }
         }
         series.push((
-            policy.name().to_string(),
+            policy.canonical(),
             Value::Array(
                 sums.iter()
                     .zip(&counts)
@@ -462,7 +470,10 @@ pub fn aggregate(scenario: &Scenario, points: &[SweepPoint], records: Vec<Value>
         ("points_total", points.len().into()),
         ("baseline_degree", base_degree.into()),
         ("points", Value::Array(points_json)),
-        ("by_policy", table(&|p: &SweepPoint| p.policy.name().into())),
+        (
+            "by_policy",
+            table(&|p: &SweepPoint| p.policy.canonical().as_str().into()),
+        ),
         ("by_degree", table(&|p: &SweepPoint| p.degree.into())),
         (
             "by_appranks_per_node",

@@ -47,5 +47,5 @@ pub use engine::{
     aggregate, run_point, run_sweep, SweepError, SweepOptions, SweepOutcome, SweepStats,
 };
 pub use scenario::{
-    Axes, PolicyAxis, Scenario, ScenarioError, SweepApp, SweepMachine, SweepPoint, SCHEMA_VERSION,
+    Axes, Scenario, ScenarioError, SweepApp, SweepMachine, SweepPoint, SCHEMA_VERSION,
 };

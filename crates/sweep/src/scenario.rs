@@ -1,7 +1,7 @@
 //! The declarative sweep description and its strict, versioned schema.
 
 use std::fmt;
-use tlb_core::{BalanceConfig, DromPolicy, Platform, PortfolioConfig, Preset};
+use tlb_core::{BalanceConfig, Platform, PolicySpec, PortfolioConfig};
 use tlb_des::SimTime;
 use tlb_json::Value;
 
@@ -21,6 +21,8 @@ pub enum SweepApp {
     Nbody,
     /// Halo-exchange stencil.
     Stencil,
+    /// AMR-style time-varying imbalance: the hot ranks move mid-run.
+    Amr,
 }
 
 impl SweepApp {
@@ -31,6 +33,7 @@ impl SweepApp {
             SweepApp::Micropp => "micropp",
             SweepApp::Nbody => "nbody",
             SweepApp::Stencil => "stencil",
+            SweepApp::Amr => "amr",
         }
     }
 
@@ -40,8 +43,9 @@ impl SweepApp {
             "micropp" => Ok(SweepApp::Micropp),
             "nbody" => Ok(SweepApp::Nbody),
             "stencil" => Ok(SweepApp::Stencil),
+            "amr" => Ok(SweepApp::Amr),
             other => Err(ScenarioError(format!(
-                "unknown app '{other}' (expected synthetic|micropp|nbody|stencil)"
+                "unknown app '{other}' (expected synthetic|micropp|nbody|stencil|amr)"
             ))),
         }
     }
@@ -80,58 +84,6 @@ impl SweepMachine {
     }
 }
 
-/// One value of the policy axis: the (LeWI, DROM) combination a point
-/// runs under. The offloading degree is a separate axis.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum PolicyAxis {
-    /// No DLB at all: LeWI off, DROM off.
-    Baseline,
-    /// Fine-grained core lending only.
-    Lewi,
-    /// LeWI plus the local-convergence DROM policy (paper §5.4.1).
-    LewiDromLocal,
-    /// LeWI plus the global min-max LP DROM policy (paper §5.4.2).
-    LewiDromGlobal,
-}
-
-impl PolicyAxis {
-    /// Canonical schema string.
-    pub fn name(self) -> &'static str {
-        match self {
-            PolicyAxis::Baseline => "baseline",
-            PolicyAxis::Lewi => "lewi",
-            PolicyAxis::LewiDromLocal => "lewi+drom-local",
-            PolicyAxis::LewiDromGlobal => "lewi+drom-global",
-        }
-    }
-
-    fn parse(s: &str) -> Result<Self, ScenarioError> {
-        match s {
-            "baseline" => Ok(PolicyAxis::Baseline),
-            "lewi" => Ok(PolicyAxis::Lewi),
-            "lewi+drom-local" => Ok(PolicyAxis::LewiDromLocal),
-            "lewi+drom-global" => Ok(PolicyAxis::LewiDromGlobal),
-            other => Err(ScenarioError(format!(
-                "unknown policy '{other}' (expected baseline|lewi|lewi+drom-local|lewi+drom-global)"
-            ))),
-        }
-    }
-
-    /// The DROM policy this axis value implies.
-    pub fn drom(self) -> DromPolicy {
-        match self {
-            PolicyAxis::Baseline | PolicyAxis::Lewi => DromPolicy::Off,
-            PolicyAxis::LewiDromLocal => DromPolicy::Local,
-            PolicyAxis::LewiDromGlobal => DromPolicy::Global,
-        }
-    }
-
-    /// Whether LeWI is on under this axis value.
-    pub fn lewi(self) -> bool {
-        !matches!(self, PolicyAxis::Baseline)
-    }
-}
-
 /// The varying dimensions of a sweep. The cartesian product expands in
 /// this fixed nesting order: appranks-per-node, then degree, then
 /// policy, then seed.
@@ -141,8 +93,9 @@ pub struct Axes {
     pub appranks_per_node: Vec<usize>,
     /// Offloading degree values.
     pub degree: Vec<usize>,
-    /// Balancing policy values.
-    pub policy: Vec<PolicyAxis>,
+    /// Balancing policy values, straight from the `tlb-core` policy
+    /// registry (`name` or `name(k=v,...)` strings in the schema).
+    pub policy: Vec<PolicySpec>,
     /// Seed values (drive both the expander and the workload).
     pub seed: Vec<u64>,
 }
@@ -152,7 +105,7 @@ impl Default for Axes {
         Axes {
             appranks_per_node: vec![1],
             degree: vec![1],
-            policy: vec![PolicyAxis::Baseline],
+            policy: vec![PolicySpec::named("baseline").expect("baseline is registered")],
             seed: vec![1],
         }
     }
@@ -206,7 +159,7 @@ impl Default for Scenario {
 }
 
 /// One expanded grid point of a scenario.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SweepPoint {
     /// Position in the deterministic expansion order.
     pub index: usize,
@@ -215,7 +168,7 @@ pub struct SweepPoint {
     /// Offloading degree.
     pub degree: usize,
     /// Balancing policy.
-    pub policy: PolicyAxis,
+    pub policy: PolicySpec,
     /// Expander/workload seed.
     pub seed: u64,
 }
@@ -386,9 +339,11 @@ impl Scenario {
         }
         if let Some(spec) = &self.portfolio {
             PortfolioConfig::parse(spec).map_err(|e| ScenarioError(format!("portfolio: {e}")))?;
-            if !self.axes.policy.contains(&PolicyAxis::LewiDromGlobal) {
+            if !self.axes.policy.iter().any(|p| p.uses_solver()) {
                 return Err(ScenarioError(
-                    "portfolio requires 'lewi+drom-global' in the policy axis".into(),
+                    "portfolio requires a solver-using policy ('lewi+drom-global') \
+                     in the policy axis"
+                        .into(),
                 ));
             }
         }
@@ -447,7 +402,13 @@ impl Scenario {
                 ),
                 (
                     "policy",
-                    Value::Array(self.axes.policy.iter().map(|p| p.name().into()).collect()),
+                    Value::Array(
+                        self.axes
+                            .policy
+                            .iter()
+                            .map(|p| p.canonical().as_str().into())
+                            .collect(),
+                    ),
                 ),
                 (
                     "seed",
@@ -470,13 +431,13 @@ impl Scenario {
         );
         for &apn in &self.axes.appranks_per_node {
             for &degree in &self.axes.degree {
-                for &policy in &self.axes.policy {
+                for policy in &self.axes.policy {
                     for &seed in &self.axes.seed {
                         points.push(SweepPoint {
                             index: points.len(),
                             appranks_per_node: apn,
                             degree,
-                            policy,
+                            policy: policy.clone(),
                             seed,
                         });
                     }
@@ -503,21 +464,11 @@ impl Scenario {
     /// sweep are the sweep workers themselves (results are bitwise
     /// independent of the portfolio pool size).
     pub fn config(&self, point: &SweepPoint) -> Result<BalanceConfig, ScenarioError> {
-        let mut cfg = match point.policy {
-            PolicyAxis::Baseline => BalanceConfig::preset(Preset::Baseline),
-            PolicyAxis::Lewi => BalanceConfig::preset(Preset::NodeDlb).with_drom(DromPolicy::Off),
-            PolicyAxis::LewiDromLocal => BalanceConfig::preset(Preset::Offload {
-                degree: point.degree,
-                drom: DromPolicy::Local,
-            }),
-            PolicyAxis::LewiDromGlobal => BalanceConfig::preset(Preset::Offload {
-                degree: point.degree,
-                drom: DromPolicy::Global,
-            }),
-        }
-        .with_degree(point.degree)
-        .with_seed(point.seed);
-        if point.policy == PolicyAxis::LewiDromGlobal {
+        let mut cfg = BalanceConfig::default()
+            .with_policy(point.policy.clone())
+            .with_degree(point.degree)
+            .with_seed(point.seed);
+        if point.policy.uses_solver() {
             if let Some(spec) = &self.portfolio {
                 let mut pc = PortfolioConfig::parse(spec)
                     .map_err(|e| ScenarioError(format!("portfolio: {e}")))?
@@ -554,7 +505,10 @@ fn parse_axes(value: &Value) -> Result<Axes, ScenarioError> {
             "policy" => {
                 axes.policy = as_list(key, v)?
                     .iter()
-                    .map(|x| PolicyAxis::parse(as_str(key, x)?))
+                    .map(|x| {
+                        PolicySpec::parse(as_str(key, x)?)
+                            .map_err(|e| ScenarioError(format!("field 'policy': {e}")))
+                    })
                     .collect::<Result<_, _>>()?
             }
             "seed" => {
@@ -640,22 +594,11 @@ mod tests {
         .unwrap();
         let pts = sc.expand();
         assert_eq!(pts.len(), 8);
-        assert_eq!(
-            (pts[0].degree, pts[0].policy, pts[0].seed),
-            (1, PolicyAxis::Baseline, 7)
-        );
-        assert_eq!(
-            (pts[1].degree, pts[1].policy, pts[1].seed),
-            (1, PolicyAxis::Baseline, 8)
-        );
-        assert_eq!(
-            (pts[2].degree, pts[2].policy, pts[2].seed),
-            (1, PolicyAxis::Lewi, 7)
-        );
-        assert_eq!(
-            (pts[4].degree, pts[4].policy, pts[4].seed),
-            (2, PolicyAxis::Baseline, 7)
-        );
+        let spot = |i: usize| (pts[i].degree, pts[i].policy.name(), pts[i].seed);
+        assert_eq!(spot(0), (1, "baseline", 7));
+        assert_eq!(spot(1), (1, "baseline", 8));
+        assert_eq!(spot(2), (1, "lewi", 7));
+        assert_eq!(spot(4), (2, "baseline", 7));
         assert!(pts.iter().enumerate().all(|(i, p)| p.index == i));
     }
 
@@ -669,6 +612,9 @@ mod tests {
                 "portfolio": "adaptive:simplex,flow", "portfolio_budget": 0.5,
                 "axes": {"appranks_per_node": [1, 2], "degree": [1, 2, 4],
                          "policy": ["baseline", "lewi+drom-global"], "seed": [1, 2, 3]}}"#,
+            r#"{"schema_version": 1, "name": "families", "app": "amr",
+                "axes": {"policy": ["reactive-offload(hi=0.4,unit=2)",
+                                    "diffusion(alpha=0.25,order=2)"]}}"#,
         ];
         for text in texts {
             let sc = Scenario::from_json_str(text).unwrap();
@@ -682,11 +628,48 @@ mod tests {
 
     #[test]
     fn policy_axis_maps_to_knobs() {
-        assert!(!PolicyAxis::Baseline.lewi());
-        assert_eq!(PolicyAxis::Baseline.drom(), DromPolicy::Off);
-        assert!(PolicyAxis::Lewi.lewi());
-        assert_eq!(PolicyAxis::Lewi.drom(), DromPolicy::Off);
-        assert_eq!(PolicyAxis::LewiDromLocal.drom(), DromPolicy::Local);
-        assert_eq!(PolicyAxis::LewiDromGlobal.drom(), DromPolicy::Global);
+        use tlb_core::DromPolicy;
+        let sc = Scenario::from_json_str(
+            r#"{"schema_version": 1, "name": "t", "app": "synthetic",
+                "axes": {"policy": ["baseline", "lewi", "lewi+drom-local",
+                                    "lewi+drom-global"], "degree": [2]}}"#,
+        )
+        .unwrap();
+        let knobs: Vec<(bool, DromPolicy)> = sc
+            .expand()
+            .iter()
+            .map(|p| {
+                let cfg = sc.config(p).unwrap();
+                (cfg.lewi, cfg.drom)
+            })
+            .collect();
+        assert_eq!(
+            knobs,
+            vec![
+                (false, DromPolicy::Off),
+                (true, DromPolicy::Off),
+                (true, DromPolicy::Local),
+                (true, DromPolicy::Global),
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_policy_error_lists_registry() {
+        let err = Scenario::from_json_str(
+            r#"{"schema_version": 1, "name": "t", "app": "synthetic",
+                "axes": {"policy": ["gossip"]}}"#,
+        )
+        .unwrap_err();
+        assert!(err.0.contains("unknown policy 'gossip'"), "{err}");
+        assert!(err.0.contains("reactive-offload"), "{err}");
+        assert!(err.0.contains("diffusion"), "{err}");
+        let err = Scenario::from_json_str(
+            r#"{"schema_version": 1, "name": "t", "app": "synthetic",
+                "axes": {"policy": ["diffusion(gamma=1)"]}}"#,
+        )
+        .unwrap_err();
+        assert!(err.0.contains("unknown parameter 'gamma'"), "{err}");
+        assert!(err.0.contains("alpha"), "{err}");
     }
 }

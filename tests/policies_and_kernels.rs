@@ -3,7 +3,11 @@
 
 use tlb::apps::micropp::MicroProblem;
 use tlb::apps::nbody::{direct_accelerations, orb_partition, Body, Octree};
-use tlb::core::{GlobalPolicy, GlobalSolverKind, LocalPolicy, Platform, ProcessLayout};
+use tlb::cluster::{ClusterSim, RunSpec, SimReport, SpecWorkload, TaskSpec};
+use tlb::core::{
+    BalanceConfig, DromPolicy, GlobalPolicy, GlobalSolverKind, LocalPolicy, Platform, PolicySpec,
+    Preset, ProcessLayout,
+};
 use tlb::expander::{BipartiteGraph, ExpanderConfig};
 use tlb::smprt::{GraphRun, Pool};
 use tlb::tasking::{DataRegion, TaskDef};
@@ -132,6 +136,119 @@ fn nbody_orb_and_forces_roundtrip() {
         worst = worst.max(err / mag.max(1e-9));
     }
     assert!(worst < 0.08, "worst relative force error {worst}");
+}
+
+/// An imbalanced four-apprank workload on four small nodes: enough
+/// skew that every balancing layer (LeWI, DROM, offloading) has work
+/// to do, small enough to run many configurations quickly.
+fn imbalanced_workload() -> SpecWorkload {
+    let mk = |n: usize| (0..n).map(|_| TaskSpec::compute(0.05)).collect();
+    SpecWorkload::iterated(vec![mk(160), mk(60), mk(40), mk(20)], 4)
+}
+
+fn run_with(cfg: &BalanceConfig) -> SimReport {
+    let platform = Platform::homogeneous(4, 4);
+    ClusterSim::execute(RunSpec::new(&platform, cfg, imbalanced_workload())).unwrap()
+}
+
+/// Field-by-field bitwise comparison of two reports (`SimReport` has no
+/// `PartialEq`; floats are compared by bit pattern on purpose).
+fn assert_reports_identical(a: &SimReport, b: &SimReport, label: &str) {
+    assert_eq!(a.makespan, b.makespan, "{label}: makespan");
+    assert_eq!(
+        a.iteration_times, b.iteration_times,
+        "{label}: iteration_times"
+    );
+    assert_eq!(
+        a.offloaded_tasks, b.offloaded_tasks,
+        "{label}: offloaded_tasks"
+    );
+    assert_eq!(a.total_tasks, b.total_tasks, "{label}: total_tasks");
+    assert_eq!(a.events, b.events, "{label}: events");
+    assert_eq!(a.solver_runs, b.solver_runs, "{label}: solver_runs");
+    assert_eq!(a.solver_time, b.solver_time, "{label}: solver_time");
+    assert_eq!(
+        a.spawned_helpers, b.spawned_helpers,
+        "{label}: spawned_helpers"
+    );
+    assert_eq!(
+        a.parallel_efficiency.to_bits(),
+        b.parallel_efficiency.to_bits(),
+        "{label}: parallel_efficiency"
+    );
+}
+
+/// Every legacy `Preset` produces a bitwise-identical report when the
+/// same configuration is routed through the `BalancePolicy` registry —
+/// the migration to trait dispatch changes no simulated behaviour.
+#[test]
+fn legacy_presets_bitwise_identical_under_trait_dispatch() {
+    let cases = [
+        (
+            "Baseline",
+            BalanceConfig::preset(Preset::Baseline),
+            "baseline",
+        ),
+        (
+            "NodeDlb",
+            BalanceConfig::preset(Preset::NodeDlb),
+            "lewi+drom-local",
+        ),
+        (
+            "Offload/Off",
+            BalanceConfig::preset(Preset::Offload {
+                degree: 2,
+                drom: DromPolicy::Off,
+            }),
+            "lewi",
+        ),
+        (
+            "Offload/Local",
+            BalanceConfig::preset(Preset::Offload {
+                degree: 2,
+                drom: DromPolicy::Local,
+            }),
+            "lewi+drom-local",
+        ),
+        (
+            "Offload/Global",
+            BalanceConfig::preset(Preset::Offload {
+                degree: 2,
+                drom: DromPolicy::Global,
+            }),
+            "lewi+drom-global",
+        ),
+    ];
+    for (label, legacy_cfg, policy) in cases {
+        let legacy = run_with(&legacy_cfg);
+        let mut trait_cfg =
+            BalanceConfig::default().with_policy(PolicySpec::named(policy).unwrap());
+        trait_cfg.degree = legacy_cfg.degree;
+        assert_eq!(trait_cfg.lewi, legacy_cfg.lewi, "{label}: lewi knob");
+        assert_eq!(trait_cfg.drom, legacy_cfg.drom, "{label}: drom knob");
+        let modern = run_with(&trait_cfg);
+        assert_reports_identical(&legacy, &modern, label);
+    }
+}
+
+/// The registry-new policies run end to end, deterministically, and
+/// without ever invoking the LP solver.
+#[test]
+fn new_policies_run_deterministically_without_the_solver() {
+    for policy in [
+        "reactive-offload",
+        "reactive-offload(hi=0.4,lo=0.2,unit=2)",
+        "diffusion",
+        "diffusion(alpha=0.25,order=2)",
+    ] {
+        let mut cfg = BalanceConfig::default().with_policy(PolicySpec::parse(policy).unwrap());
+        cfg.degree = 2;
+        let a = run_with(&cfg);
+        let b = run_with(&cfg);
+        assert_reports_identical(&a, &b, policy);
+        assert_eq!(a.solver_runs, 0, "{policy}: must not touch the LP solver");
+        assert_eq!(a.total_tasks, 4 * 280, "{policy}: all tasks completed");
+    }
 }
 
 /// An expander graph survives a save/load round trip and still validates.
